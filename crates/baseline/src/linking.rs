@@ -1,0 +1,178 @@
+//! Alternative linking disciplines, for the E2 comparison.
+//!
+//! §3 positions Hemlock's fault-driven lazy linking against two
+//! alternatives:
+//!
+//! * **Eager dynamic linking** — resolve the entire reachability graph
+//!   at program startup (what `ldl` would do without laziness; SunOS
+//!   resolves *data* this way). Implemented for real:
+//!   [`hemlock::World::eager`] forces a full transitive link at
+//!   `ldl`-init time, so eager and lazy runs of the same program can be
+//!   measured with identical code and counters.
+//! * **SunOS-style jump tables** — "The PIC produced by the Sun
+//!   compilers uses jump tables that allow functions to be linked
+//!   lazily, but references to data objects are all resolved at load
+//!   time. ... Our fault-driven lazy linking mechanism is slower than
+//!   the jump table mechanism of SunOS, but works for both functions and
+//!   data objects, and does not require compiler support."
+//!   H32 has no PIC compiler (neither did IRIX at the time — the same
+//!   reason the paper could not use jump tables), so this baseline is an
+//!   analytic cost model over the same event counts the simulation
+//!   produces. The model and its parameters are documented here and in
+//!   EXPERIMENTS.md.
+
+/// Cost parameters for the jump-table discipline (simulated ns).
+#[derive(Clone, Copy, Debug)]
+pub struct JumpTableModel {
+    /// Resolving one data symbol at load time (same work `ldl` does).
+    pub data_resolve_ns: u64,
+    /// First call through a table slot: resolve + patch the slot. No
+    /// kernel involvement — this is the key saving vs. a fault.
+    pub first_call_fixup_ns: u64,
+    /// Every call through the table pays one extra indirect jump.
+    pub per_call_indirection_ns: u64,
+    /// Mapping one module at startup.
+    pub map_module_ns: u64,
+}
+
+impl Default for JumpTableModel {
+    fn default() -> JumpTableModel {
+        JumpTableModel {
+            data_resolve_ns: 8_000,
+            first_call_fixup_ns: 10_000,
+            per_call_indirection_ns: 80, // two extra instructions
+            map_module_ns: 25_000,
+        }
+    }
+}
+
+/// Inputs for one program run under the jump-table model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JumpTableInputs {
+    /// Modules mapped at startup (jump tables require all libraries to
+    /// exist at static link time, so the whole list is mapped).
+    pub modules: u64,
+    /// Data symbols across all mapped modules (resolved at load time —
+    /// the eager part).
+    pub data_symbols: u64,
+    /// Distinct functions actually called (each pays one fixup).
+    pub functions_used: u64,
+    /// Total dynamic calls through the table.
+    pub total_calls: u64,
+}
+
+impl JumpTableModel {
+    /// Total simulated time attributable to linking under jump tables.
+    pub fn time_ns(&self, i: &JumpTableInputs) -> u64 {
+        i.modules * self.map_module_ns
+            + i.data_symbols * self.data_resolve_ns
+            + i.functions_used * self.first_call_fixup_ns
+            + i.total_calls * self.per_call_indirection_ns
+    }
+}
+
+/// Inputs for the fault-driven discipline, taken from real run counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultDrivenInputs {
+    /// Modules actually touched (mapped + lazily linked).
+    pub modules_linked: u64,
+    /// Symbols resolved during those links (functions *and* data).
+    pub symbols_resolved: u64,
+    /// SIGSEGV faults taken to drive the linking.
+    pub faults: u64,
+}
+
+/// Cost parameters for fault-driven lazy linking (mirrors
+/// `hemlock::CostModel`).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultDrivenModel {
+    /// One symbol resolution.
+    pub resolve_ns: u64,
+    /// One fault (kernel → user handler → restart).
+    pub fault_ns: u64,
+    /// Mapping one module.
+    pub map_module_ns: u64,
+}
+
+impl Default for FaultDrivenModel {
+    fn default() -> FaultDrivenModel {
+        FaultDrivenModel {
+            resolve_ns: 8_000,
+            fault_ns: 120_000,
+            map_module_ns: 25_000,
+        }
+    }
+}
+
+impl FaultDrivenModel {
+    /// Total simulated linking time for a fault-driven run.
+    pub fn time_ns(&self, i: &FaultDrivenInputs) -> u64 {
+        i.modules_linked * self.map_module_ns
+            + i.symbols_resolved * self.resolve_ns
+            + i.faults * self.fault_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_link_jump_tables_beat_faults() {
+        // The paper's concession: per linking event, jump tables win.
+        let jt = JumpTableModel::default();
+        let fd = FaultDrivenModel::default();
+        let one_fn_jt = JumpTableInputs {
+            modules: 1,
+            data_symbols: 0,
+            functions_used: 1,
+            total_calls: 1,
+        };
+        let one_fn_fd = FaultDrivenInputs {
+            modules_linked: 1,
+            symbols_resolved: 1,
+            faults: 1,
+        };
+        assert!(jt.time_ns(&one_fn_jt) < fd.time_ns(&one_fn_fd));
+    }
+
+    #[test]
+    fn sparse_use_of_data_heavy_graph_favors_fault_driven() {
+        // Jump tables must resolve *all* data eagerly; fault-driven pays
+        // only for what is touched. With a big graph and sparse use, the
+        // crossover appears.
+        let jt = JumpTableModel::default();
+        let fd = FaultDrivenModel::default();
+        // 100 modules, 200 data symbols each, program touches 2 modules.
+        let jt_in = JumpTableInputs {
+            modules: 100,
+            data_symbols: 100 * 200,
+            functions_used: 10,
+            total_calls: 1000,
+        };
+        let fd_in = FaultDrivenInputs {
+            modules_linked: 2,
+            symbols_resolved: 2 * 210,
+            faults: 2,
+        };
+        assert!(fd.time_ns(&fd_in) < jt.time_ns(&jt_in));
+    }
+
+    #[test]
+    fn models_scale_linearly() {
+        let jt = JumpTableModel::default();
+        let a = JumpTableInputs {
+            modules: 1,
+            data_symbols: 1,
+            functions_used: 1,
+            total_calls: 1,
+        };
+        let b = JumpTableInputs {
+            modules: 2,
+            data_symbols: 2,
+            functions_used: 2,
+            total_calls: 2,
+        };
+        assert_eq!(2 * jt.time_ns(&a), jt.time_ns(&b));
+    }
+}

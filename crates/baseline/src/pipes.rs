@@ -1,0 +1,144 @@
+//! Kernel-mediated message passing: the alternative to shared data for
+//! client/server interaction (§4, "Utility Programs and Servers").
+//!
+//! "When synchronous interaction is not required, modification of data
+//! that will be examined by another process at another time can be
+//! expected to consume significantly less time than kernel-supported
+//! message passing." This module models the message path's costs: every
+//! message crosses the kernel twice (send + receive) and is copied twice
+//! (sender→kernel, kernel→receiver), which is what the shared-memory
+//! alternative avoids.
+
+use std::collections::VecDeque;
+
+/// Cost counters for a pipe/message channel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub receives: u64,
+    /// Total bytes copied (counting both copies of each byte).
+    pub bytes_copied: u64,
+    /// Kernel crossings (one per send, one per receive).
+    pub kernel_crossings: u64,
+}
+
+/// A bounded in-order byte-message channel.
+#[derive(Debug)]
+pub struct Pipe {
+    queue: VecDeque<Vec<u8>>,
+    capacity: usize,
+    /// Accumulated costs.
+    pub stats: PipeStats,
+}
+
+impl Pipe {
+    /// Creates a channel holding up to `capacity` queued messages.
+    pub fn new(capacity: usize) -> Pipe {
+        Pipe {
+            queue: VecDeque::new(),
+            capacity,
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Sends a message; `false` if the channel is full (sender would
+    /// block).
+    pub fn send(&mut self, msg: &[u8]) -> bool {
+        if self.queue.len() >= self.capacity {
+            return false;
+        }
+        // Copy #1: sender's buffer into the kernel.
+        self.queue.push_back(msg.to_vec());
+        self.stats.sends += 1;
+        self.stats.kernel_crossings += 1;
+        self.stats.bytes_copied += msg.len() as u64;
+        true
+    }
+
+    /// Receives the oldest message; `None` if empty (receiver would
+    /// block).
+    pub fn recv(&mut self) -> Option<Vec<u8>> {
+        let msg = self.queue.pop_front()?;
+        // Copy #2: kernel buffer into the receiver.
+        self.stats.receives += 1;
+        self.stats.kernel_crossings += 1;
+        self.stats.bytes_copied += msg.len() as u64;
+        Some(msg.clone())
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Runs a request/response exchange of `n` rounds with `size`-byte
+/// payloads and returns the stats — the unit the E-series benchmarks
+/// compare against one shared-memory store + load.
+pub fn request_response_rounds(n: u64, size: usize) -> PipeStats {
+    let mut to_server = Pipe::new(16);
+    let mut to_client = Pipe::new(16);
+    let payload = vec![0xA5u8; size];
+    for _ in 0..n {
+        assert!(to_server.send(&payload));
+        let req = to_server.recv().expect("just sent");
+        assert!(to_client.send(&req));
+        let _resp = to_client.recv().expect("just sent");
+    }
+    let mut total = to_server.stats;
+    total.sends += to_client.stats.sends;
+    total.receives += to_client.stats.receives;
+    total.bytes_copied += to_client.stats.bytes_copied;
+    total.kernel_crossings += to_client.stats.kernel_crossings;
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut p = Pipe::new(4);
+        assert!(p.send(b"one"));
+        assert!(p.send(b"two"));
+        assert_eq!(p.recv().as_deref(), Some(&b"one"[..]));
+        assert_eq!(p.recv().as_deref(), Some(&b"two"[..]));
+        assert_eq!(p.recv(), None);
+    }
+
+    #[test]
+    fn capacity_limits() {
+        let mut p = Pipe::new(2);
+        assert!(p.send(b"a"));
+        assert!(p.send(b"b"));
+        assert!(!p.send(b"c"), "full channel rejects");
+        p.recv();
+        assert!(p.send(b"c"));
+    }
+
+    #[test]
+    fn costs_count_both_copies() {
+        let mut p = Pipe::new(4);
+        p.send(&[0u8; 100]);
+        p.recv();
+        assert_eq!(p.stats.bytes_copied, 200);
+        assert_eq!(p.stats.kernel_crossings, 2);
+    }
+
+    #[test]
+    fn request_response_accounting() {
+        let s = request_response_rounds(10, 64);
+        assert_eq!(s.sends, 20);
+        assert_eq!(s.receives, 20);
+        assert_eq!(s.kernel_crossings, 40);
+        assert_eq!(s.bytes_copied, 40 * 64);
+    }
+}

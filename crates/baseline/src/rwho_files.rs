@@ -1,0 +1,248 @@
+//! The file-based rwhod: the design Hemlock's §4 case study replaced.
+//!
+//! "As originally conceived, it maintains a collection of local files,
+//! one per remote machine, that contain the most recent information
+//! received from those machines. Every time it receives a message from a
+//! peer it rewrites the corresponding file. Utility programs read these
+//! files and generate terminal output."
+//!
+//! The baseline stores each host's status as a parsable ASCII file under
+//! `/var/rwho/` — a faithful stand-in for the BSD `whod.*` files — and
+//! `rwho`/`ruptime` reopen, reread, and reparse *every* file on *every*
+//! invocation. All I/O goes through the simulated file system so the
+//! cost model sees it.
+
+use hsfs::{FsError, Vfs};
+use std::fmt::Write as _;
+
+/// One machine's status record (the interesting subset of `struct whod`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostStatus {
+    /// Host name.
+    pub hostname: String,
+    /// Seconds since boot.
+    pub uptime_secs: u64,
+    /// Load averages ×100 (1, 5, 15 minutes).
+    pub load: [u32; 3],
+    /// Logged-in users: (name, tty, idle minutes).
+    pub users: Vec<(String, String, u32)>,
+    /// Timestamp of the last received broadcast.
+    pub last_update: u64,
+}
+
+impl HostStatus {
+    /// A deterministic synthetic status for host `i` at time `now`.
+    pub fn synthetic(i: u32, now: u64) -> HostStatus {
+        let nusers = (i % 5) as usize + 1;
+        HostStatus {
+            hostname: format!("cayuga{i:02}"),
+            uptime_secs: 86_400 * (i as u64 % 30 + 1),
+            load: [(i * 7) % 300, (i * 5) % 300, (i * 3) % 300],
+            users: (0..nusers)
+                .map(|u| {
+                    (
+                        format!("user{u}"),
+                        format!("ttyp{u}"),
+                        (u as u32 * 13) % 120,
+                    )
+                })
+                .collect(),
+            last_update: now,
+        }
+    }
+
+    /// The on-disk ASCII linearization (one header line, one line per
+    /// user) — the translation work Hemlock eliminates.
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "H {} {} {} {} {} {}",
+            self.hostname,
+            self.uptime_secs,
+            self.load[0],
+            self.load[1],
+            self.load[2],
+            self.last_update
+        );
+        for (name, tty, idle) in &self.users {
+            let _ = writeln!(s, "U {name} {tty} {idle}");
+        }
+        s
+    }
+
+    /// Parses the ASCII form back (the per-invocation cost of the
+    /// file-based design).
+    pub fn from_ascii(text: &str) -> Option<HostStatus> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let mut f = header.split_whitespace();
+        if f.next()? != "H" {
+            return None;
+        }
+        let hostname = f.next()?.to_string();
+        let uptime_secs = f.next()?.parse().ok()?;
+        let load = [
+            f.next()?.parse().ok()?,
+            f.next()?.parse().ok()?,
+            f.next()?.parse().ok()?,
+        ];
+        let last_update = f.next()?.parse().ok()?;
+        let mut users = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split_whitespace();
+            if f.next()? != "U" {
+                return None;
+            }
+            users.push((
+                f.next()?.to_string(),
+                f.next()?.to_string(),
+                f.next()?.parse().ok()?,
+            ));
+        }
+        Some(HostStatus {
+            hostname,
+            uptime_secs,
+            load,
+            users,
+            last_update,
+        })
+    }
+}
+
+/// The file-based daemon + utilities.
+pub struct RwhoFilesBaseline {
+    /// Directory holding one file per host.
+    pub dir: String,
+}
+
+impl Default for RwhoFilesBaseline {
+    fn default() -> Self {
+        RwhoFilesBaseline {
+            dir: "/var/rwho".to_string(),
+        }
+    }
+}
+
+impl RwhoFilesBaseline {
+    /// Creates the spool directory.
+    pub fn setup(&self, vfs: &mut Vfs) -> Result<(), FsError> {
+        vfs.mkdir_all(&self.dir, 0o755, 0)
+    }
+
+    /// The daemon receives a broadcast from `status.hostname` and
+    /// rewrites that host's file.
+    pub fn daemon_receive(&self, vfs: &mut Vfs, status: &HostStatus) -> Result<(), FsError> {
+        let path = format!("{}/whod.{}", self.dir, status.hostname);
+        vfs.write_file(&path, status.to_ascii().as_bytes(), 0o644, 0)?;
+        Ok(())
+    }
+
+    /// The `rwho` utility: open, read, and parse every host file, then
+    /// collect the logged-in users. Returns (user count, hosts seen).
+    pub fn rwho(&self, vfs: &mut Vfs) -> Result<(usize, usize), FsError> {
+        let mut users = 0;
+        let mut hosts = 0;
+        for name in vfs.readdir(&self.dir)? {
+            let path = format!("{}/{}", self.dir, name);
+            let bytes = vfs.read_all(&path)?;
+            let text = String::from_utf8_lossy(&bytes);
+            if let Some(status) = HostStatus::from_ascii(&text) {
+                hosts += 1;
+                users += status.users.len();
+            }
+        }
+        Ok((users, hosts))
+    }
+
+    /// The `ruptime` utility: parse every file, compute a load summary.
+    pub fn ruptime(&self, vfs: &mut Vfs) -> Result<u32, FsError> {
+        let mut total_load = 0;
+        for name in vfs.readdir(&self.dir)? {
+            let path = format!("{}/{}", self.dir, name);
+            let bytes = vfs.read_all(&path)?;
+            if let Some(status) = HostStatus::from_ascii(&String::from_utf8_lossy(&bytes)) {
+                total_load += status.load[0];
+            }
+        }
+        Ok(total_load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        for i in 0..10 {
+            let s = HostStatus::synthetic(i, 1000 + i as u64);
+            assert_eq!(HostStatus::from_ascii(&s.to_ascii()), Some(s));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(HostStatus::from_ascii(""), None);
+        assert_eq!(HostStatus::from_ascii("X nonsense"), None);
+        assert_eq!(HostStatus::from_ascii("H onlyname"), None);
+    }
+
+    #[test]
+    fn daemon_and_utilities() {
+        let mut vfs = Vfs::new();
+        let b = RwhoFilesBaseline::default();
+        b.setup(&mut vfs).unwrap();
+        for i in 0..65 {
+            b.daemon_receive(&mut vfs, &HostStatus::synthetic(i, 42))
+                .unwrap();
+        }
+        let (users, hosts) = b.rwho(&mut vfs).unwrap();
+        assert_eq!(hosts, 65);
+        let expect: usize = (0..65).map(|i| (i % 5) as usize + 1).sum();
+        assert_eq!(users, expect);
+        assert!(b.ruptime(&mut vfs).unwrap() > 0);
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_status() {
+        let mut vfs = Vfs::new();
+        let b = RwhoFilesBaseline::default();
+        b.setup(&mut vfs).unwrap();
+        let mut s = HostStatus::synthetic(1, 10);
+        b.daemon_receive(&mut vfs, &s).unwrap();
+        s.users.clear();
+        s.last_update = 20;
+        b.daemon_receive(&mut vfs, &s).unwrap();
+        let (users, hosts) = b.rwho(&mut vfs).unwrap();
+        assert_eq!((users, hosts), (0, 1));
+    }
+
+    #[test]
+    fn io_costs_grow_with_fleet_size() {
+        // The point of E1: per-invocation I/O is linear in machine count.
+        let mut small = Vfs::new();
+        let b = RwhoFilesBaseline::default();
+        b.setup(&mut small).unwrap();
+        for i in 0..5 {
+            b.daemon_receive(&mut small, &HostStatus::synthetic(i, 1))
+                .unwrap();
+        }
+        small.root.stats = Default::default();
+        b.rwho(&mut small).unwrap();
+        let small_reads = small.root.stats.reads;
+
+        let mut big = Vfs::new();
+        b.setup(&mut big).unwrap();
+        for i in 0..65 {
+            b.daemon_receive(&mut big, &HostStatus::synthetic(i, 1))
+                .unwrap();
+        }
+        big.root.stats = Default::default();
+        b.rwho(&mut big).unwrap();
+        assert!(big.root.stats.reads > small_reads * 10);
+    }
+}

@@ -1,0 +1,381 @@
+//! Linearization of pointer-rich data structures — the work Hemlock
+//! eliminates in the xfig and Lynx-compiler case studies (§4).
+//!
+//! `Figure` models xfig's in-memory representation: a set of objects in
+//! linked lists, with grouping (compound objects) expressed through
+//! child pointers. The pre-Hemlock program must translate this to and
+//! from "a pointer-free ASCII representation when reading and writing
+//! files"; the Hemlock version simply keeps the pointer-rich form in a
+//! shared segment (see the `xfig` example and the E3 benchmark).
+
+use std::fmt::Write as _;
+
+/// One drawable object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FigureObject {
+    /// A polyline through points.
+    Polyline { points: Vec<(i32, i32)>, color: u8 },
+    /// An ellipse.
+    Ellipse {
+        center: (i32, i32),
+        radii: (i32, i32),
+        color: u8,
+    },
+    /// Text at a position.
+    Text { pos: (i32, i32), content: String },
+    /// A compound object grouping children — the pointer-rich part.
+    Compound { children: Vec<FigureObject> },
+}
+
+impl FigureObject {
+    /// Total object count including nested children.
+    pub fn count(&self) -> usize {
+        match self {
+            FigureObject::Compound { children } => {
+                1 + children.iter().map(FigureObject::count).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// A figure: a list of top-level objects.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Figure {
+    /// Top-level objects.
+    pub objects: Vec<FigureObject>,
+}
+
+impl Figure {
+    /// A deterministic synthetic figure with roughly `n` objects and
+    /// some nesting depth (to make the pointer structure non-trivial).
+    pub fn synthetic(n: usize) -> Figure {
+        let mut objects = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            objects.push(match i % 4 {
+                0 => FigureObject::Polyline {
+                    points: (0..4)
+                        .map(|k| ((i + k) as i32, (i * 2 + k) as i32))
+                        .collect(),
+                    color: (i % 8) as u8,
+                },
+                1 => FigureObject::Ellipse {
+                    center: (i as i32, -(i as i32)),
+                    radii: (10, 20),
+                    color: (i % 8) as u8,
+                },
+                2 => FigureObject::Text {
+                    pos: (i as i32, i as i32),
+                    content: format!("label-{i}"),
+                },
+                _ => FigureObject::Compound {
+                    children: vec![
+                        FigureObject::Text {
+                            pos: (0, 0),
+                            content: format!("in-{i}"),
+                        },
+                        FigureObject::Ellipse {
+                            center: (1, 1),
+                            radii: (2, 2),
+                            color: 1,
+                        },
+                    ],
+                },
+            });
+            i += 1;
+        }
+        Figure { objects }
+    }
+
+    /// Total object count.
+    pub fn count(&self) -> usize {
+        self.objects.iter().map(FigureObject::count).sum()
+    }
+
+    /// The pointer-free ASCII save format (what original xfig wrote).
+    pub fn linearize(&self) -> String {
+        let mut out = String::from("#FIG-baseline 1\n");
+        for o in &self.objects {
+            lin_obj(&mut out, o, 0);
+        }
+        out
+    }
+
+    /// Parses the ASCII form back into the pointer-rich structure (what
+    /// original xfig did on every load).
+    pub fn parse(text: &str) -> Option<Figure> {
+        let mut lines = text.lines().peekable();
+        if !lines.next()?.starts_with("#FIG") {
+            return None;
+        }
+        let mut objects = Vec::new();
+        while lines.peek().is_some() {
+            objects.push(parse_obj(&mut lines, 0)?);
+        }
+        Some(Figure { objects })
+    }
+}
+
+fn lin_obj(out: &mut String, o: &FigureObject, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match o {
+        FigureObject::Polyline { points, color } => {
+            let _ = write!(out, "{pad}P {color}");
+            for (x, y) in points {
+                let _ = write!(out, " {x},{y}");
+            }
+            out.push('\n');
+        }
+        FigureObject::Ellipse {
+            center,
+            radii,
+            color,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}E {color} {},{} {},{}",
+                center.0, center.1, radii.0, radii.1
+            );
+        }
+        FigureObject::Text { pos, content } => {
+            let _ = writeln!(out, "{pad}T {},{} {content}", pos.0, pos.1);
+        }
+        FigureObject::Compound { children } => {
+            let _ = writeln!(out, "{pad}C {}", children.len());
+            for c in children {
+                lin_obj(out, c, depth + 1);
+            }
+        }
+    }
+}
+
+fn parse_obj<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut std::iter::Peekable<I>,
+    depth: usize,
+) -> Option<FigureObject> {
+    let line = lines.next()?;
+    let line = line.trim_start();
+    let _ = depth;
+    let (tag, rest) = line.split_at(1);
+    let rest = rest.trim_start();
+    match tag {
+        "P" => {
+            let mut f = rest.split_whitespace();
+            let color = f.next()?.parse().ok()?;
+            let mut points = Vec::new();
+            for p in f {
+                let (x, y) = p.split_once(',')?;
+                points.push((x.parse().ok()?, y.parse().ok()?));
+            }
+            Some(FigureObject::Polyline { points, color })
+        }
+        "E" => {
+            let mut f = rest.split_whitespace();
+            let color = f.next()?.parse().ok()?;
+            let (cx, cy) = f.next()?.split_once(',')?;
+            let (rx, ry) = f.next()?.split_once(',')?;
+            Some(FigureObject::Ellipse {
+                center: (cx.parse().ok()?, cy.parse().ok()?),
+                radii: (rx.parse().ok()?, ry.parse().ok()?),
+                color,
+            })
+        }
+        "T" => {
+            let (pos, content) = rest.split_once(' ')?;
+            let (x, y) = pos.split_once(',')?;
+            Some(FigureObject::Text {
+                pos: (x.parse().ok()?, y.parse().ok()?),
+                content: content.to_string(),
+            })
+        }
+        "C" => {
+            let n: usize = rest.trim().parse().ok()?;
+            let mut children = Vec::with_capacity(n);
+            for _ in 0..n {
+                children.push(parse_obj(lines, depth + 1)?);
+            }
+            Some(FigureObject::Compound { children })
+        }
+        _ => None,
+    }
+}
+
+/// The Lynx scanner/parser tables (§4, "Programs with Non-Linear Data
+/// Structures"): numeric tables that the Wisconsin tools emit and a pair
+/// of utility programs translate "into initialized data structures".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParserTables {
+    /// State-transition table (`states × symbols`).
+    pub transitions: Vec<Vec<i16>>,
+    /// Action table.
+    pub actions: Vec<i16>,
+    /// Symbol names.
+    pub symbols: Vec<String>,
+}
+
+impl ParserTables {
+    /// Synthetic tables of a given size (the paper's are "over 5400
+    /// lines" of generated C).
+    pub fn synthetic(states: usize, symbols: usize) -> ParserTables {
+        ParserTables {
+            transitions: (0..states)
+                .map(|s| {
+                    (0..symbols)
+                        .map(|y| ((s * 31 + y * 7) % 997) as i16 - 400)
+                        .collect()
+                })
+                .collect(),
+            actions: (0..states).map(|s| ((s * 13) % 211) as i16 - 100).collect(),
+            symbols: (0..symbols).map(|y| format!("sym_{y}")).collect(),
+        }
+    }
+
+    /// The generated-source linearization (like the 5400-line C file).
+    pub fn linearize(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TABLES {} {}",
+            self.transitions.len(),
+            self.symbols.len()
+        );
+        for row in &self.transitions {
+            let _ = writeln!(
+                out,
+                "R {}",
+                row.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "A {}",
+            self.actions
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for s in &self.symbols {
+            let _ = writeln!(out, "S {s}");
+        }
+        out
+    }
+
+    /// Reconstructs tables from the linearization (the "subsequent pass"
+    /// cost).
+    pub fn parse(text: &str) -> Option<ParserTables> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let mut f = header.split_whitespace();
+        if f.next()? != "TABLES" {
+            return None;
+        }
+        let states: usize = f.next()?.parse().ok()?;
+        let nsyms: usize = f.next()?.parse().ok()?;
+        let mut transitions = Vec::with_capacity(states);
+        for _ in 0..states {
+            let row = lines.next()?.strip_prefix("R ")?;
+            let vals: Option<Vec<i16>> = row.split_whitespace().map(|v| v.parse().ok()).collect();
+            transitions.push(vals?);
+        }
+        let actions: Option<Vec<i16>> = lines
+            .next()?
+            .strip_prefix("A ")?
+            .split_whitespace()
+            .map(|v| v.parse().ok())
+            .collect();
+        let mut symbols = Vec::with_capacity(nsyms);
+        for _ in 0..nsyms {
+            symbols.push(lines.next()?.strip_prefix("S ")?.to_string());
+        }
+        Some(ParserTables {
+            transitions,
+            actions: actions?,
+            symbols,
+        })
+    }
+
+    /// Flat binary encoding used by the Hemlock version to initialize a
+    /// persistent shared module exactly once.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        push32(&mut out, self.transitions.len() as u32);
+        push32(&mut out, self.symbols.len() as u32);
+        for row in &self.transitions {
+            for &v in row {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for &v in &self.actions {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for s in &self.symbols {
+            push32(&mut out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_round_trip() {
+        for n in [0, 1, 7, 50] {
+            let f = Figure::synthetic(n);
+            let text = f.linearize();
+            assert_eq!(Figure::parse(&text), Some(f));
+        }
+    }
+
+    #[test]
+    fn figure_counts_include_nesting() {
+        let f = Figure::synthetic(4);
+        // Objects 0..=3: three leaves + one compound with two children.
+        assert_eq!(f.count(), 3 + 3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Figure::parse("not a fig"), None);
+        assert_eq!(Figure::parse("#FIG-x 1\nZ bogus\n"), None);
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        let mut obj = FigureObject::Text {
+            pos: (0, 0),
+            content: "leaf".into(),
+        };
+        for _ in 0..20 {
+            obj = FigureObject::Compound {
+                children: vec![obj],
+            };
+        }
+        let f = Figure { objects: vec![obj] };
+        assert_eq!(Figure::parse(&f.linearize()), Some(f));
+    }
+
+    #[test]
+    fn tables_round_trip() {
+        let t = ParserTables::synthetic(40, 30);
+        assert_eq!(ParserTables::parse(&t.linearize()), Some(t));
+    }
+
+    #[test]
+    fn tables_sizes_comparable_to_paper() {
+        // The paper's C tables were "over 5400 lines"; a similar-order
+        // synthetic table should linearize to thousands of lines.
+        let t = ParserTables::synthetic(200, 120);
+        let lines = t.linearize().lines().count();
+        assert!(lines > 300, "{lines} lines");
+        assert!(!t.to_binary().is_empty());
+    }
+}

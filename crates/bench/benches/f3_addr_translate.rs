@@ -1,0 +1,68 @@
+//! F3 — the kernel address↔file mapping (§3): the paper's linear lookup
+//! table vs. the B-tree it plans for 64-bit systems, plus the boot-time
+//! scan that rebuilds the table after a crash.
+
+use bench::report;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hemlock::SimTime;
+use hsfs::{AddrLookup, SharedFs};
+
+fn filled(n: u32) -> (SharedFs, Vec<u32>) {
+    let mut s = SharedFs::new();
+    let mut addrs = Vec::new();
+    for i in 0..n {
+        s.create_file(&format!("/f{i}"), 0o666, 0).unwrap();
+        addrs.push(s.path_to_addr(&format!("/f{i}")).unwrap());
+    }
+    (s, addrs)
+}
+
+fn simulated_table() {
+    // Simulated cost = probe steps × per-step cost; report probe counts.
+    let mut rows = Vec::new();
+    for n in [16u32, 128, 1023] {
+        for lookup in [AddrLookup::Linear, AddrLookup::BTree] {
+            let (mut s, addrs) = filled(n);
+            s.lookup = lookup;
+            s.addr_probe_steps = 0;
+            for a in &addrs {
+                s.addr_to_ino(*a).unwrap();
+            }
+            let per_lookup = s.addr_probe_steps / addrs.len() as u64;
+            rows.push((
+                format!("{lookup:?} table, {n} segments: {per_lookup} probes/lookup"),
+                SimTime(per_lookup * 200),
+            ));
+        }
+    }
+    report("F3", "address→inode translation — linear vs. B-tree", &rows);
+}
+
+fn bench_f3(c: &mut Criterion) {
+    simulated_table();
+    let mut g = c.benchmark_group("f3_addr_translate");
+    for n in [16u32, 1023] {
+        for (name, lookup) in [("linear", AddrLookup::Linear), ("btree", AddrLookup::BTree)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let (mut s, addrs) = filled(n);
+                s.lookup = lookup;
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 7) % addrs.len();
+                    s.addr_to_ino(addrs[i]).unwrap()
+                })
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("boot_scan", n), &n, |b, &n| {
+            let (mut s, _) = filled(n);
+            b.iter(|| {
+                s.boot_scan();
+                s.slot_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_f3);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared helpers for the experiment benchmarks.
+//!
+//! Every bench does two things:
+//!
+//! 1. prints a **simulated-time** table (the deterministic cost-model
+//!    numbers EXPERIMENTS.md records — these are what correspond to the
+//!    paper's claims), and
+//! 2. measures **host wall time** of the same operations with Criterion
+//!    (a secondary sanity check that the simulation itself is cheap
+//!    enough to iterate on).
+
+use hemlock::{CostModel, SimTime, World, WorldExit};
+
+/// Prints one experiment's simulated results in a stable format that
+/// EXPERIMENTS.md quotes.
+pub fn report(id: &str, title: &str, rows: &[(String, SimTime)]) {
+    eprintln!("\n=== {id}: {title} ===");
+    for (label, t) in rows {
+        eprintln!("  {label:<48} {t}");
+    }
+    if let [(_, a), .., (_, b)] = rows {
+        if b.0 > 0 {
+            eprintln!("  ratio (first/last): {:.2}x", a.0 as f64 / b.0 as f64);
+        }
+    }
+}
+
+/// Runs a world to completion, asserting success.
+pub fn run_ok(world: &mut World) {
+    assert_eq!(
+        world.run_to_completion(),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+}
+
+/// Simulated time of everything that has happened in a world.
+pub fn sim_time(world: &World) -> SimTime {
+    CostModel::default().time(&world.stats())
+}
+
+/// Simulated time elapsed between two snapshots.
+pub fn sim_delta(before: SimTime, after: SimTime) -> SimTime {
+    SimTime(after.0.saturating_sub(before.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_saturates() {
+        assert_eq!(sim_delta(SimTime(10), SimTime(4)), SimTime(0));
+        assert_eq!(sim_delta(SimTime(4), SimTime(10)), SimTime(6));
+    }
+}

@@ -1,0 +1,183 @@
+//! The deterministic cost model.
+//!
+//! The paper's quantitative claims (rwho saving "a little over a second"
+//! on 65 machines; fault-driven lazy linking being "slower than the jump
+//! table mechanism of SunOS"; the Presto post-processor consuming "one
+//! quarter to one third of total compilation time") are wall-clock
+//! numbers from circa-1992 hardware. The simulation cannot (and should
+//! not) reproduce absolute times; instead every layer counts events —
+//! instructions retired, system calls, faults, disk blocks — and this
+//! module converts the counts into *simulated time* with per-event costs
+//! loosely calibrated to an early-90s workstation. All experiments in
+//! EXPERIMENTS.md report shapes and ratios, which are insensitive to the
+//! exact constants.
+
+use hkernel::KernelStats;
+use hlink::ldl::LdlStats;
+use hsfs::FsStats;
+
+/// Simulated nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// As floating-point milliseconds.
+    pub fn millis(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As floating-point microseconds.
+    pub fn micros(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As floating-point seconds.
+    pub fn seconds(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} s", self.seconds())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ms", self.millis())
+        } else {
+            write!(f, "{:.1} µs", self.micros())
+        }
+    }
+}
+
+/// Aggregated counters from every layer of one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldStats {
+    /// Kernel counters (instructions, syscalls, faults, forks).
+    pub kernel: KernelStats,
+    /// Root file system I/O.
+    pub root_fs: FsStats,
+    /// Shared partition I/O.
+    pub shared_fs: FsStats,
+    /// Address-table lookups and probe steps.
+    pub addr_lookups: u64,
+    /// Linear/B-tree probe steps.
+    pub addr_probe_steps: u64,
+    /// Dynamic-linker counters summed over processes.
+    pub ldl: LdlStats,
+    /// Copy-on-write page copies.
+    pub cow_copies: u64,
+}
+
+/// Per-event costs in simulated nanoseconds.
+///
+/// Defaults model a ~25 MIPS workstation with a slow disk — the class of
+/// machine in the paper (SGI 4D/480, SPARCstation 1).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// One retired instruction.
+    pub instruction_ns: u64,
+    /// Kernel-crossing overhead of one system call.
+    pub syscall_ns: u64,
+    /// Taking a SIGSEGV through the kernel to a user-level handler and
+    /// restarting the instruction afterward.
+    pub fault_ns: u64,
+    /// One disk block read or written (buffer-cache miss).
+    pub disk_block_ns: u64,
+    /// Per path-component lookup.
+    pub lookup_ns: u64,
+    /// One address-table probe step.
+    pub probe_ns: u64,
+    /// One symbol resolution in the dynamic linker.
+    pub resolve_ns: u64,
+    /// One page copied by copy-on-write.
+    pub cow_ns: u64,
+    /// mmap/munmap-style map manipulation per call (folded into faults
+    /// and services; kept for ablations).
+    pub map_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            instruction_ns: 40,       // ~25 MIPS
+            syscall_ns: 20_000,       // 20 µs trap + dispatch
+            fault_ns: 120_000,        // signal delivery + restart
+            disk_block_ns: 2_000_000, // 2 ms per 4 KB block
+            lookup_ns: 5_000,
+            probe_ns: 200,
+            resolve_ns: 8_000,
+            cow_ns: 30_000,
+            map_ns: 25_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total simulated time for a run's counters.
+    pub fn time(&self, s: &WorldStats) -> SimTime {
+        let mut ns = 0u64;
+        ns += s.kernel.instructions * self.instruction_ns;
+        ns += (s.kernel.syscalls + s.kernel.services) * self.syscall_ns;
+        ns += s.kernel.segv_faults * self.fault_ns;
+        let blocks = s.root_fs.blocks_read
+            + s.root_fs.blocks_written
+            + s.shared_fs.blocks_read
+            + s.shared_fs.blocks_written;
+        ns += blocks * self.disk_block_ns;
+        ns += (s.root_fs.lookups + s.shared_fs.lookups) * self.lookup_ns;
+        ns += s.addr_probe_steps * self.probe_ns;
+        ns += (s.ldl.symbols_resolved + s.ldl.symbols_unresolved) * self.resolve_ns;
+        ns += s.cow_copies * self.cow_ns;
+        SimTime(ns)
+    }
+
+    /// Time attributable to the file system only (for the rwho
+    /// comparison, where the interesting delta is I/O + parsing).
+    pub fn fs_time(&self, s: &WorldStats) -> SimTime {
+        let blocks = s.root_fs.blocks_read
+            + s.root_fs.blocks_written
+            + s.shared_fs.blocks_read
+            + s.shared_fs.blocks_written;
+        SimTime(
+            blocks * self.disk_block_ns
+                + (s.root_fs.lookups + s.shared_fs.lookups) * self.lookup_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_counters_zero_time() {
+        let m = CostModel::default();
+        assert_eq!(m.time(&WorldStats::default()), SimTime(0));
+    }
+
+    #[test]
+    fn instruction_and_fault_costs_add() {
+        let m = CostModel::default();
+        let mut s = WorldStats::default();
+        s.kernel.instructions = 1000;
+        s.kernel.segv_faults = 2;
+        let t = m.time(&s);
+        assert_eq!(t.0, 1000 * m.instruction_ns + 2 * m.fault_ns);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimTime(1_500).to_string(), "1.5 µs");
+        assert_eq!(SimTime(2_500_000).to_string(), "2.500 ms");
+        assert_eq!(SimTime(3_000_000_000).to_string(), "3.000 s");
+    }
+
+    #[test]
+    fn fault_costs_dominate_instructions() {
+        // A fault must cost thousands of instructions, or the lazy-vs-
+        // eager tradeoff the paper discusses would not exist.
+        let m = CostModel::default();
+        assert!(m.fault_ns > 1000 * m.instruction_ns);
+        assert!(m.disk_block_ns > m.syscall_ns);
+    }
+}

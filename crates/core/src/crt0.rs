@@ -1,0 +1,52 @@
+//! The special `crt0` start-up module.
+//!
+//! "lds ... links in an alternative version of crt0.o, the Unix program
+//! start-up module. At run time, crt0 calls our lazy dynamic linker,
+//! ldl." (§2) In the simulation the call into `ldl` is a *service* trap
+//! (number [`hlink::SERVICE_LDL_INIT`]): the kernel forwards it to the
+//! embedding runtime, which runs the host-level `ldl` for the calling
+//! process — the same user-level/kernel split as the paper, with the
+//! library living outside the kernel.
+
+use hobj::hasm::assemble;
+use hobj::Object;
+
+/// The assembly source of `crt0`.
+pub const CRT0_SOURCE: &str = r#"
+; Hemlock crt0: run ldl, then main, then exit(main's return value).
+.module crt0
+.text
+.globl _start
+_start:
+    li   v0, 100        ; SERVICE_LDL_INIT: run the lazy dynamic linker
+    syscall
+    jal  main
+    or   a0, v0, r0     ; exit status = main's return value
+    li   v0, 1          ; SYS_EXIT
+    syscall
+"#;
+
+/// Assembles the standard `crt0` object.
+pub fn crt0_object() -> Object {
+    assemble("crt0", CRT0_SOURCE).expect("crt0 source is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crt0_assembles_and_exports_start() {
+        let obj = crt0_object();
+        assert!(obj.find_export("_start").is_some());
+        // It must reference `main` (resolved by lds or ldl).
+        assert!(obj.undefined_symbols().any(|s| s == "main"));
+        assert_eq!(obj.validate(), Ok(()));
+    }
+
+    #[test]
+    fn crt0_is_tiny() {
+        // 8 words: two li pseudos (2 words each) + syscall + jal + or + syscall.
+        assert_eq!(crt0_object().text.len(), 8 * 4);
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-segment heaps: the dynamic storage-management package of §5.
+//!
+//! "We have developed a package designed to allocate space from the heaps
+//! associated with individual segments, instead of a heap associated with
+//! the calling program. This package is used by the Hemlock version of
+//! xfig."
+//!
+//! The allocator's entire state lives *inside the segment*, so it is
+//! shared by every process that maps the segment and persists with the
+//! file: a header followed by a singly linked free list, with all links
+//! stored as absolute virtual addresses — valid in every protection
+//! domain because the shared file system gives the segment the same
+//! address everywhere. Free blocks are coalesced with their successors.
+//!
+//! Layout (all words little-endian, offsets from the heap region start):
+//!
+//! ```text
+//! +0   magic "HHP1"
+//! +4   region length in bytes
+//! +8   free-list head (absolute address, 0 = empty)
+//! +12  first block
+//! block: +0 length (bytes, including header), +4 next-free (abs, 0=end)
+//! ```
+
+/// Heap header magic.
+pub const HEAP_MAGIC: u32 = 0x3150_4848; // "HHP1"
+/// Bytes of heap header.
+pub const HEADER_BYTES: u32 = 12;
+/// Per-block header bytes.
+pub const BLOCK_HEADER: u32 = 8;
+/// Allocation granularity.
+pub const GRAIN: u32 = 8;
+
+/// Errors from segment-heap operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeapError {
+    /// The region does not contain an initialized heap.
+    NotAHeap,
+    /// The region is too small to initialize.
+    TooSmall,
+    /// No free block large enough.
+    OutOfMemory,
+    /// A pointer passed to `free` is not a live allocation from this
+    /// heap.
+    BadPointer,
+    /// The heap's internal structure is corrupt.
+    Corrupt,
+}
+
+fn rd(buf: &[u8], off: u32) -> u32 {
+    let o = off as usize;
+    u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]])
+}
+
+fn wr(buf: &mut [u8], off: u32, v: u32) {
+    let o = off as usize;
+    buf[o..o + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// A view of a segment-resident heap.
+///
+/// `base` is the virtual address of `buf[0]` — the allocator stores
+/// absolute addresses, so pointers it returns can be written into shared
+/// data structures and dereferenced by any process.
+pub struct SegHeap<'a> {
+    buf: &'a mut [u8],
+    base: u32,
+}
+
+impl<'a> SegHeap<'a> {
+    /// Initializes a fresh heap over `buf` (which starts at virtual
+    /// address `base`).
+    pub fn init(buf: &'a mut [u8], base: u32) -> Result<SegHeap<'a>, HeapError> {
+        let len = buf.len() as u32;
+        if len < HEADER_BYTES + BLOCK_HEADER + GRAIN {
+            return Err(HeapError::TooSmall);
+        }
+        wr(buf, 0, HEAP_MAGIC);
+        wr(buf, 4, len);
+        let first = HEADER_BYTES;
+        wr(buf, 8, base + first);
+        wr(buf, first, len - first); // block length
+        wr(buf, first + 4, 0); // next
+        Ok(SegHeap { buf, base })
+    }
+
+    /// Attaches to an already-initialized heap.
+    pub fn attach(buf: &'a mut [u8], base: u32) -> Result<SegHeap<'a>, HeapError> {
+        if buf.len() < HEADER_BYTES as usize || rd(buf, 0) != HEAP_MAGIC {
+            return Err(HeapError::NotAHeap);
+        }
+        if rd(buf, 4) as usize > buf.len() {
+            return Err(HeapError::Corrupt);
+        }
+        Ok(SegHeap { buf, base })
+    }
+
+    fn to_off(&self, addr: u32) -> Result<u32, HeapError> {
+        let len = rd(self.buf, 4);
+        if addr < self.base || addr >= self.base + len {
+            return Err(HeapError::BadPointer);
+        }
+        Ok(addr - self.base)
+    }
+
+    /// Allocates `size` bytes; returns the *absolute address* of the
+    /// usable bytes. First-fit with block splitting.
+    pub fn alloc(&mut self, size: u32) -> Result<u32, HeapError> {
+        let need = (size.max(1).div_ceil(GRAIN) * GRAIN) + BLOCK_HEADER;
+        let mut prev: Option<u32> = None; // offset of previous free block
+        let mut cur_addr = rd(self.buf, 8);
+        let mut hops = 0;
+        while cur_addr != 0 {
+            let cur = self.to_off(cur_addr)?;
+            let blen = rd(self.buf, cur);
+            let next = rd(self.buf, cur + 4);
+            if blen >= need {
+                let remainder = blen - need;
+                let successor = if remainder >= BLOCK_HEADER + GRAIN {
+                    // Split: the tail remains free.
+                    let tail = cur + need;
+                    wr(self.buf, cur, need);
+                    wr(self.buf, tail, remainder);
+                    wr(self.buf, tail + 4, next);
+                    self.base + tail
+                } else {
+                    next
+                };
+                match prev {
+                    Some(p) => wr(self.buf, p + 4, successor),
+                    None => wr(self.buf, 8, successor),
+                }
+                // Mark allocated: next field doubles as an in-use tag.
+                wr(self.buf, cur + 4, u32::MAX);
+                return Ok(self.base + cur + BLOCK_HEADER);
+            }
+            prev = Some(cur);
+            cur_addr = next;
+            hops += 1;
+            if hops > 1_000_000 {
+                return Err(HeapError::Corrupt);
+            }
+        }
+        Err(HeapError::OutOfMemory)
+    }
+
+    /// Frees an allocation by its absolute address, coalescing with the
+    /// following block when it is free.
+    pub fn free(&mut self, addr: u32) -> Result<(), HeapError> {
+        let data_off = self.to_off(addr)?;
+        if data_off < HEADER_BYTES + BLOCK_HEADER {
+            return Err(HeapError::BadPointer);
+        }
+        let block = data_off - BLOCK_HEADER;
+        if rd(self.buf, block + 4) != u32::MAX {
+            return Err(HeapError::BadPointer);
+        }
+        let blen = rd(self.buf, block);
+        let region_len = rd(self.buf, 4);
+        if blen < BLOCK_HEADER || block + blen > region_len {
+            return Err(HeapError::Corrupt);
+        }
+        // Insert at the free-list position sorted by address so
+        // coalescing is a local check.
+        let mut prev: Option<u32> = None;
+        let mut cur_addr = rd(self.buf, 8);
+        while cur_addr != 0 {
+            let cur = self.to_off(cur_addr)?;
+            if cur > block {
+                break;
+            }
+            prev = Some(cur);
+            cur_addr = rd(self.buf, cur + 4);
+        }
+        // Link in.
+        let mut new_len = blen;
+        let mut next_field = cur_addr;
+        // Coalesce forward.
+        if cur_addr != 0 {
+            let cur = self.to_off(cur_addr)?;
+            if block + blen == cur {
+                new_len += rd(self.buf, cur);
+                next_field = rd(self.buf, cur + 4);
+            }
+        }
+        wr(self.buf, block, new_len);
+        wr(self.buf, block + 4, next_field);
+        match prev {
+            Some(p) => {
+                // Coalesce backward.
+                let plen = rd(self.buf, p);
+                if p + plen == block {
+                    wr(self.buf, p, plen + new_len);
+                    wr(self.buf, p + 4, next_field);
+                } else {
+                    wr(self.buf, p + 4, self.base + block);
+                }
+            }
+            None => wr(self.buf, 8, self.base + block),
+        }
+        Ok(())
+    }
+
+    /// Total free bytes (walks the free list).
+    pub fn free_bytes(&self) -> Result<u32, HeapError> {
+        let mut total = 0;
+        let mut cur_addr = rd(self.buf, 8);
+        let mut hops = 0;
+        while cur_addr != 0 {
+            let cur = self.to_off(cur_addr)?;
+            total += rd(self.buf, cur);
+            cur_addr = rd(self.buf, cur + 4);
+            hops += 1;
+            if hops > 1_000_000 {
+                return Err(HeapError::Corrupt);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Direct access to the heap's backing bytes — for writing payloads
+    /// at offsets derived from addresses returned by [`SegHeap::alloc`].
+    pub fn raw_region(&mut self) -> &mut [u8] {
+        self.buf
+    }
+
+    /// Number of free blocks (fragmentation measure).
+    pub fn free_blocks(&self) -> Result<u32, HeapError> {
+        let mut n = 0;
+        let mut cur_addr = rd(self.buf, 8);
+        while cur_addr != 0 {
+            n += 1;
+            cur_addr = rd(self.buf, self.to_off(cur_addr)? + 4);
+            if n > 1_000_000 {
+                return Err(HeapError::Corrupt);
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const BASE: u32 = 0x3010_0000;
+
+    fn heap_buf(len: usize) -> Vec<u8> {
+        vec![0u8; len]
+    }
+
+    #[test]
+    fn init_and_alloc() {
+        let mut buf = heap_buf(4096);
+        let mut h = SegHeap::init(&mut buf, BASE).unwrap();
+        let a = h.alloc(16).unwrap();
+        let b = h.alloc(16).unwrap();
+        assert_ne!(a, b);
+        assert!(a >= BASE + HEADER_BYTES + BLOCK_HEADER);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn too_small_region_rejected() {
+        let mut buf = heap_buf(8);
+        assert_eq!(
+            SegHeap::init(&mut buf, BASE).err(),
+            Some(HeapError::TooSmall)
+        );
+    }
+
+    #[test]
+    fn attach_requires_magic() {
+        let mut buf = heap_buf(128);
+        assert_eq!(
+            SegHeap::attach(&mut buf, BASE).err(),
+            Some(HeapError::NotAHeap)
+        );
+        SegHeap::init(&mut buf, BASE).unwrap();
+        assert!(SegHeap::attach(&mut buf, BASE).is_ok());
+    }
+
+    #[test]
+    fn state_persists_across_attach() {
+        // Two "processes" attach in turn; allocations persist, exactly
+        // like a segment mapped by different programs over time.
+        let mut buf = heap_buf(1024);
+        let a;
+        {
+            let mut h = SegHeap::init(&mut buf, BASE).unwrap();
+            a = h.alloc(100).unwrap();
+        }
+        {
+            let mut h = SegHeap::attach(&mut buf, BASE).unwrap();
+            let b = h.alloc(100).unwrap();
+            assert_ne!(a, b);
+            h.free(a).unwrap();
+        }
+        {
+            let mut h = SegHeap::attach(&mut buf, BASE).unwrap();
+            // The freed block is reusable.
+            let c = h.alloc(100).unwrap();
+            assert_eq!(c, a);
+        }
+    }
+
+    #[test]
+    fn free_coalesces() {
+        let mut buf = heap_buf(4096);
+        let mut h = SegHeap::init(&mut buf, BASE).unwrap();
+        let initial = h.free_bytes().unwrap();
+        let a = h.alloc(64).unwrap();
+        let b = h.alloc(64).unwrap();
+        let c = h.alloc(64).unwrap();
+        h.free(b).unwrap();
+        h.free(a).unwrap(); // backward coalesce with b
+        h.free(c).unwrap(); // forward coalesce with the tail
+        assert_eq!(h.free_bytes().unwrap(), initial);
+        assert_eq!(h.free_blocks().unwrap(), 1, "fully coalesced");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut buf = heap_buf(1024);
+        let mut h = SegHeap::init(&mut buf, BASE).unwrap();
+        let a = h.alloc(32).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::BadPointer));
+    }
+
+    #[test]
+    fn bogus_pointer_rejected() {
+        let mut buf = heap_buf(1024);
+        let mut h = SegHeap::init(&mut buf, BASE).unwrap();
+        assert_eq!(h.free(0x1234), Err(HeapError::BadPointer));
+        assert_eq!(h.free(BASE + 4), Err(HeapError::BadPointer));
+    }
+
+    #[test]
+    fn exhaustion_and_recovery() {
+        let mut buf = heap_buf(256);
+        let mut h = SegHeap::init(&mut buf, BASE).unwrap();
+        let mut ptrs = Vec::new();
+        loop {
+            match h.alloc(24) {
+                Ok(p) => ptrs.push(p),
+                Err(HeapError::OutOfMemory) => break,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        assert!(!ptrs.is_empty());
+        for p in &ptrs {
+            h.free(*p).unwrap();
+        }
+        assert_eq!(h.free_blocks().unwrap(), 1);
+    }
+
+    proptest! {
+        /// Random alloc/free interleavings never corrupt the heap, and a
+        /// full free returns to one maximal block.
+        #[test]
+        fn alloc_free_invariants(ops in proptest::collection::vec((1u32..200, any::<bool>()), 1..60)) {
+            let mut buf = heap_buf(8192);
+            let mut h = SegHeap::init(&mut buf, BASE).unwrap();
+            let initial = h.free_bytes().unwrap();
+            let mut live: Vec<u32> = Vec::new();
+            for (size, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let p = live.swap_remove(size as usize % live.len());
+                    prop_assert_eq!(h.free(p), Ok(()));
+                } else if let Ok(p) = h.alloc(size) {
+                    // Returned storage must be disjoint from all live
+                    // allocations (check via block headers).
+                    prop_assert!(!live.contains(&p));
+                    live.push(p);
+                }
+                prop_assert!(h.free_bytes().unwrap() <= initial);
+            }
+            for p in live {
+                prop_assert_eq!(h.free(p), Ok(()));
+            }
+            prop_assert_eq!(h.free_bytes().unwrap(), initial);
+            prop_assert_eq!(h.free_blocks().unwrap(), 1);
+        }
+    }
+}

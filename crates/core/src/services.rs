@@ -1,0 +1,101 @@
+//! User-level runtime services.
+//!
+//! Hemlock's run-time library lives outside the kernel. Guest programs
+//! reach it through *service* traps — syscall numbers at or above
+//! `hkernel::syscall::SERVICE_BASE`, which the kernel forwards to the
+//! embedder untouched. This module defines the service numbers and
+//! argument conventions; [`crate::world::World`] dispatches them.
+
+/// Run the lazy dynamic linker for this process (issued by `crt0`).
+/// No arguments. Returns 0, or `-1` if linking failed fatally.
+pub const SVC_LDL_INIT: u32 = hlink::SERVICE_LDL_INIT;
+
+/// `map_segment(path)` — map the shared segment named by the
+/// NUL-terminated string at `$a0`; returns its base address.
+///
+/// This is the library call programs use to attach a raw data segment by
+/// name (pointer-following handles the un-named case).
+pub const SVC_MAP_SEGMENT: u32 = 101;
+
+/// `test_and_set(addr, new)` — atomically exchange the word at `$a0`
+/// with `$a1`; returns the old value.
+///
+/// The R3000 has no atomic read-modify-write instruction either; real
+/// Hemlock used kernel semaphores or scheduler-assisted spin locks
+/// (§5 "Synchronization"). The service trap gives user-level spin locks
+/// an atomic primitive with syscall-level cost, which preserves the
+/// relative economics.
+pub const SVC_TAS: u32 = 102;
+
+/// `seg_heap_init(region_addr, region_len)` — initialize a per-segment
+/// heap (§5's storage-management package) inside a mapped shared segment.
+pub const SVC_HEAP_INIT: u32 = 103;
+
+/// `seg_heap_alloc(region_addr, size)` — allocate from a segment heap;
+/// returns an absolute pointer valid in every process, or 0.
+pub const SVC_HEAP_ALLOC: u32 = 104;
+
+/// `seg_heap_free(region_addr, ptr)` — release an allocation.
+pub const SVC_HEAP_FREE: u32 = 105;
+
+/// `print_int(value)` — write the signed decimal value to the console
+/// (convenience for examples and tests).
+pub const SVC_PRINT_INT: u32 = 106;
+
+/// `setenv(name, value)` — set an environment variable (inherited across
+/// `fork`); how the Presto-style launcher points children at a temporary
+/// module directory.
+pub const SVC_SETENV: u32 = 107;
+
+/// `link_module(path, class)` — ask the runtime linker to load a module
+/// right now (the `dlopen`-style explicit interface the paper contrasts
+/// with dld/SunOS `dlopen`). `$a0` names the template, `$a1` is 0 for
+/// dynamic-private, 1 for dynamic-public. Returns the module base.
+pub const SVC_LINK_MODULE: u32 = 108;
+
+/// `lookup_symbol(name)` — resolve a symbol by name against the
+/// process's current link state (the `dlsym` analogue). Returns the
+/// address or 0.
+pub const SVC_LOOKUP_SYMBOL: u32 = 109;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkernel::syscall::SERVICE_BASE;
+
+    #[test]
+    fn all_services_above_kernel_range() {
+        for n in [
+            SVC_LDL_INIT,
+            SVC_MAP_SEGMENT,
+            SVC_TAS,
+            SVC_HEAP_INIT,
+            SVC_HEAP_ALLOC,
+            SVC_HEAP_FREE,
+            SVC_PRINT_INT,
+            SVC_SETENV,
+            SVC_LINK_MODULE,
+            SVC_LOOKUP_SYMBOL,
+        ] {
+            assert!(n >= SERVICE_BASE);
+        }
+    }
+
+    #[test]
+    fn numbers_distinct() {
+        let all = [
+            SVC_LDL_INIT,
+            SVC_MAP_SEGMENT,
+            SVC_TAS,
+            SVC_HEAP_INIT,
+            SVC_HEAP_ALLOC,
+            SVC_HEAP_FREE,
+            SVC_PRINT_INT,
+            SVC_SETENV,
+            SVC_LINK_MODULE,
+            SVC_LOOKUP_SYMBOL,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,781 @@
+//! The `World`: a complete simulated Hemlock machine.
+//!
+//! A `World` owns the kernel (processes, address spaces, file systems),
+//! the public-module registry, and per-process dynamic-linking state. It
+//! runs the event loop that the paper distributes between the kernel and
+//! the user-level run-time library: SIGSEGV-class faults go to Hemlock's
+//! fault handler (`ldl`), service traps go to the run-time library, and
+//! everything else is ordinary execution.
+
+use crate::costs::WorldStats;
+use crate::crt0::crt0_object;
+use crate::segheap::SegHeap;
+use crate::services::*;
+use hkernel::kernel::ExecImage;
+use hkernel::{Kernel, Pid, ProcState, RunEvent};
+use hlink::ldl::FaultDisposition;
+use hlink::{Ldl, Lds, LdsInput, LinkError, LinkState, ModuleRegistry, ModuleSpec};
+use hobj::binfmt::{self, BinError};
+use hobj::hasm::{assemble, AsmError};
+use hobj::{LoadImage, ShareClass};
+use hsfs::path as fspath;
+use hsfs::FsError;
+use hvm::Reg;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why [`World::run`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorldExit {
+    /// Every process has exited.
+    AllExited,
+    /// Live processes remain but none can run.
+    Deadlock,
+    /// The slice budget ran out.
+    StepLimit,
+}
+
+/// A recorded process exit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExitRecord {
+    /// The process.
+    pub pid: Pid,
+    /// Its status (negative ⇒ killed by the runtime).
+    pub code: i32,
+}
+
+/// Errors from the host-level `World` API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorldError {
+    /// Assembly failed.
+    Asm(Vec<AsmError>),
+    /// Linking failed.
+    Link(LinkError),
+    /// A file operation failed.
+    Fs(FsError),
+    /// An executable failed to decode.
+    Bin(BinError),
+    /// The pid does not name a live process.
+    NoSuchProcess,
+    /// A symbol was not found where expected.
+    NoSuchSymbol(String),
+}
+
+impl From<LinkError> for WorldError {
+    fn from(e: LinkError) -> WorldError {
+        WorldError::Link(e)
+    }
+}
+impl From<FsError> for WorldError {
+    fn from(e: FsError) -> WorldError {
+        WorldError::Fs(e)
+    }
+}
+impl From<Vec<AsmError>> for WorldError {
+    fn from(e: Vec<AsmError>) -> WorldError {
+        WorldError::Asm(e)
+    }
+}
+impl From<BinError> for WorldError {
+    fn from(e: BinError) -> WorldError {
+        WorldError::Bin(e)
+    }
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::Asm(errs) => {
+                write!(f, "assembly failed:")?;
+                for e in errs {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            WorldError::Link(e) => write!(f, "link failed: {e}"),
+            WorldError::Fs(e) => write!(f, "file system: {e}"),
+            WorldError::Bin(e) => write!(f, "bad executable: {e}"),
+            WorldError::NoSuchProcess => write!(f, "no such process"),
+            WorldError::NoSuchSymbol(s) => write!(f, "no such symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// The complete simulated machine.
+pub struct World {
+    /// The kernel (public for inspection by tests and benches).
+    pub kernel: Kernel,
+    /// The public-module metadata registry.
+    pub registry: ModuleRegistry,
+    link: HashMap<Pid, LinkState>,
+    images: HashMap<Pid, Arc<LoadImage>>,
+    exits: HashMap<Pid, i32>,
+    fault_guard: HashMap<Pid, (u32, u32)>,
+    /// Runtime diagnostics (linker warnings, kill reasons).
+    pub log: Vec<String>,
+    /// Scheduler quantum in instructions.
+    pub quantum: u64,
+    /// Force a full transitive link at `ldl`-init time instead of lazy,
+    /// fault-driven linking (the eager baseline for experiment E2).
+    pub eager: bool,
+    /// Accumulated stats from processes that have been reaped.
+    reaped_cow: u64,
+    reaped_ldl: hlink::ldl::LdlStats,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::new()
+    }
+}
+
+/// How many identical consecutive faults a process may take before the
+/// runtime concludes the fault is unresolvable and kills it.
+const FAULT_LOOP_LIMIT: u32 = 64;
+
+impl World {
+    /// Creates a world with the conventional directory skeleton.
+    pub fn new() -> World {
+        let mut kernel = Kernel::new();
+        for dir in [
+            "/src",
+            "/bin",
+            "/tmp",
+            "/home",
+            "/etc",
+            "/usr/hemlock/lib",
+            "/var/hemlock/meta",
+            "/shared/lib",
+            "/shared/templates",
+            "/shared/tmp",
+        ] {
+            kernel
+                .vfs
+                .mkdir_all(dir, 0o777, 0)
+                .expect("fresh namespace");
+        }
+        World {
+            kernel,
+            registry: ModuleRegistry::new(),
+            link: HashMap::new(),
+            images: HashMap::new(),
+            exits: HashMap::new(),
+            fault_guard: HashMap::new(),
+            log: Vec::new(),
+            quantum: 10_000,
+            eager: false,
+            reaped_cow: 0,
+            reaped_ldl: Default::default(),
+        }
+    }
+
+    // --- building programs ---
+
+    /// Assembles `source` and installs the object file at `path`. The
+    /// module name defaults to the file stem.
+    pub fn install_template(&mut self, path: &str, source: &str) -> Result<(), WorldError> {
+        let stem = fspath::split_parent(path)
+            .map(|(_, name)| name.trim_end_matches(".o").to_string())
+            .unwrap_or_else(|| "module".to_string());
+        let obj = assemble(&stem, source)?;
+        let bytes = binfmt::encode_object(&obj);
+        self.kernel.vfs.write_file(path, &bytes, 0o666, 0)?;
+        Ok(())
+    }
+
+    /// Links a program from `(module spec, sharing class)` pairs and
+    /// writes the executable to `out_path`. Warnings go to `self.log`.
+    pub fn link(
+        &mut self,
+        out_path: &str,
+        modules: &[(&str, ShareClass)],
+    ) -> Result<String, WorldError> {
+        self.link_with(out_path, modules, "/", &[], None)
+    }
+
+    /// Full-control variant of [`World::link`].
+    pub fn link_with(
+        &mut self,
+        out_path: &str,
+        modules: &[(&str, ShareClass)],
+        cwd: &str,
+        cli_dirs: &[String],
+        ld_library_path: Option<&str>,
+    ) -> Result<String, WorldError> {
+        let input = LdsInput {
+            program: out_path.to_string(),
+            cwd: cwd.to_string(),
+            cli_dirs: cli_dirs.to_vec(),
+            ld_library_path: ld_library_path.map(str::to_string),
+            modules: modules
+                .iter()
+                .map(|(spec, class)| ModuleSpec::new(*spec, *class))
+                .collect(),
+            crt0: crt0_object(),
+            strict_duplicates: false,
+        };
+        let out = Lds::link(&mut self.kernel.vfs, &mut self.registry, &input)?;
+        self.log.extend(out.warnings);
+        let bytes = binfmt::encode_image(&out.image);
+        self.kernel.vfs.write_file(out_path, &bytes, 0o777, 0)?;
+        Ok(out_path.to_string())
+    }
+
+    // --- running programs ---
+
+    /// Spawns a process from an executable, with defaults (uid 1, cwd
+    /// `/`, empty environment).
+    pub fn spawn(&mut self, exe_path: &str) -> Result<Pid, WorldError> {
+        self.spawn_with(exe_path, "/", 1, &[])
+    }
+
+    /// Spawns with explicit cwd, uid, and environment.
+    pub fn spawn_with(
+        &mut self,
+        exe_path: &str,
+        cwd: &str,
+        uid: u32,
+        env: &[(&str, &str)],
+    ) -> Result<Pid, WorldError> {
+        let bytes = self.kernel.vfs.read_all(exe_path)?;
+        let image = binfmt::decode_image(&bytes)?;
+        let pid = self.kernel.spawn(uid);
+        let exec = ExecImage {
+            name: image.name.clone(),
+            text_base: image.text_base,
+            text: image.text.clone(),
+            data_base: image.data_base,
+            data: image.data.clone(),
+            bss_size: (image.bss_base + image.bss_size)
+                .saturating_sub(image.data_base + image.data.len() as u32),
+            entry: image.entry,
+        };
+        self.kernel
+            .exec_image(pid, &exec)
+            .map_err(|_| WorldError::Fs(FsError::NoSpace))?;
+        {
+            let proc = self.kernel.procs.get_mut(&pid).expect("just spawned");
+            proc.cwd = cwd.to_string();
+            for (k, v) in env {
+                proc.env.insert(k.to_string(), v.to_string());
+            }
+        }
+        self.images.insert(pid, Arc::new(image));
+        self.link.insert(pid, LinkState::default());
+        Ok(pid)
+    }
+
+    /// Runs the world for up to `max_slices` scheduler slices.
+    pub fn run(&mut self, max_slices: u64) -> WorldExit {
+        for _ in 0..max_slices {
+            self.sync_processes();
+            let ev = self.kernel.step_system(self.quantum);
+            match ev {
+                RunEvent::Quantum(_) | RunEvent::Blocked(_) => {}
+                RunEvent::Exited(pid, code) => {
+                    self.exits.insert(pid, code);
+                }
+                RunEvent::AllExited => return WorldExit::AllExited,
+                RunEvent::Deadlock => return WorldExit::Deadlock,
+                RunEvent::Break { pid, code } => {
+                    self.log.push(format!("pid {pid}: break {code}; killed"));
+                    self.kill(pid, 128 + code as i32);
+                }
+                RunEvent::Fatal { pid, fault } => {
+                    self.log.push(format!("pid {pid}: fatal fault: {fault}"));
+                    self.kill(pid, -1);
+                }
+                RunEvent::Service { pid, num } => self.service(pid, num),
+                RunEvent::Segv { pid, fault } => self.segv(pid, fault.addr()),
+            }
+        }
+        WorldExit::StepLimit
+    }
+
+    /// Runs until everything exits (or a generous slice cap).
+    pub fn run_to_completion(&mut self) -> WorldExit {
+        self.run(2_000_000)
+    }
+
+    /// Kills a process (recording a synthetic exit status).
+    pub fn kill(&mut self, pid: Pid, code: i32) {
+        self.kernel.finalize_exit(pid, code);
+        self.exits.insert(pid, code);
+    }
+
+    /// The recorded exit status of a process.
+    pub fn exit_code(&self, pid: Pid) -> Option<i32> {
+        self.exits
+            .get(&pid)
+            .copied()
+            .or_else(|| match self.kernel.procs.get(&pid)?.state {
+                ProcState::Zombie(code) => Some(code),
+                _ => None,
+            })
+    }
+
+    /// A process's console output.
+    pub fn console(&self, pid: Pid) -> String {
+        self.kernel.console_of(pid)
+    }
+
+    /// Per-process dynamic-linker statistics.
+    pub fn ldl_stats(&self, pid: Pid) -> Option<hlink::ldl::LdlStats> {
+        self.link.get(&pid).map(|s| s.stats)
+    }
+
+    /// Link state of a process (for tests and diagnostics).
+    pub fn link_state(&self, pid: Pid) -> Option<&LinkState> {
+        self.link.get(&pid)
+    }
+
+    // --- event handlers ---
+
+    /// Gives fork children a link state (cloned from the parent — the
+    /// child shares the parent's public mappings and has COW copies of
+    /// the private ones at identical addresses) and reaps state for
+    /// processes that no longer exist.
+    fn sync_processes(&mut self) {
+        let pids: Vec<Pid> = self.kernel.procs.keys().copied().collect();
+        for pid in &pids {
+            if !self.link.contains_key(pid) {
+                let ppid = self.kernel.procs[pid].ppid;
+                let inherited = self.link.get(&ppid).cloned().unwrap_or_default();
+                self.link.insert(*pid, inherited);
+                if let Some(img) = self.images.get(&ppid).cloned() {
+                    self.images.insert(*pid, img);
+                }
+            }
+        }
+        let gone: Vec<Pid> = self
+            .link
+            .keys()
+            .filter(|pid| !self.kernel.procs.contains_key(pid))
+            .copied()
+            .collect();
+        for pid in gone {
+            if let Some(state) = self.link.remove(&pid) {
+                self.merge_ldl(&state.stats);
+            }
+            self.images.remove(&pid);
+            self.fault_guard.remove(&pid);
+        }
+    }
+
+    fn merge_ldl(&mut self, s: &hlink::ldl::LdlStats) {
+        let t = &mut self.reaped_ldl;
+        t.faults_resolved += s.faults_resolved;
+        t.lazy_links += s.lazy_links;
+        t.init_links += s.init_links;
+        t.segments_mapped += s.segments_mapped;
+        t.symbols_resolved += s.symbols_resolved;
+        t.symbols_unresolved += s.symbols_unresolved;
+        t.trampolines += s.trampolines;
+        t.dir_scans += s.dir_scans;
+        t.cross_domain_resolutions += s.cross_domain_resolutions;
+    }
+
+    fn segv(&mut self, pid: Pid, addr: u32) {
+        let guard = self.fault_guard.entry(pid).or_insert((addr, 0));
+        if guard.0 == addr {
+            guard.1 += 1;
+            if guard.1 > FAULT_LOOP_LIMIT {
+                self.log.push(format!(
+                    "pid {pid}: unresolvable fault loop at {addr:#010x}; killed"
+                ));
+                self.kill(pid, 139);
+                return;
+            }
+        } else {
+            *guard = (addr, 0);
+        }
+        let result = {
+            let state = self.link.entry(pid).or_default();
+            let mut ldl = Ldl::new(&mut self.kernel, &mut self.registry, state, pid);
+            ldl.handle_fault(addr)
+        };
+        match result {
+            Ok(FaultDisposition::Resolved) => {}
+            Ok(FaultDisposition::DeliveredToGuest) => {}
+            Ok(FaultDisposition::Fatal) => {
+                self.log.push(format!(
+                    "pid {pid}: segmentation fault at {addr:#010x} (unresolvable)"
+                ));
+                self.kill(pid, 139);
+            }
+            Err(e) => {
+                self.log
+                    .push(format!("pid {pid}: fault at {addr:#010x}: {e}"));
+                if !self.kernel.deliver_segv(pid, addr) {
+                    self.kill(pid, 139);
+                }
+            }
+        }
+    }
+
+    fn reg(&self, pid: Pid, r: Reg) -> u32 {
+        self.kernel
+            .procs
+            .get(&pid)
+            .map(|p| p.cpu.reg(r))
+            .unwrap_or(0)
+    }
+
+    fn guest_str(&self, pid: Pid, addr: u32) -> Result<String, i32> {
+        let proc = self.kernel.procs.get(&pid).ok_or(-14)?;
+        let raw = proc
+            .aspace
+            .read_cstr(&self.kernel.vfs.shared, addr)
+            .map_err(|_| -14)?;
+        let cwd = proc.cwd.clone();
+        fspath::absolutize(&raw, &cwd).map_err(|e| -e.errno())
+    }
+
+    fn guest_str_raw(&self, pid: Pid, addr: u32) -> Result<String, i32> {
+        let proc = self.kernel.procs.get(&pid).ok_or(-14)?;
+        proc.aspace
+            .read_cstr(&self.kernel.vfs.shared, addr)
+            .map_err(|_| -14)
+    }
+
+    fn service(&mut self, pid: Pid, num: u32) {
+        let a0 = self.reg(pid, Reg::A0);
+        let a1 = self.reg(pid, Reg::A1);
+        let result: i32 = match num {
+            SVC_LDL_INIT => self.svc_ldl_init(pid),
+            SVC_MAP_SEGMENT => match self.guest_str(pid, a0) {
+                Ok(path) => {
+                    let result = {
+                        let state = self.link.entry(pid).or_default();
+                        let mut ldl = Ldl::new(&mut self.kernel, &mut self.registry, state, pid);
+                        ldl.map_segment_by_path(&path)
+                    };
+                    match result {
+                        Ok(base) => base as i32,
+                        Err(e) => {
+                            self.log
+                                .push(format!("pid {pid}: map_segment({path}): {e}"));
+                            err_code(&e)
+                        }
+                    }
+                }
+                Err(e) => e,
+            },
+            SVC_TAS => {
+                let proc = self.kernel.procs.get_mut(&pid);
+                match proc {
+                    Some(p) => match p.aspace.read_bytes(&self.kernel.vfs.shared, a0, 4) {
+                        Ok(old) => {
+                            let oldv = u32::from_le_bytes([old[0], old[1], old[2], old[3]]);
+                            match p.aspace.write_bytes(
+                                &mut self.kernel.vfs.shared,
+                                a0,
+                                &a1.to_le_bytes(),
+                            ) {
+                                Ok(()) => oldv as i32,
+                                Err(_) => -14,
+                            }
+                        }
+                        Err(_) => -14,
+                    },
+                    None => -14,
+                }
+            }
+            SVC_HEAP_INIT => self.svc_heap(a0, a1, HeapOp::Init),
+            SVC_HEAP_ALLOC => self.svc_heap(a0, a1, HeapOp::Alloc),
+            SVC_HEAP_FREE => self.svc_heap(a0, a1, HeapOp::Free),
+            SVC_PRINT_INT => {
+                let text = format!("{}\n", a0 as i32);
+                if let Some(p) = self.kernel.procs.get_mut(&pid) {
+                    p.console.extend_from_slice(text.as_bytes());
+                }
+                0
+            }
+            SVC_SETENV => match (self.guest_str_raw(pid, a0), self.guest_str_raw(pid, a1)) {
+                (Ok(name), Ok(value)) => {
+                    if let Some(p) = self.kernel.procs.get_mut(&pid) {
+                        p.env.insert(name, value);
+                    }
+                    0
+                }
+                (Err(e), _) | (_, Err(e)) => e,
+            },
+            SVC_LINK_MODULE => match self.guest_str(pid, a0) {
+                Ok(path) => {
+                    let class = if a1 == 1 {
+                        ShareClass::DynamicPublic
+                    } else {
+                        ShareClass::DynamicPrivate
+                    };
+                    let result = {
+                        let state = self.link.entry(pid).or_default();
+                        let mut ldl = Ldl::new(&mut self.kernel, &mut self.registry, state, pid);
+                        ldl.load_module(&path, class, hlink::scope::ROOT)
+                            .map(|name| ldl.state.modules.get(&name).map(|m| m.base).unwrap_or(0))
+                    };
+                    match result {
+                        Ok(base) => base as i32,
+                        Err(e) => {
+                            self.log
+                                .push(format!("pid {pid}: link_module({path}): {e}"));
+                            err_code(&e)
+                        }
+                    }
+                }
+                Err(e) => e,
+            },
+            SVC_LOOKUP_SYMBOL => match self.guest_str_raw(pid, a0) {
+                Ok(name) => {
+                    let state = self.link.entry(pid).or_default();
+                    state.lookup_global(&name).unwrap_or(0) as i32
+                }
+                Err(e) => e,
+            },
+            other => {
+                self.log.push(format!("pid {pid}: unknown service {other}"));
+                -38
+            }
+        };
+        self.kernel.set_reg(pid, Reg::V0, result as u32);
+    }
+
+    fn svc_ldl_init(&mut self, pid: Pid) -> i32 {
+        let Some(image) = self.images.get(&pid).cloned() else {
+            self.log
+                .push(format!("pid {pid}: ldl_init without an image"));
+            return -14;
+        };
+        let eager = self.eager;
+        let result = {
+            let state = self.link.entry(pid).or_default();
+            if !state.modules.is_empty() || !state.image_exports.is_empty() {
+                // Fork children inherit a fully initialized state; crt0
+                // runs only in fresh processes, but be idempotent.
+                return 0;
+            }
+            let mut ldl = Ldl::new(&mut self.kernel, &mut self.registry, state, pid);
+            ldl.init(&image).and_then(|warnings| {
+                if eager {
+                    // Eager baseline: keep linking until no module is
+                    // still awaiting its first touch (transitive).
+                    loop {
+                        let lazy: Vec<String> = ldl
+                            .state
+                            .modules
+                            .values()
+                            .filter(|m| m.lazy)
+                            .map(|m| m.name.clone())
+                            .collect();
+                        if lazy.is_empty() {
+                            break;
+                        }
+                        for name in lazy {
+                            ldl.lazy_link(&name)?;
+                        }
+                    }
+                }
+                Ok(warnings)
+            })
+        };
+        match result {
+            Ok(warnings) => {
+                for w in warnings {
+                    self.log.push(format!("pid {pid}: {w}"));
+                }
+                0
+            }
+            Err(e) => {
+                self.log.push(format!("pid {pid}: ldl init failed: {e}"));
+                -1
+            }
+        }
+    }
+
+    fn svc_heap(&mut self, region_addr: u32, arg: u32, op: HeapOp) -> i32 {
+        let (ino, off) = match self.kernel.vfs.shared.addr_to_ino(region_addr) {
+            Ok(x) => x,
+            Err(e) => return -e.errno(),
+        };
+        if let HeapOp::Init = op {
+            // Grow the file so the heap region is materialized.
+            let need = off as u64 + arg as u64;
+            let size = self
+                .kernel
+                .vfs
+                .shared
+                .fs
+                .metadata(ino)
+                .map(|m| m.size)
+                .unwrap_or(0);
+            if size < need {
+                if let Err(e) = self.kernel.vfs.shared.fs.truncate(ino, need) {
+                    return -e.errno();
+                }
+            }
+        }
+        let bytes = match self.kernel.vfs.shared.fs.file_bytes_mut(ino) {
+            Ok(b) => b,
+            Err(e) => return -e.errno(),
+        };
+        if off as usize >= bytes.len() {
+            // The region address lies beyond the backing file (possible
+            // for alloc/free on a never-initialized heap address).
+            return -22;
+        }
+        let region = &mut bytes[off as usize..];
+        match op {
+            HeapOp::Init => {
+                if region.len() < arg as usize {
+                    return -22;
+                }
+                match SegHeap::init(&mut region[..arg as usize], region_addr) {
+                    Ok(_) => 0,
+                    Err(_) => -22,
+                }
+            }
+            HeapOp::Alloc => match SegHeap::attach(region, region_addr) {
+                Ok(mut h) => h.alloc(arg).map(|p| p as i32).unwrap_or(0),
+                Err(_) => 0,
+            },
+            HeapOp::Free => match SegHeap::attach(region, region_addr) {
+                Ok(mut h) => match h.free(arg) {
+                    Ok(()) => 0,
+                    Err(_) => -22,
+                },
+                Err(_) => -22,
+            },
+        }
+    }
+
+    // --- system administration ---
+
+    /// Simulates a crash and reboot: every process dies, all volatile
+    /// kernel state (the in-memory address table, the module-metadata
+    /// cache, linker state) is discarded — then the boot-time scan
+    /// rebuilds the address table from the surviving file systems,
+    /// exactly as §3 describes ("We initialize the table at boot time by
+    /// scanning the entire shared file system"). Public module instances
+    /// and their on-disk metadata survive; programs can be spawned again
+    /// immediately.
+    pub fn reboot(&mut self) {
+        self.kernel.procs.clear();
+        self.link.clear();
+        self.images.clear();
+        self.fault_guard.clear();
+        self.kernel.vfs.shared.linear_table_clear_for_test();
+        self.registry.clear_cache();
+        self.kernel.vfs.shared.boot_scan();
+        self.log
+            .push("system rebooted; address table rebuilt by scan".to_string());
+    }
+
+    /// Enumerates every shared segment, annotated with whether it is a
+    /// linked module (has linker metadata) and its exported symbols —
+    /// the "peruse all of the segments in existence" facility of §5,
+    /// module-aware.
+    pub fn list_segments(&mut self) -> Vec<(hsfs::tools::SegmentInfo, Option<Vec<String>>)> {
+        let infos = hsfs::tools::list_segments(&mut self.kernel.vfs.shared);
+        infos
+            .into_iter()
+            .map(|info| {
+                let exports = self
+                    .registry
+                    .get(&mut self.kernel.vfs, info.ino)
+                    .map(|m| m.exports.iter().map(|(n, _)| n.clone()).collect());
+                (info, exports)
+            })
+            .collect()
+    }
+
+    // --- inspection helpers ---
+
+    /// Reads the word at an exported symbol of a public module instance.
+    pub fn peek_shared_word(
+        &mut self,
+        instance_path: &str,
+        symbol: &str,
+    ) -> Result<u32, WorldError> {
+        let v = self.kernel.vfs.resolve(instance_path)?;
+        let meta = self
+            .registry
+            .get(&mut self.kernel.vfs, v.ino)
+            .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
+        let addr = meta
+            .find_export(symbol)
+            .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
+        let off = (addr - meta.base) as usize;
+        let bytes = self.kernel.vfs.shared.fs.file_bytes(v.ino)?;
+        Ok(u32::from_le_bytes([
+            bytes[off],
+            bytes[off + 1],
+            bytes[off + 2],
+            bytes[off + 3],
+        ]))
+    }
+
+    /// Writes the word at an exported symbol of a public module instance.
+    pub fn poke_shared_word(
+        &mut self,
+        instance_path: &str,
+        symbol: &str,
+        value: u32,
+    ) -> Result<(), WorldError> {
+        let v = self.kernel.vfs.resolve(instance_path)?;
+        let meta = self
+            .registry
+            .get(&mut self.kernel.vfs, v.ino)
+            .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
+        let addr = meta
+            .find_export(symbol)
+            .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
+        let off = addr - meta.base;
+        let bytes = self.kernel.vfs.shared.fs.file_bytes_mut(v.ino)?;
+        bytes[off as usize..off as usize + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Gathers all counters for the cost model.
+    pub fn stats(&self) -> WorldStats {
+        let mut cow = self.reaped_cow + self.kernel.stats.cow_copies;
+        for p in self.kernel.procs.values() {
+            cow += p.aspace.stats.cow_copies;
+        }
+        let mut ldl = self.reaped_ldl;
+        for s in self.link.values() {
+            ldl.faults_resolved += s.stats.faults_resolved;
+            ldl.lazy_links += s.stats.lazy_links;
+            ldl.init_links += s.stats.init_links;
+            ldl.segments_mapped += s.stats.segments_mapped;
+            ldl.symbols_resolved += s.stats.symbols_resolved;
+            ldl.symbols_unresolved += s.stats.symbols_unresolved;
+            ldl.trampolines += s.stats.trampolines;
+            ldl.dir_scans += s.stats.dir_scans;
+            ldl.cross_domain_resolutions += s.stats.cross_domain_resolutions;
+        }
+        WorldStats {
+            kernel: self.kernel.stats,
+            root_fs: self.kernel.vfs.root.stats,
+            shared_fs: self.kernel.vfs.shared.fs.stats,
+            addr_lookups: self.kernel.vfs.shared.addr_lookups,
+            addr_probe_steps: self.kernel.vfs.shared.addr_probe_steps,
+            ldl,
+            cow_copies: cow,
+        }
+    }
+}
+
+enum HeapOp {
+    Init,
+    Alloc,
+    Free,
+}
+
+fn err_code(e: &LinkError) -> i32 {
+    match e {
+        LinkError::Fs(fs) => -fs.errno(),
+        LinkError::AccessDenied { .. } => -13,
+        _ => -14,
+    }
+}

@@ -1,0 +1,187 @@
+//! Guest-level coverage for the remaining file syscalls (lseek whence
+//! modes, rename, readdir, symlink) — driven through real programs, not
+//! kernel internals.
+
+use hemlock::{ShareClass, World, WorldExit};
+
+fn run(world: &mut World, src: &str) -> i32 {
+    world.install_template("/src/main.o", src).unwrap();
+    let exe = world
+        .link("/bin/t", &[("/src/main.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let pid = world.spawn(&exe).unwrap();
+    assert_eq!(
+        world.run(200_000),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+    world.exit_code(pid).unwrap()
+}
+
+#[test]
+fn lseek_end_relative() {
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .write_file("/data", b"0123456789", 0o666, 1)
+        .unwrap();
+    // open; lseek(fd, -4, END); read 4 → "6789"; exit(buf[0]).
+    let code = run(
+        &mut world,
+        r#"
+        .module main
+        .text
+        .globl main
+        main:   li   v0, 4          ; open(path, rdonly)
+                la   a0, path
+                li   a1, 0
+                syscall
+                or   r16, v0, r0
+                li   v0, 28         ; lseek(fd, -4, END)
+                or   a0, r16, r0
+                li   a1, -4
+                li   a2, 2
+                syscall
+                li   v0, 3          ; read(fd, buf, 4)
+                or   a0, r16, r0
+                la   a1, buf
+                li   a2, 4
+                syscall
+                la   r8, buf
+                lb   a0, 0(r8)
+                li   v0, 1
+                syscall
+        .data
+        path:   .asciiz "/data"
+        buf:    .space 8
+        "#,
+    );
+    assert_eq!(code, b'6' as i32);
+}
+
+#[test]
+fn rename_moves_file() {
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .write_file("/before", b"X", 0o666, 1)
+        .unwrap();
+    let code = run(
+        &mut world,
+        r#"
+        .module main
+        .text
+        .globl main
+        main:   li   v0, 29         ; rename(old, new)
+                la   a0, old
+                la   a1, new
+                syscall
+                or   a0, v0, r0
+                li   v0, 1
+                syscall
+        .data
+        old:    .asciiz "/before"
+        new:    .asciiz "/after"
+        "#,
+    );
+    assert_eq!(code, 0);
+    assert!(world.kernel.vfs.resolve("/before").is_err());
+    assert_eq!(world.kernel.vfs.read_all("/after").unwrap(), b"X");
+}
+
+#[test]
+fn readdir_enumerates_then_ends() {
+    let mut world = World::new();
+    world.kernel.vfs.mkdir_all("/d", 0o777, 0).unwrap();
+    for n in ["alpha", "beta"] {
+        world
+            .kernel
+            .vfs
+            .create_file(&format!("/d/{n}"), 0o666, 1)
+            .unwrap();
+    }
+    // Count entries via readdir(fd, i, buf, len) until it returns 0.
+    let code = run(
+        &mut world,
+        r#"
+        .module main
+        .text
+        .globl main
+        main:   li   v0, 4          ; open("/d", rdonly)
+                la   a0, path
+                li   a1, 0
+                syscall
+                or   r16, v0, r0
+                li   r17, 0         ; index
+        loop:   li   v0, 30         ; readdir(fd, idx, buf, 32)
+                or   a0, r16, r0
+                or   a1, r17, r0
+                la   a2, buf
+                li   a3, 32
+                syscall
+                blez v0, done
+                addi r17, r17, 1
+                b    loop
+        done:   or   a0, r17, r0
+                li   v0, 1
+                syscall
+        .data
+        path:   .asciiz "/d"
+        buf:    .space 32
+        "#,
+    );
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn symlink_syscall_then_open_through_it() {
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .write_file("/real", b"R", 0o666, 1)
+        .unwrap();
+    let code = run(
+        &mut world,
+        r#"
+        .module main
+        .text
+        .globl main
+        main:   li   v0, 19         ; symlink(target, link)
+                la   a0, target
+                la   a1, link
+                syscall
+                li   v0, 4          ; open(link, rdonly)
+                la   a0, link
+                li   a1, 0
+                syscall
+                or   a0, v0, r0
+                li   v0, 3          ; read(fd, buf, 1)
+                la   a1, buf
+                li   a2, 1
+                syscall
+                la   r8, buf
+                lb   a0, 0(r8)
+                li   v0, 1
+                syscall
+        .data
+        target: .asciiz "/real"
+        link:   .asciiz "/alias"
+        buf:    .space 4
+        "#,
+    );
+    assert_eq!(code, b'R' as i32);
+}
+
+#[test]
+fn unknown_syscall_returns_enosys() {
+    let mut world = World::new();
+    let code = run(
+        &mut world,
+        ".module main\n.text\n.globl main\nmain: li v0, 99\nsyscall\nor a0, v0, r0\nli v0, 1\nsyscall\n",
+    );
+    assert_eq!(code, -38);
+}

@@ -1,0 +1,1578 @@
+//! The kernel proper: scheduling, system calls, fork/exec/exit/wait,
+//! semaphores, file locking, and guest signal delivery.
+//!
+//! The kernel is deliberately ignorant of linking: SIGSEGV-class faults
+//! and syscalls numbered ≥ [`crate::syscall::SERVICE_BASE`] are returned
+//! to the embedder as [`RunEvent`]s. The `hemlock` core crate implements
+//! the paper's user-level machinery on top of these two hooks — exactly
+//! the division of labor in the paper, where the fault handler and `ldl`
+//! are a *library*, not kernel code.
+
+use crate::layout;
+use crate::mem::{AddressSpace, MemBus, MemError, Prot};
+use crate::process::{Block, Pid, ProcState, Process};
+use crate::syscall::{Sys, O_CREAT, O_TRUNC, O_WRONLY, SERVICE_BASE};
+use hsfs::fs::{LockKind, NodeKind};
+use hsfs::path as fspath;
+use hsfs::vfs::Vfs;
+use hsfs::{FsError, PAGE_SIZE};
+use hvm::{Cpu, Fault, Reg, StepOutcome};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A minimal executable description, independent of the linker's richer
+/// on-disk format (the core crate lowers a `hobj::LoadImage` to this).
+#[derive(Clone, Debug, Default)]
+pub struct ExecImage {
+    /// Program name (diagnostics).
+    pub name: String,
+    /// Base of text (page-aligned).
+    pub text_base: u32,
+    /// Text bytes.
+    pub text: Vec<u8>,
+    /// Base of data (page-aligned).
+    pub data_base: u32,
+    /// Data bytes.
+    pub data: Vec<u8>,
+    /// Bytes of zeroed memory following the data.
+    pub bss_size: u32,
+    /// Entry point.
+    pub entry: u32,
+}
+
+/// Why `step_system` returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunEvent {
+    /// The scheduled process used its whole quantum (or yielded).
+    Quantum(Pid),
+    /// A process exited with a status.
+    Exited(Pid, i32),
+    /// A SIGSEGV-class fault the embedder must resolve (map a segment,
+    /// run the lazy linker, deliver to a guest handler, or kill).
+    Segv { pid: Pid, fault: Fault },
+    /// A syscall at or above `SERVICE_BASE`; the embedder services it,
+    /// writes results into the registers, and resumes.
+    Service { pid: Pid, num: u32 },
+    /// The process executed `break`.
+    Break { pid: Pid, code: u32 },
+    /// The scheduled process blocked.
+    Blocked(Pid),
+    /// A fatal fault (illegal instruction, divide by zero, unaligned).
+    Fatal { pid: Pid, fault: Fault },
+    /// Every process is a zombie (or none exist).
+    AllExited,
+    /// Live processes exist but all are blocked — a deadlock.
+    Deadlock,
+}
+
+/// Kernel-level activity counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Total instructions retired across all processes.
+    pub instructions: u64,
+    /// System calls handled (kernel ones; services not included).
+    pub syscalls: u64,
+    /// Service calls forwarded to the embedder.
+    pub services: u64,
+    /// SIGSEGV-class faults surfaced.
+    pub segv_faults: u64,
+    /// Forks performed.
+    pub forks: u64,
+    /// Scheduler dispatches.
+    pub dispatches: u64,
+    /// Copy-on-write page copies accumulated from reaped processes.
+    pub cow_copies: u64,
+}
+
+struct Sem {
+    count: i32,
+    waiters: VecDeque<Pid>,
+}
+
+enum SysCtl {
+    /// Continue executing the current process.
+    Continue,
+    /// Stop the slice and report this event.
+    Event(RunEvent),
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    /// The unified file namespace (root + shared partition).
+    pub vfs: Vfs,
+    /// Process table.
+    pub procs: BTreeMap<Pid, Process>,
+    next_pid: Pid,
+    sems: BTreeMap<u32, Sem>,
+    next_sem: u32,
+    rr_cursor: Pid,
+    /// Activity counters.
+    pub stats: KernelStats,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+const EBADF: i32 = 9;
+const ECHILD: i32 = 10;
+const EFAULT: i32 = 14;
+const EINVAL: i32 = 22;
+const ENOSYS: i32 = 38;
+
+fn fs_err(e: FsError) -> i32 {
+    -e.errno()
+}
+
+impl Kernel {
+    /// Creates a kernel with a fresh namespace and no processes.
+    pub fn new() -> Kernel {
+        Kernel {
+            vfs: Vfs::new(),
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            sems: BTreeMap::new(),
+            next_sem: 1,
+            rr_cursor: 0,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Creates an empty process (no mappings); the caller execs into it.
+    pub fn spawn(&mut self, uid: u32) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.procs.insert(pid, Process::new(pid, 0, uid));
+        pid
+    }
+
+    /// Loads `image` into `pid`'s (replaced) address space: text and
+    /// data/bss/heap in the private regions, a fresh stack, PC at entry.
+    pub fn exec_image(&mut self, pid: Pid, image: &ExecImage) -> Result<(), MemError> {
+        let page = PAGE_SIZE;
+        let round = |n: u32| n.div_ceil(page) * page;
+        let proc = self.procs.get_mut(&pid).expect("exec of a live process");
+        proc.aspace = AddressSpace::new();
+        proc.cpu = Cpu::new();
+        proc.image_name = image.name.clone();
+        if !image.text.is_empty() {
+            proc.aspace
+                .map_anon(image.text_base, round(image.text.len() as u32), Prot::RX)?;
+        }
+        let data_len = round(image.data.len() as u32 + image.bss_size);
+        if data_len > 0 {
+            proc.aspace.map_anon(image.data_base, data_len, Prot::RW)?;
+        }
+        proc.aspace.map_anon(
+            layout::STACK_TOP - layout::STACK_SIZE,
+            layout::STACK_SIZE,
+            Prot::RW,
+        )?;
+        proc.brk = round(image.data_base + image.data.len() as u32 + image.bss_size);
+        let aspace = &mut proc.aspace;
+        if !image.text.is_empty() {
+            aspace
+                .write_bytes(&mut self.vfs.shared, image.text_base, &image.text)
+                .expect("text just mapped");
+        }
+        if !image.data.is_empty() {
+            aspace
+                .write_bytes(&mut self.vfs.shared, image.data_base, &image.data)
+                .expect("data just mapped");
+        }
+        proc.cpu.pc = image.entry;
+        proc.cpu.set_reg(Reg::SP, layout::STACK_TOP - 64);
+        proc.cpu.set_reg(Reg::FP, layout::STACK_TOP - 64);
+        Ok(())
+    }
+
+    /// Runs the system: wakes what can be woken, dispatches the next
+    /// runnable process for up to `quantum` instructions, and reports why
+    /// the slice ended.
+    pub fn step_system(&mut self, quantum: u64) -> RunEvent {
+        self.poll_blocked();
+        let Some(pid) = self.pick_next() else {
+            let any_blocked = self
+                .procs
+                .values()
+                .any(|p| matches!(p.state, ProcState::Blocked(_)));
+            return if any_blocked {
+                RunEvent::Deadlock
+            } else {
+                RunEvent::AllExited
+            };
+        };
+        self.stats.dispatches += 1;
+        self.run_slice(pid, quantum)
+    }
+
+    /// Round-robin over runnable pids, continuing after the last choice.
+    fn pick_next(&mut self) -> Option<Pid> {
+        let runnable = |p: &Process| matches!(p.state, ProcState::Runnable);
+        let next = self
+            .procs
+            .range(self.rr_cursor + 1..)
+            .find(|(_, p)| runnable(p))
+            .or_else(|| {
+                self.procs
+                    .range(..=self.rr_cursor)
+                    .find(|(_, p)| runnable(p))
+            })
+            .map(|(&pid, _)| pid);
+        if let Some(pid) = next {
+            self.rr_cursor = pid;
+        }
+        next
+    }
+
+    /// Runs one process for up to `quantum` instructions.
+    pub fn run_slice(&mut self, pid: Pid, quantum: u64) -> RunEvent {
+        let mut steps = 0u64;
+        while steps < quantum {
+            let outcome = {
+                let proc = match self.procs.get_mut(&pid) {
+                    Some(p) if matches!(p.state, ProcState::Runnable) => p,
+                    _ => return RunEvent::Blocked(pid),
+                };
+                let mut bus = MemBus {
+                    aspace: &mut proc.aspace,
+                    shared: &mut self.vfs.shared,
+                };
+                proc.cpu.step(&mut bus)
+            };
+            match outcome {
+                StepOutcome::Retired => {
+                    steps += 1;
+                    self.stats.instructions += 1;
+                }
+                StepOutcome::Syscall => {
+                    steps += 1;
+                    self.stats.instructions += 1;
+                    match self.dispatch_syscall(pid) {
+                        SysCtl::Continue => {}
+                        SysCtl::Event(ev) => return ev,
+                    }
+                }
+                StepOutcome::Break(code) => {
+                    self.stats.instructions += 1;
+                    return RunEvent::Break { pid, code };
+                }
+                StepOutcome::Fault(fault) => {
+                    if fault.is_segv() {
+                        self.stats.segv_faults += 1;
+                        return RunEvent::Segv { pid, fault };
+                    }
+                    return RunEvent::Fatal { pid, fault };
+                }
+            }
+        }
+        RunEvent::Quantum(pid)
+    }
+
+    // --- register / memory helpers ---
+
+    fn reg(&self, pid: Pid, r: Reg) -> u32 {
+        self.procs[&pid].cpu.reg(r)
+    }
+
+    /// Sets a register in a process (used by the embedder to return
+    /// service-call results).
+    pub fn set_reg(&mut self, pid: Pid, r: Reg, val: u32) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.cpu.set_reg(r, val);
+        }
+    }
+
+    fn ret(&mut self, pid: Pid, val: i32) {
+        self.set_reg(pid, Reg::V0, val as u32);
+    }
+
+    fn ret2(&mut self, pid: Pid, val: u32) {
+        self.set_reg(pid, Reg::V1, val);
+    }
+
+    fn read_str(&mut self, pid: Pid, addr: u32) -> Result<String, i32> {
+        let proc = self.procs.get(&pid).ok_or(-EFAULT)?;
+        proc.aspace
+            .read_cstr(&self.vfs.shared, addr)
+            .map_err(|_| -EFAULT)
+    }
+
+    fn abs_path(&mut self, pid: Pid, addr: u32) -> Result<String, i32> {
+        let raw = self.read_str(pid, addr)?;
+        let cwd = self.procs[&pid].cwd.clone();
+        fspath::absolutize(&raw, &cwd).map_err(|e| -e.errno())
+    }
+
+    /// Copies bytes out to guest memory, returning EFAULT on unmapped.
+    fn copy_out(&mut self, pid: Pid, addr: u32, data: &[u8]) -> Result<(), i32> {
+        let proc = self.procs.get_mut(&pid).ok_or(-EFAULT)?;
+        proc.aspace
+            .write_bytes(&mut self.vfs.shared, addr, data)
+            .map_err(|_| -EFAULT)
+    }
+
+    fn copy_in(&mut self, pid: Pid, addr: u32, len: usize) -> Result<Vec<u8>, i32> {
+        let proc = self.procs.get(&pid).ok_or(-EFAULT)?;
+        proc.aspace
+            .read_bytes(&self.vfs.shared, addr, len)
+            .map_err(|_| -EFAULT)
+    }
+
+    // --- syscall dispatch ---
+
+    fn dispatch_syscall(&mut self, pid: Pid) -> SysCtl {
+        let num = self.reg(pid, Reg::V0);
+        if num >= SERVICE_BASE {
+            self.stats.services += 1;
+            return SysCtl::Event(RunEvent::Service { pid, num });
+        }
+        self.stats.syscalls += 1;
+        let Some(sys) = Sys::from_num(num) else {
+            self.ret(pid, -ENOSYS);
+            return SysCtl::Continue;
+        };
+        let a0 = self.reg(pid, Reg::A0);
+        let a1 = self.reg(pid, Reg::A1);
+        let a2 = self.reg(pid, Reg::A2);
+        match sys {
+            Sys::Exit => {
+                let code = a0 as i32;
+                self.finalize_exit(pid, code);
+                SysCtl::Event(RunEvent::Exited(pid, code))
+            }
+            Sys::Write => {
+                let r = self.sys_write(pid, a0 as i32, a1, a2);
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Read => {
+                let r = self.sys_read(pid, a0 as i32, a1, a2);
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Open => {
+                let r = self.sys_open(pid, a0, a1);
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Close => {
+                let r = match self
+                    .procs
+                    .get_mut(&pid)
+                    .and_then(|p| p.fds.remove(&(a0 as i32)))
+                {
+                    Some(desc) => {
+                        // flock locks die with the descriptor.
+                        let _ = self.vfs.unlock(desc.vnode, pid as u64);
+                        0
+                    }
+                    None => -EBADF,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Fork => {
+                let child_pid = self.next_pid;
+                self.next_pid += 1;
+                self.stats.forks += 1;
+                let parent = self.procs.get_mut(&pid).expect("caller exists");
+                parent.cpu.set_reg(Reg::V0, child_pid);
+                let mut child = parent.fork_into(child_pid);
+                child.cpu.set_reg(Reg::V0, 0);
+                self.procs.insert(child_pid, child);
+                SysCtl::Continue
+            }
+            Sys::Getpid => {
+                self.ret(pid, pid as i32);
+                SysCtl::Continue
+            }
+            Sys::Getuid => {
+                let uid = self.procs[&pid].uid;
+                self.ret(pid, uid as i32);
+                SysCtl::Continue
+            }
+            Sys::Sbrk => {
+                let r = self.sys_sbrk(pid, a0 as i32);
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::PathToAddr => {
+                let r = match self.abs_path(pid, a0) {
+                    Ok(path) => match self.vfs.path_to_addr(&path) {
+                        Ok(addr) => addr as i32,
+                        Err(e) => fs_err(e),
+                    },
+                    Err(e) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::AddrToPath => {
+                let r = match self.vfs.addr_to_path(a0) {
+                    Ok((path, off)) => {
+                        let mut bytes = path.into_bytes();
+                        bytes.push(0);
+                        if bytes.len() > a2 as usize {
+                            -EINVAL
+                        } else {
+                            match self.copy_out(pid, a1, &bytes) {
+                                Ok(()) => {
+                                    self.ret2(pid, off);
+                                    (bytes.len() - 1) as i32
+                                }
+                                Err(e) => e,
+                            }
+                        }
+                    }
+                    Err(e) => fs_err(e),
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::OpenByAddr => {
+                let r = match self.vfs.addr_to_path(a0) {
+                    Ok((path, _)) => self.open_at(pid, &path, O_WRONLY),
+                    Err(e) => fs_err(e),
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::SemCreate => {
+                let id = self.next_sem;
+                self.next_sem += 1;
+                self.sems.insert(
+                    id,
+                    Sem {
+                        count: a0 as i32,
+                        waiters: VecDeque::new(),
+                    },
+                );
+                self.ret(pid, id as i32);
+                SysCtl::Continue
+            }
+            Sys::SemP => match self.sems.get_mut(&a0) {
+                Some(sem) if sem.count > 0 => {
+                    sem.count -= 1;
+                    self.ret(pid, 0);
+                    SysCtl::Continue
+                }
+                Some(sem) => {
+                    sem.waiters.push_back(pid);
+                    self.procs.get_mut(&pid).expect("caller").state =
+                        ProcState::Blocked(Block::Sem(a0));
+                    SysCtl::Event(RunEvent::Blocked(pid))
+                }
+                None => {
+                    self.ret(pid, -EINVAL);
+                    SysCtl::Continue
+                }
+            },
+            Sys::SemV => {
+                let r = match self.sems.get_mut(&a0) {
+                    Some(sem) => {
+                        if let Some(waiter) = sem.waiters.pop_front() {
+                            // Transfer the count directly to the waiter.
+                            if let Some(w) = self.procs.get_mut(&waiter) {
+                                w.state = ProcState::Runnable;
+                                w.cpu.set_reg(Reg::V0, 0);
+                            }
+                        } else {
+                            sem.count += 1;
+                        }
+                        0
+                    }
+                    None => -EINVAL,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Sigaction => {
+                let proc = self.procs.get_mut(&pid).expect("caller");
+                let old = proc.segv_handler.unwrap_or(0);
+                proc.segv_handler = if a0 == 0 { None } else { Some(a0) };
+                self.ret(pid, old as i32);
+                SysCtl::Continue
+            }
+            Sys::Sigreturn => {
+                let proc = self.procs.get_mut(&pid).expect("caller");
+                match proc.sig_saved.take() {
+                    Some(saved) => {
+                        let retired = proc.cpu.retired;
+                        proc.cpu = *saved;
+                        proc.cpu.retired = retired;
+                        SysCtl::Continue
+                    }
+                    None => {
+                        self.ret(pid, -EINVAL);
+                        SysCtl::Continue
+                    }
+                }
+            }
+            Sys::Waitpid => {
+                let target = if a0 == 0 { None } else { Some(a0) };
+                match self.try_reap(pid, target) {
+                    Some((child, status)) => {
+                        self.ret2(pid, status as u32);
+                        self.ret(pid, child as i32);
+                        SysCtl::Continue
+                    }
+                    None => {
+                        let has_children = self.procs.values().any(|p| p.ppid == pid);
+                        if !has_children {
+                            self.ret(pid, -ECHILD);
+                            SysCtl::Continue
+                        } else {
+                            self.procs.get_mut(&pid).expect("caller").state =
+                                ProcState::Blocked(Block::Wait(target));
+                            SysCtl::Event(RunEvent::Blocked(pid))
+                        }
+                    }
+                }
+            }
+            Sys::Unlink => {
+                let r = match self.abs_path(pid, a0) {
+                    Ok(p) => self.vfs.unlink(&p).map(|_| 0).unwrap_or_else(fs_err),
+                    Err(e) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Mkdir => {
+                let uid = self.procs[&pid].uid;
+                let r = match self.abs_path(pid, a0) {
+                    Ok(p) => self
+                        .vfs
+                        .mkdir(&p, a1 as u16, uid)
+                        .map(|_| 0)
+                        .unwrap_or_else(fs_err),
+                    Err(e) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Symlink => {
+                let uid = self.procs[&pid].uid;
+                let r = match (self.read_str(pid, a0), self.abs_path(pid, a1)) {
+                    (Ok(target), Ok(link)) => self
+                        .vfs
+                        .symlink(&target, &link, uid)
+                        .map(|_| 0)
+                        .unwrap_or_else(fs_err),
+                    (Err(e), _) | (_, Err(e)) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Creat => {
+                let r = match self.abs_path(pid, a0) {
+                    Ok(p) => self.open_at(pid, &p, O_WRONLY | O_CREAT | O_TRUNC),
+                    Err(e) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Flock => {
+                let fd = a0 as i32;
+                let Some(desc) = self.procs[&pid].fds.get(&fd).cloned() else {
+                    self.ret(pid, -EBADF);
+                    return SysCtl::Continue;
+                };
+                if a1 == 2 {
+                    let _ = self.vfs.unlock(desc.vnode, pid as u64);
+                    self.ret(pid, 0);
+                    return SysCtl::Continue;
+                }
+                let kind = if a1 == 1 {
+                    LockKind::Exclusive
+                } else {
+                    LockKind::Shared
+                };
+                match self.vfs.try_lock(desc.vnode, kind, pid as u64) {
+                    Ok(()) => {
+                        self.ret(pid, 0);
+                        SysCtl::Continue
+                    }
+                    Err(FsError::WouldBlock) => {
+                        self.procs.get_mut(&pid).expect("caller").state =
+                            ProcState::Blocked(Block::Lock {
+                                vnode: desc.vnode,
+                                kind,
+                            });
+                        SysCtl::Event(RunEvent::Blocked(pid))
+                    }
+                    Err(e) => {
+                        self.ret(pid, fs_err(e));
+                        SysCtl::Continue
+                    }
+                }
+            }
+            Sys::Ftruncate => {
+                let fd = a0 as i32;
+                let r = match self.procs[&pid].fds.get(&fd) {
+                    Some(desc) if desc.writable => self
+                        .vfs
+                        .truncate_vnode(desc.vnode, a1 as u64)
+                        .map(|_| 0)
+                        .unwrap_or_else(fs_err),
+                    Some(_) => -EBADF,
+                    None => -EBADF,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Yield => {
+                self.ret(pid, 0);
+                SysCtl::Event(RunEvent::Quantum(pid))
+            }
+            Sys::Time => {
+                let t = self.procs[&pid].cpu.retired;
+                self.ret2(pid, (t >> 31) as u32);
+                self.ret(pid, (t & 0x7FFF_FFFF) as i32);
+                SysCtl::Continue
+            }
+            Sys::Stat => {
+                let r = match self.abs_path(pid, a0) {
+                    Ok(p) => match self.vfs.stat(&p) {
+                        Ok(meta) => {
+                            self.ret2(pid, meta.ino);
+                            meta.size.min(i32::MAX as u64) as i32
+                        }
+                        Err(e) => fs_err(e),
+                    },
+                    Err(e) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Getenv => {
+                let r = match self.read_str(pid, a0) {
+                    Ok(name) => match self.procs[&pid].env.get(&name).cloned() {
+                        Some(val) => {
+                            let mut bytes = val.into_bytes();
+                            bytes.push(0);
+                            if bytes.len() > a2 as usize {
+                                -EINVAL
+                            } else {
+                                match self.copy_out(pid, a1, &bytes) {
+                                    Ok(()) => (bytes.len() - 1) as i32,
+                                    Err(e) => e,
+                                }
+                            }
+                        }
+                        None => -(FsError::NotFound.errno()),
+                    },
+                    Err(e) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Lseek => {
+                let fd = a0 as i32;
+                let r = {
+                    let size = self.procs[&pid]
+                        .fds
+                        .get(&fd)
+                        .map(|d| d.vnode)
+                        .and_then(|v| self.vfs.metadata_vnode(v).ok())
+                        .map(|m| m.size);
+                    match (
+                        self.procs.get_mut(&pid).and_then(|p| p.fds.get_mut(&fd)),
+                        size,
+                    ) {
+                        (Some(desc), Some(size)) => {
+                            let new = match a2 {
+                                0 => a1 as i64,
+                                1 => desc.offset as i64 + a1 as i32 as i64,
+                                2 => size as i64 + a1 as i32 as i64,
+                                _ => -1,
+                            };
+                            if new < 0 {
+                                -EINVAL
+                            } else {
+                                desc.offset = new as u64;
+                                new.min(i32::MAX as i64) as i32
+                            }
+                        }
+                        _ => -EBADF,
+                    }
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Rename => {
+                let r = match (self.abs_path(pid, a0), self.abs_path(pid, a1)) {
+                    (Ok(old), Ok(new)) => self
+                        .vfs
+                        .rename(&old, &new)
+                        .map(|_| 0)
+                        .unwrap_or_else(fs_err),
+                    (Err(e), _) | (_, Err(e)) => e,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+            Sys::Readdir => {
+                let fd = a0 as i32;
+                let r = match self.procs[&pid].fds.get(&fd).map(|d| d.vnode) {
+                    Some(v) => match self.vfs.path_of(v).and_then(|p| self.vfs.readdir(&p)) {
+                        Ok(names) => match names.get(a1 as usize) {
+                            Some(name) => {
+                                let mut bytes = name.clone().into_bytes();
+                                bytes.push(0);
+                                let a3 = self.reg(pid, Reg::A3);
+                                if bytes.len() > a3 as usize {
+                                    -EINVAL
+                                } else {
+                                    match self.copy_out(pid, a2, &bytes) {
+                                        Ok(()) => (bytes.len() - 1) as i32,
+                                        Err(e) => e,
+                                    }
+                                }
+                            }
+                            None => 0,
+                        },
+                        Err(e) => fs_err(e),
+                    },
+                    None => -EBADF,
+                };
+                self.ret(pid, r);
+                SysCtl::Continue
+            }
+        }
+    }
+
+    fn sys_write(&mut self, pid: Pid, fd: i32, buf: u32, len: u32) -> i32 {
+        let len = len.min(1 << 20) as usize;
+        let data = match self.copy_in(pid, buf, len) {
+            Ok(d) => d,
+            Err(e) => return e,
+        };
+        if fd == 1 || fd == 2 {
+            self.procs
+                .get_mut(&pid)
+                .expect("caller")
+                .console
+                .extend_from_slice(&data);
+            return len as i32;
+        }
+        let Some(desc) = self.procs[&pid].fds.get(&fd).cloned() else {
+            return -EBADF;
+        };
+        if !desc.writable {
+            return -EBADF;
+        }
+        match self.vfs.write_vnode(desc.vnode, desc.offset, &data) {
+            Ok(()) => {
+                if let Some(d) = self.procs.get_mut(&pid).and_then(|p| p.fds.get_mut(&fd)) {
+                    d.offset += len as u64;
+                }
+                len as i32
+            }
+            Err(e) => fs_err(e),
+        }
+    }
+
+    fn sys_read(&mut self, pid: Pid, fd: i32, buf: u32, len: u32) -> i32 {
+        if fd == 0 {
+            return 0; // no interactive stdin in the simulation
+        }
+        let Some(desc) = self.procs[&pid].fds.get(&fd).cloned() else {
+            return -EBADF;
+        };
+        let data = match self
+            .vfs
+            .read_vnode(desc.vnode, desc.offset, len.min(1 << 20) as usize)
+        {
+            Ok(d) => d,
+            Err(e) => return fs_err(e),
+        };
+        if let Err(e) = self.copy_out(pid, buf, &data) {
+            return e;
+        }
+        if let Some(d) = self.procs.get_mut(&pid).and_then(|p| p.fds.get_mut(&fd)) {
+            d.offset += data.len() as u64;
+        }
+        data.len() as i32
+    }
+
+    fn sys_open(&mut self, pid: Pid, path_ptr: u32, flags: u32) -> i32 {
+        match self.abs_path(pid, path_ptr) {
+            Ok(path) => self.open_at(pid, &path, flags),
+            Err(e) => e,
+        }
+    }
+
+    fn open_at(&mut self, pid: Pid, path: &str, flags: u32) -> i32 {
+        let uid = self.procs[&pid].uid;
+        let vnode = match self.vfs.resolve(path) {
+            Ok(v) => v,
+            Err(FsError::NotFound) if flags & O_CREAT != 0 => {
+                match self.vfs.create_file(path, 0o666, uid) {
+                    Ok(v) => v,
+                    Err(e) => return fs_err(e),
+                }
+            }
+            Err(e) => return fs_err(e),
+        };
+        let meta = match self.vfs.metadata_vnode(vnode) {
+            Ok(m) => m,
+            Err(e) => return fs_err(e),
+        };
+        if meta.kind == NodeKind::Dir && flags & (O_WRONLY | O_TRUNC) != 0 {
+            return -(FsError::IsADirectory.errno());
+        }
+        let write = flags & O_WRONLY != 0 || flags & O_TRUNC != 0;
+        match self.vfs.fs_of(vnode.mount).access(vnode.ino, uid, write) {
+            Ok(true) => {}
+            Ok(false) => return -(FsError::PermissionDenied.errno()),
+            Err(e) => return fs_err(e),
+        }
+        if flags & O_TRUNC != 0 && meta.kind == NodeKind::File {
+            if let Err(e) = self.vfs.truncate_vnode(vnode, 0) {
+                return fs_err(e);
+            }
+        }
+        self.procs
+            .get_mut(&pid)
+            .expect("caller")
+            .alloc_fd(vnode, write)
+    }
+
+    fn sys_sbrk(&mut self, pid: Pid, incr: i32) -> i32 {
+        let proc = self.procs.get_mut(&pid).expect("caller");
+        let old = proc.brk;
+        if incr > 0 {
+            let new = old.saturating_add(incr as u32);
+            if new > layout::DYN_PRIVATE_BASE {
+                return -(FsError::NoSpace.errno());
+            }
+            let first_new = old.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let end = new.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            if end > first_new {
+                if let Err(e) = proc.aspace.map_anon(first_new, end - first_new, Prot::RW) {
+                    let _ = e;
+                    return -(FsError::NoSpace.errno());
+                }
+            }
+            proc.brk = new;
+        } else if incr < 0 {
+            proc.brk = old.saturating_sub((-incr) as u32);
+        }
+        old as i32
+    }
+
+    // --- exit / wait / wake machinery ---
+
+    /// Marks `pid` a zombie, releases its locks, and wakes a waiting
+    /// parent. Used by `exit` and by the embedder's `kill`.
+    pub fn finalize_exit(&mut self, pid: Pid, code: i32) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.state = ProcState::Zombie(code);
+        }
+        self.vfs.unlock_all(pid as u64);
+        for sem in self.sems.values_mut() {
+            sem.waiters.retain(|&w| w != pid);
+        }
+        // A waiting parent is woken by the poll in step_system.
+    }
+
+    /// Finds and reaps a zombie child of `parent` matching `target`.
+    fn try_reap(&mut self, parent: Pid, target: Option<Pid>) -> Option<(Pid, i32)> {
+        let found = self
+            .procs
+            .iter()
+            .find_map(|(&cpid, p)| match (p.ppid == parent, p.state) {
+                (true, ProcState::Zombie(code)) if target.is_none() || target == Some(cpid) => {
+                    Some((cpid, code))
+                }
+                _ => None,
+            })?;
+        if let Some(p) = self.procs.remove(&found.0) {
+            self.stats.cow_copies += p.aspace.stats.cow_copies;
+        }
+        Some(found)
+    }
+
+    /// Wakes blocked processes whose resources became available.
+    fn poll_blocked(&mut self) {
+        let blocked: Vec<(Pid, Block)> = self
+            .procs
+            .iter()
+            .filter_map(|(&pid, p)| match p.state {
+                ProcState::Blocked(b) => Some((pid, b)),
+                _ => None,
+            })
+            .collect();
+        for (pid, block) in blocked {
+            match block {
+                Block::Wait(target) => {
+                    if let Some((child, status)) = self.try_reap(pid, target) {
+                        let p = self.procs.get_mut(&pid).expect("waiter");
+                        p.state = ProcState::Runnable;
+                        p.cpu.set_reg(Reg::V0, child);
+                        p.cpu.set_reg(Reg::V1, status as u32);
+                    }
+                }
+                Block::Lock { vnode, kind } => {
+                    if self.vfs.try_lock(vnode, kind, pid as u64).is_ok() {
+                        let p = self.procs.get_mut(&pid).expect("locker");
+                        p.state = ProcState::Runnable;
+                        p.cpu.set_reg(Reg::V0, 0);
+                    }
+                }
+                Block::Sem(_) => {} // woken directly by SemV
+            }
+        }
+    }
+
+    /// Delivers SIGSEGV to a guest-registered handler: saves the CPU
+    /// context (PC still at the faulting instruction) and redirects to
+    /// the handler with `(signo, fault_addr)` in `$a0/$a1`. The handler
+    /// returns via the `sigreturn` syscall, which re-executes the fault.
+    ///
+    /// Returns `false` if the process has no handler (caller should kill).
+    pub fn deliver_segv(&mut self, pid: Pid, fault_addr: u32) -> bool {
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        let Some(handler) = proc.segv_handler else {
+            return false;
+        };
+        if proc.sig_saved.is_some() {
+            // Fault inside the handler itself: fatal.
+            return false;
+        }
+        proc.sig_saved = Some(Box::new(proc.cpu.clone()));
+        proc.cpu.set_reg(Reg::A0, 11);
+        proc.cpu.set_reg(Reg::A1, fault_addr);
+        let sp = proc.cpu.reg(Reg::SP).saturating_sub(64);
+        proc.cpu.set_reg(Reg::SP, sp);
+        proc.cpu.pc = handler;
+        true
+    }
+
+    /// Total console output of a process.
+    pub fn console_of(&self, pid: Pid) -> String {
+        self.procs
+            .get(&pid)
+            .map(|p| p.console_text())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvm::{encode, Instr};
+
+    /// Builds an ExecImage from encoded instructions and data.
+    fn image(text: &[Instr], data: &[u8]) -> ExecImage {
+        ExecImage {
+            name: "test".into(),
+            text_base: layout::TEXT_BASE,
+            text: text.iter().flat_map(|i| encode(*i).to_le_bytes()).collect(),
+            data_base: layout::DATA_BASE,
+            data: data.to_vec(),
+            bss_size: 0,
+            entry: layout::TEXT_BASE,
+        }
+    }
+
+    fn li(rt: Reg, v: u32) -> [Instr; 2] {
+        [
+            Instr::Lui {
+                rt,
+                imm: (v >> 16) as u16,
+            },
+            Instr::Ori {
+                rt,
+                rs: rt,
+                imm: v as u16,
+            },
+        ]
+    }
+
+    fn run_to_completion(k: &mut Kernel) -> Vec<RunEvent> {
+        let mut events = Vec::new();
+        for _ in 0..10_000 {
+            let ev = k.step_system(1000);
+            match ev {
+                RunEvent::AllExited | RunEvent::Deadlock => {
+                    events.push(ev);
+                    return events;
+                }
+                RunEvent::Fatal { .. } | RunEvent::Segv { .. } => {
+                    // Tests that expect faults handle them themselves.
+                    let pid = match ev {
+                        RunEvent::Fatal { pid, .. } | RunEvent::Segv { pid, .. } => pid,
+                        _ => unreachable!(),
+                    };
+                    events.push(ev);
+                    k.finalize_exit(pid, -1);
+                }
+                other => events.push(other),
+            }
+        }
+        panic!("system did not settle");
+    }
+
+    use Instr::*;
+
+    #[test]
+    fn exit_syscall_terminates() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 42));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 42)));
+        assert!(matches!(k.procs[&pid].state, ProcState::Zombie(42)));
+    }
+
+    #[test]
+    fn console_write() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // Data at DATA_BASE holds "hi\n"; write(1, DATA_BASE, 3); exit(0).
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::Write as u32));
+        prog.extend(li(Reg::A0, 1));
+        prog.extend(li(Reg::A1, layout::DATA_BASE));
+        prog.extend(li(Reg::A2, 3));
+        prog.push(Syscall);
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, b"hi\n")).unwrap();
+        run_to_completion(&mut k);
+        assert_eq!(k.console_of(pid), "hi\n");
+    }
+
+    #[test]
+    fn fork_returns_twice_and_wait_reaps() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // fork(); if v0 == 0 exit(7); else waitpid(0) and exit(v1)
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::Fork as u32));
+        prog.push(Syscall);
+        // bne v0, zero, parent(+4 instrs)
+        prog.push(Bne {
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+            imm: 5,
+        });
+        // child: exit(7)
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 7));
+        prog.push(Syscall);
+        // parent: waitpid(0)
+        prog.extend(li(Reg::V0, Sys::Waitpid as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        // exit(v1)
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg::V1,
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let events = run_to_completion(&mut k);
+        // Child exited 7; parent exited with child's status 7.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RunEvent::Exited(p, 7) if *p != pid)));
+        assert!(events.contains(&RunEvent::Exited(pid, 7)));
+        assert_eq!(k.stats.forks, 1);
+    }
+
+    #[test]
+    fn cow_after_fork_isolates_private_data() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // fork; child stores 99 to DATA_BASE then exits with mem[DATA_BASE];
+        // parent waits, then exits with its own mem[DATA_BASE] (should
+        // still be 5).
+        let mut prog = vec![];
+        prog.extend(li(Reg(8), layout::DATA_BASE));
+        prog.extend(li(Reg::V0, Sys::Fork as u32));
+        prog.push(Syscall);
+        prog.push(Bne {
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+            imm: 7,
+        });
+        // child:
+        prog.extend(li(Reg(9), 99));
+        prog.push(Sw {
+            rt: Reg(9),
+            rs: Reg(8),
+            imm: 0,
+        });
+        prog.push(Lw {
+            rt: Reg::A0,
+            rs: Reg(8),
+            imm: 0,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        // parent:
+        prog.extend(li(Reg::V0, Sys::Waitpid as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        prog.push(Lw {
+            rt: Reg::A0,
+            rs: Reg(8),
+            imm: 0,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &5u32.to_le_bytes()))
+            .unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RunEvent::Exited(p, 99) if *p != pid)));
+        assert!(events.contains(&RunEvent::Exited(pid, 5)));
+    }
+
+    #[test]
+    fn sbrk_grows_heap() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // old = sbrk(8192); store to old; load back; exit(loaded).
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::Sbrk as u32));
+        prog.extend(li(Reg::A0, 8192));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg(8),
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg(9), 1234));
+        prog.push(Sw {
+            rt: Reg(9),
+            rs: Reg(8),
+            imm: 0,
+        });
+        prog.push(Lw {
+            rt: Reg::A0,
+            rs: Reg(8),
+            imm: 4096,
+        }); // still within sbrk'd region? offset 4096 < 8192 ok (zero)
+        prog.push(Lw {
+            rt: Reg::A0,
+            rs: Reg(8),
+            imm: 0,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, b"xxxx")).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 1234)));
+    }
+
+    #[test]
+    fn service_call_surfaces_to_embedder() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, 100));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let ev = k.step_system(1000);
+        assert_eq!(ev, RunEvent::Service { pid, num: 100 });
+        // Embedder writes a result and resumes.
+        k.set_reg(pid, Reg::V0, 555);
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 555)));
+        assert_eq!(k.stats.services, 1);
+    }
+
+    #[test]
+    fn segv_event_on_unmapped_access() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        let mut prog = vec![];
+        prog.extend(li(Reg(8), 0x3000_0000));
+        prog.push(Lw {
+            rt: Reg(9),
+            rs: Reg(8),
+            imm: 0,
+        });
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let ev = k.step_system(1000);
+        assert_eq!(
+            ev,
+            RunEvent::Segv {
+                pid,
+                fault: Fault::Unmapped {
+                    addr: 0x3000_0000,
+                    access: hvm::Access::Read
+                }
+            }
+        );
+        assert_eq!(k.stats.segv_faults, 1);
+    }
+
+    #[test]
+    fn guest_sigsegv_handler_runs_and_returns() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // Register a handler; touch an unmapped shared address; the
+        // embedder (this test) delivers the signal; the handler exits(88).
+        let mut prog = vec![];
+        // sigaction(handler at TEXT_BASE + 11*4 ... compute below)
+        let handler_index: u32 = 8; // instructions before handler label
+        prog.extend(li(Reg::V0, Sys::Sigaction as u32));
+        prog.extend(li(Reg::A0, layout::TEXT_BASE + handler_index * 4));
+        prog.push(Syscall);
+        prog.extend(li(Reg(8), 0x3500_0000));
+        prog.push(Lw {
+            rt: Reg(9),
+            rs: Reg(8),
+            imm: 0,
+        }); // faults (index 8)
+            // handler (index 9): exit(88)
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 88));
+        prog.push(Syscall);
+        assert_eq!(prog.len() as u32, handler_index + 5);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let ev = k.step_system(1000);
+        let RunEvent::Segv { pid: fp, fault } = ev else {
+            panic!("{ev:?}")
+        };
+        assert_eq!(fp, pid);
+        assert!(k.deliver_segv(pid, fault.addr()));
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 88)));
+    }
+
+    #[test]
+    fn sigreturn_restarts_faulting_instruction() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        let handler_index: u32 = 11;
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::Sigaction as u32));
+        prog.extend(li(Reg::A0, layout::TEXT_BASE + handler_index * 4));
+        prog.push(Syscall);
+        prog.extend(li(Reg(8), 0x3010_0000));
+        prog.push(Lw {
+            rt: Reg::A0,
+            rs: Reg(8),
+            imm: 0,
+        }); // faults, then succeeds
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        assert_eq!(prog.len() as u32, handler_index);
+        // handler: sigreturn (the embedder mapped the page meanwhile).
+        prog.extend(li(Reg::V0, Sys::Sigreturn as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let ev = k.step_system(1000);
+        let RunEvent::Segv { fault, .. } = ev else {
+            panic!("{ev:?}")
+        };
+        // Embedder: map the page (with a value) and deliver to the guest
+        // handler, which immediately sigreturns.
+        let ino = k.vfs.shared.create_file("/seg0", 0o666, 1).unwrap();
+        assert_eq!(hsfs::SharedFs::addr_of_ino(ino), 0x3010_0000);
+        k.vfs.shared.fs.truncate(ino, PAGE_SIZE as u64).unwrap();
+        k.vfs
+            .shared
+            .fs
+            .write_at(ino, 0, &777u32.to_le_bytes())
+            .unwrap();
+        let p = k.procs.get_mut(&pid).unwrap();
+        p.aspace
+            .map_shared(0x3010_0000, PAGE_SIZE, Prot::RW, ino, 0)
+            .unwrap();
+        assert!(k.deliver_segv(pid, fault.addr()));
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 777)));
+    }
+
+    #[test]
+    fn semaphores_block_and_wake() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // parent: sem = sem_create(0); fork.
+        // child: sem_v(sem); exit(0).
+        // parent: sem_p(sem) (may block until child posts); exit(33).
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::SemCreate as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg(16),
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::V0, Sys::Fork as u32));
+        prog.push(Syscall);
+        prog.push(Bne {
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+            imm: 8,
+        });
+        // child
+        prog.extend(li(Reg::V0, Sys::SemV as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.push(Syscall);
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        // parent
+        prog.extend(li(Reg::V0, Sys::SemP as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.push(Syscall);
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 33));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 33)));
+    }
+
+    #[test]
+    fn file_io_via_syscalls() {
+        let mut k = Kernel::new();
+        k.vfs.mkdir("/tmp", 0o777, 0).unwrap();
+        let pid = k.spawn(1);
+        // creat("/tmp/f"); write(fd, data, 5); lseek(fd, 0, 0);... simpler:
+        // close; open; read; exit(first byte).
+        // Data layout: path at DATA_BASE, content at DATA_BASE+16.
+        let path_addr = layout::DATA_BASE;
+        let content_addr = layout::DATA_BASE + 16;
+        let buf_addr = layout::DATA_BASE + 32;
+        let mut data = vec![0u8; 48];
+        data[..7].copy_from_slice(b"/tmp/f\0");
+        data[16..21].copy_from_slice(b"ABCDE");
+        let mut prog = vec![];
+        // fd = creat(path)
+        prog.extend(li(Reg::V0, Sys::Creat as u32));
+        prog.extend(li(Reg::A0, path_addr));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg(16),
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        });
+        // write(fd, content, 5)
+        prog.extend(li(Reg::V0, Sys::Write as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::A1, content_addr));
+        prog.extend(li(Reg::A2, 5));
+        prog.push(Syscall);
+        // lseek(fd, 0, SET)
+        prog.extend(li(Reg::V0, Sys::Lseek as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::A1, 0));
+        prog.extend(li(Reg::A2, 0));
+        prog.push(Syscall);
+        // read(fd, buf, 5)
+        prog.extend(li(Reg::V0, Sys::Read as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::A1, buf_addr));
+        prog.extend(li(Reg::A2, 5));
+        prog.push(Syscall);
+        // exit(buf[0])
+        prog.extend(li(Reg(8), buf_addr));
+        prog.push(Lb {
+            rt: Reg::A0,
+            rs: Reg(8),
+            imm: 0,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &data)).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 'A' as i32)));
+        assert_eq!(k.vfs.read_all("/tmp/f").unwrap(), b"ABCDE");
+    }
+
+    #[test]
+    fn path_to_addr_syscall() {
+        let mut k = Kernel::new();
+        k.vfs.create_file("/shared/seg", 0o666, 1).unwrap();
+        let expect = k.vfs.path_to_addr("/shared/seg").unwrap();
+        let pid = k.spawn(1);
+        let mut data = vec![0u8; 16];
+        data[..12].copy_from_slice(b"/shared/seg\0");
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::PathToAddr as u32));
+        prog.extend(li(Reg::A0, layout::DATA_BASE));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &data)).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, expect as i32)));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // sem_p on an empty semaphore with nobody to post.
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::SemCreate as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::V0, Sys::SemP as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let mut saw_deadlock = false;
+        for _ in 0..10 {
+            match k.step_system(1000) {
+                RunEvent::Deadlock => {
+                    saw_deadlock = true;
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        assert!(saw_deadlock);
+    }
+
+    #[test]
+    fn fatal_fault_reported() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        let prog = vec![Div {
+            rs: Reg(8),
+            rt: Reg::ZERO,
+        }];
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let ev = k.step_system(100);
+        assert!(
+            matches!(ev, RunEvent::Fatal { pid: p, fault: Fault::DivideByZero { .. } } if p == pid)
+        );
+    }
+
+    #[test]
+    fn flock_blocks_until_released() {
+        let mut k = Kernel::new();
+        k.vfs.create_file("/shared/lockme", 0o666, 0).unwrap();
+        let pid = k.spawn(1);
+        // parent: fd=open; flock(fd,EXCL); fork;
+        //   child: flock(fd,EXCL) -> blocks; then unlock; exit 1
+        //   parent: yield a few times; flock(fd, UNLOCK); wait; exit(v1)
+        // Simpler deterministic variant: parent locks, forks; child tries
+        // to lock (blocks); parent unlocks and waits; child gets lock,
+        // exits 21; parent exits child-status.
+        let path_addr = layout::DATA_BASE;
+        let mut data = vec![0u8; 20];
+        data[..15].copy_from_slice(b"/shared/lockme\0");
+        let mut prog = vec![];
+        // fd = open(path, O_WRONLY)
+        prog.extend(li(Reg::V0, Sys::Open as u32));
+        prog.extend(li(Reg::A0, path_addr));
+        prog.extend(li(Reg::A1, O_WRONLY));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg(16),
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        });
+        // flock(fd, EXCL)
+        prog.extend(li(Reg::V0, Sys::Flock as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::A1, 1));
+        prog.push(Syscall);
+        // fork
+        prog.extend(li(Reg::V0, Sys::Fork as u32));
+        prog.push(Syscall);
+        prog.push(Bne {
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+            imm: 9,
+        });
+        // child: flock(fd, EXCL) — blocks until parent unlocks
+        prog.extend(li(Reg::V0, Sys::Flock as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::A1, 1));
+        prog.push(Syscall);
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 21));
+        prog.push(Syscall);
+        // parent: flock(fd, UNLOCK)
+        prog.extend(li(Reg::V0, Sys::Flock as u32));
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg(16),
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::A1, 2));
+        prog.push(Syscall);
+        // waitpid(0); exit(v1)
+        prog.extend(li(Reg::V0, Sys::Waitpid as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        prog.push(Or {
+            rd: Reg::A0,
+            rs: Reg::V1,
+            rt: Reg::ZERO,
+        });
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &data)).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 21)), "{events:?}");
+    }
+}

@@ -1,0 +1,703 @@
+//! Page-granular address spaces, protections, copy-on-write, and the CPU
+//! bus implementation.
+//!
+//! Two mapping kinds exist, matching the paper's model:
+//!
+//! * **Anonymous** pages are private. On `fork` the page frames are
+//!   shared copy-on-write (a real kernel would do this with protection
+//!   faults; we use `Arc` reference counts and count the copies so the
+//!   fork benchmarks can report them).
+//! * **Shared** pages are windows onto files in the shared partition:
+//!   loads and stores operate directly on the file's bytes, so "a given
+//!   shared object lies at the same virtual address in every address
+//!   space" and stores are immediately visible to every process that
+//!   mapped the segment.
+//!
+//! Hemlock maps not-yet-linked modules with [`Prot::NONE`] so the first
+//! touch raises a protection fault into the lazy linker.
+
+use hsfs::{FsError, Ino, SharedFs, PAGE_SIZE};
+use hvm::{Access, Bus, Fault};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One page frame of private memory.
+type Frame = [u8; PAGE_SIZE as usize];
+
+fn zero_frame() -> Arc<Frame> {
+    Arc::new([0u8; PAGE_SIZE as usize])
+}
+
+/// Page protection bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prot(u8);
+
+impl Prot {
+    /// No access — the lazy-linking trap mapping.
+    pub const NONE: Prot = Prot(0);
+    /// Read-only.
+    pub const R: Prot = Prot(1);
+    /// Read/write.
+    pub const RW: Prot = Prot(3);
+    /// Read/execute.
+    pub const RX: Prot = Prot(5);
+    /// Read/write/execute.
+    pub const RWX: Prot = Prot(7);
+
+    /// True if reads are allowed.
+    pub fn can_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+    /// True if writes are allowed.
+    pub fn can_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+    /// True if instruction fetch is allowed.
+    pub fn can_exec(self) -> bool {
+        self.0 & 4 != 0
+    }
+    /// True if `access` is allowed.
+    pub fn allows(self, access: Access) -> bool {
+        match access {
+            Access::Read => self.can_read(),
+            Access::Write => self.can_write(),
+            Access::Exec => self.can_exec(),
+        }
+    }
+}
+
+impl fmt::Debug for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// What backs one mapped page.
+#[derive(Clone, Debug)]
+pub enum PageKind {
+    /// Private memory (copy-on-write across `fork`).
+    Anon(Arc<Frame>),
+    /// Page `page` of the shared-partition file `ino`.
+    Shared { ino: Ino, page: u32 },
+}
+
+/// One page-table entry.
+#[derive(Clone, Debug)]
+pub struct PageEntry {
+    /// Backing storage.
+    pub kind: PageKind,
+    /// Protection.
+    pub prot: Prot,
+}
+
+/// Errors from kernel-side address-space manipulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The range overlaps an existing mapping.
+    Overlap { addr: u32 },
+    /// The range (or part of it) is not mapped.
+    NotMapped { addr: u32 },
+    /// Address or length not page-aligned.
+    Unaligned { addr: u32 },
+    /// A guest access faulted during a kernel copy.
+    Fault(Fault),
+    /// The backing shared file was missing or too small.
+    BadBacking(FsError),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Overlap { addr } => write!(f, "mapping overlaps at {addr:#010x}"),
+            MemError::NotMapped { addr } => write!(f, "address {addr:#010x} not mapped"),
+            MemError::Unaligned { addr } => write!(f, "unaligned mapping at {addr:#010x}"),
+            MemError::Fault(fault) => write!(f, "guest fault: {fault}"),
+            MemError::BadBacking(e) => write!(f, "bad backing file: {e}"),
+        }
+    }
+}
+
+/// Memory-related counters for the cost model and the fork benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Pages copied by copy-on-write.
+    pub cow_copies: u64,
+    /// Pages mapped over their lifetime.
+    pub pages_mapped: u64,
+    /// Pages unmapped.
+    pub pages_unmapped: u64,
+}
+
+/// A per-process page table.
+#[derive(Clone, Debug, Default)]
+pub struct AddressSpace {
+    pages: BTreeMap<u32, PageEntry>,
+    /// Counters (cow copies count against the space that triggered them).
+    pub stats: MemStats,
+}
+
+fn vpn(addr: u32) -> u32 {
+    addr / PAGE_SIZE
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    /// Number of mapped pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Looks up the entry covering `addr`.
+    pub fn entry(&self, addr: u32) -> Option<&PageEntry> {
+        self.pages.get(&vpn(addr))
+    }
+
+    fn check_range(addr: u32, len: u32) -> Result<(u32, u32), MemError> {
+        if !addr.is_multiple_of(PAGE_SIZE) || len == 0 {
+            return Err(MemError::Unaligned { addr });
+        }
+        let pages = len.div_ceil(PAGE_SIZE);
+        Ok((vpn(addr), pages))
+    }
+
+    /// Maps `len` bytes of zeroed private memory at `addr`.
+    pub fn map_anon(&mut self, addr: u32, len: u32, prot: Prot) -> Result<(), MemError> {
+        let (first, pages) = Self::check_range(addr, len)?;
+        for p in first..first + pages {
+            if self.pages.contains_key(&p) {
+                return Err(MemError::Overlap {
+                    addr: p * PAGE_SIZE,
+                });
+            }
+        }
+        for p in first..first + pages {
+            self.pages.insert(
+                p,
+                PageEntry {
+                    kind: PageKind::Anon(zero_frame()),
+                    prot,
+                },
+            );
+        }
+        self.stats.pages_mapped += pages as u64;
+        Ok(())
+    }
+
+    /// Maps `len` bytes at `addr` backed by shared file `ino`, starting at
+    /// file page `file_page`.
+    pub fn map_shared(
+        &mut self,
+        addr: u32,
+        len: u32,
+        prot: Prot,
+        ino: Ino,
+        file_page: u32,
+    ) -> Result<(), MemError> {
+        let (first, pages) = Self::check_range(addr, len)?;
+        for p in first..first + pages {
+            if self.pages.contains_key(&p) {
+                return Err(MemError::Overlap {
+                    addr: p * PAGE_SIZE,
+                });
+            }
+        }
+        for (i, p) in (first..first + pages).enumerate() {
+            self.pages.insert(
+                p,
+                PageEntry {
+                    kind: PageKind::Shared {
+                        ino,
+                        page: file_page + i as u32,
+                    },
+                    prot,
+                },
+            );
+        }
+        self.stats.pages_mapped += pages as u64;
+        Ok(())
+    }
+
+    /// Unmaps `len` bytes at `addr` (all pages must be mapped).
+    pub fn unmap(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        let (first, pages) = Self::check_range(addr, len)?;
+        for p in first..first + pages {
+            if !self.pages.contains_key(&p) {
+                return Err(MemError::NotMapped {
+                    addr: p * PAGE_SIZE,
+                });
+            }
+        }
+        for p in first..first + pages {
+            self.pages.remove(&p);
+        }
+        self.stats.pages_unmapped += pages as u64;
+        Ok(())
+    }
+
+    /// Changes protection on `len` bytes at `addr`.
+    pub fn set_prot(&mut self, addr: u32, len: u32, prot: Prot) -> Result<(), MemError> {
+        let (first, pages) = Self::check_range(addr, len)?;
+        for p in first..first + pages {
+            if !self.pages.contains_key(&p) {
+                return Err(MemError::NotMapped {
+                    addr: p * PAGE_SIZE,
+                });
+            }
+        }
+        for p in first..first + pages {
+            self.pages.get_mut(&p).expect("checked").prot = prot;
+        }
+        Ok(())
+    }
+
+    /// Finds `len` bytes of unmapped space in `[lo, hi)`, page-aligned.
+    pub fn find_free(&self, len: u32, lo: u32, hi: u32) -> Option<u32> {
+        let pages = len.div_ceil(PAGE_SIZE);
+        let mut candidate = vpn(lo.div_ceil(PAGE_SIZE) * PAGE_SIZE);
+        let limit = vpn(hi);
+        for (&p, _) in self.pages.range(candidate..limit) {
+            if p >= candidate + pages {
+                break;
+            }
+            candidate = p + 1;
+        }
+        if candidate + pages <= limit {
+            Some(candidate * PAGE_SIZE)
+        } else {
+            None
+        }
+    }
+
+    /// The clone used by `fork`: anonymous frames become shared
+    /// copy-on-write; shared-file pages are carried over (both processes
+    /// see the single segment copy, per §5 of the paper).
+    pub fn fork_clone(&self) -> AddressSpace {
+        AddressSpace {
+            pages: self.pages.clone(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Kernel-side read of guest memory (ignores protection — the kernel
+    /// may read anything mapped).
+    pub fn read_bytes(
+        &self,
+        shared: &SharedFs,
+        addr: u32,
+        len: usize,
+    ) -> Result<Vec<u8>, MemError> {
+        let mut out = Vec::with_capacity(len);
+        let mut a = addr;
+        while out.len() < len {
+            let entry = self
+                .pages
+                .get(&vpn(a))
+                .ok_or(MemError::NotMapped { addr: a })?;
+            let off = (a % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize) - off).min(len - out.len());
+            match &entry.kind {
+                PageKind::Anon(frame) => out.extend_from_slice(&frame[off..off + take]),
+                PageKind::Shared { ino, page } => {
+                    let bytes = shared.fs.file_bytes(*ino).map_err(MemError::BadBacking)?;
+                    let start = (*page * PAGE_SIZE) as usize + off;
+                    if start + take > bytes.len() {
+                        return Err(MemError::BadBacking(FsError::BadAddress));
+                    }
+                    out.extend_from_slice(&bytes[start..start + take]);
+                }
+            }
+            a = a.wrapping_add(take as u32);
+        }
+        Ok(out)
+    }
+
+    /// Kernel-side write of guest memory (ignores protection).
+    pub fn write_bytes(
+        &mut self,
+        shared: &mut SharedFs,
+        addr: u32,
+        data: &[u8],
+    ) -> Result<(), MemError> {
+        let mut written = 0usize;
+        let mut a = addr;
+        while written < data.len() {
+            let entry = self
+                .pages
+                .get_mut(&vpn(a))
+                .ok_or(MemError::NotMapped { addr: a })?;
+            let off = (a % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize) - off).min(data.len() - written);
+            match &mut entry.kind {
+                PageKind::Anon(frame) => {
+                    if Arc::strong_count(frame) > 1 {
+                        self.stats.cow_copies += 1;
+                    }
+                    Arc::make_mut(frame)[off..off + take]
+                        .copy_from_slice(&data[written..written + take]);
+                }
+                PageKind::Shared { ino, page } => {
+                    let bytes = shared
+                        .fs
+                        .file_bytes_mut(*ino)
+                        .map_err(MemError::BadBacking)?;
+                    let start = (*page * PAGE_SIZE) as usize + off;
+                    if start + take > bytes.len() {
+                        return Err(MemError::BadBacking(FsError::BadAddress));
+                    }
+                    bytes[start..start + take].copy_from_slice(&data[written..written + take]);
+                }
+            }
+            written += take;
+            a = a.wrapping_add(take as u32);
+        }
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated guest string (cap 4096 bytes).
+    pub fn read_cstr(&self, shared: &SharedFs, addr: u32) -> Result<String, MemError> {
+        let mut out = Vec::new();
+        for i in 0..4096u32 {
+            let b = self.read_bytes(shared, addr.wrapping_add(i), 1)?;
+            if b[0] == 0 {
+                return String::from_utf8(out).map_err(|_| {
+                    MemError::Fault(Fault::Unmapped {
+                        addr,
+                        access: Access::Read,
+                    })
+                });
+            }
+            out.push(b[0]);
+        }
+        Err(MemError::NotMapped { addr })
+    }
+}
+
+/// The [`hvm::Bus`] for one process: its address space plus the shared
+/// partition its public pages are windows onto.
+pub struct MemBus<'a> {
+    /// The process's page table.
+    pub aspace: &'a mut AddressSpace,
+    /// The shared partition backing public mappings.
+    pub shared: &'a mut SharedFs,
+}
+
+impl MemBus<'_> {
+    fn access(
+        &mut self,
+        addr: u32,
+        len: usize,
+        access: Access,
+    ) -> Result<(&mut [u8], usize), Fault> {
+        let entry = self
+            .aspace
+            .pages
+            .get_mut(&vpn(addr))
+            .ok_or(Fault::Unmapped { addr, access })?;
+        if !entry.prot.allows(access) {
+            return Err(Fault::Protection { addr, access });
+        }
+        let off = (addr % PAGE_SIZE) as usize;
+        debug_assert!(off + len <= PAGE_SIZE as usize, "CPU enforces alignment");
+        match &mut entry.kind {
+            PageKind::Anon(frame) => {
+                if access == Access::Write && Arc::strong_count(frame) > 1 {
+                    self.aspace.stats.cow_copies += 1;
+                }
+                let frame: &mut Frame = Arc::make_mut(frame);
+                Ok((&mut frame[..], off))
+            }
+            PageKind::Shared { ino, page } => {
+                let start = (*page * PAGE_SIZE) as usize;
+                let bytes = self
+                    .shared
+                    .fs
+                    .file_bytes_mut(*ino)
+                    .map_err(|_| Fault::Unmapped { addr, access })?;
+                if start + PAGE_SIZE as usize > bytes.len() {
+                    return Err(Fault::Unmapped { addr, access });
+                }
+                Ok((&mut bytes[start..start + PAGE_SIZE as usize], off))
+            }
+        }
+    }
+
+    fn load(&mut self, addr: u32, len: usize, access: Access) -> Result<u32, Fault> {
+        let (page, off) = self.access(addr, len, access)?;
+        let mut v = 0u32;
+        for i in (0..len).rev() {
+            v = (v << 8) | page[off + i] as u32;
+        }
+        Ok(v)
+    }
+}
+
+impl Bus for MemBus<'_> {
+    fn fetch(&mut self, addr: u32) -> Result<u32, Fault> {
+        self.load(addr, 4, Access::Exec)
+    }
+    fn load8(&mut self, addr: u32) -> Result<u8, Fault> {
+        Ok(self.load(addr, 1, Access::Read)? as u8)
+    }
+    fn load16(&mut self, addr: u32) -> Result<u16, Fault> {
+        Ok(self.load(addr, 2, Access::Read)? as u16)
+    }
+    fn load32(&mut self, addr: u32) -> Result<u32, Fault> {
+        self.load(addr, 4, Access::Read)
+    }
+    fn store8(&mut self, addr: u32, val: u8) -> Result<(), Fault> {
+        let (page, off) = self.access(addr, 1, Access::Write)?;
+        page[off] = val;
+        Ok(())
+    }
+    fn store16(&mut self, addr: u32, val: u16) -> Result<(), Fault> {
+        let (page, off) = self.access(addr, 2, Access::Write)?;
+        page[off..off + 2].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+    fn store32(&mut self, addr: u32, val: u32) -> Result<(), Fault> {
+        let (page, off) = self.access(addr, 4, Access::Write)?;
+        page[off..off + 4].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsfs::SLOT_SIZE;
+
+    const P: u32 = PAGE_SIZE;
+
+    #[test]
+    fn map_read_write_anon() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, 2 * P, Prot::RW).unwrap();
+        a.write_bytes(&mut s, 0x1ffe, &[1, 2, 3, 4]).unwrap(); // spans pages
+        assert_eq!(a.read_bytes(&s, 0x1ffe, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overlap_rejected_atomically() {
+        let mut a = AddressSpace::new();
+        a.map_anon(0x2000, P, Prot::RW).unwrap();
+        assert!(matches!(
+            a.map_anon(0x1000, 3 * P, Prot::RW),
+            Err(MemError::Overlap { .. })
+        ));
+        // Nothing from the failed call may remain.
+        assert_eq!(a.page_count(), 1);
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let mut a = AddressSpace::new();
+        assert!(matches!(
+            a.map_anon(0x1004, P, Prot::RW),
+            Err(MemError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            a.map_anon(0x1000, 0, Prot::RW),
+            Err(MemError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn bus_protection_checks() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, P, Prot::R).unwrap();
+        a.map_anon(0x2000, P, Prot::NONE).unwrap();
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        assert!(bus.load32(0x1000).is_ok());
+        assert_eq!(
+            bus.store32(0x1000, 1),
+            Err(Fault::Protection {
+                addr: 0x1000,
+                access: Access::Write
+            })
+        );
+        assert_eq!(
+            bus.load32(0x2000),
+            Err(Fault::Protection {
+                addr: 0x2000,
+                access: Access::Read
+            })
+        );
+        assert_eq!(
+            bus.fetch(0x1000),
+            Err(Fault::Protection {
+                addr: 0x1000,
+                access: Access::Exec
+            })
+        );
+        assert_eq!(
+            bus.load32(0x9000),
+            Err(Fault::Unmapped {
+                addr: 0x9000,
+                access: Access::Read
+            })
+        );
+    }
+
+    #[test]
+    fn shared_mapping_aliases_file_bytes() {
+        let mut a = AddressSpace::new();
+        let mut b = AddressSpace::new();
+        let mut s = SharedFs::new();
+        let ino = s.create_file("/seg", 0o666, 0).unwrap();
+        s.fs.truncate(ino, (2 * P) as u64).unwrap();
+        let base = SharedFs::addr_of_ino(ino);
+        a.map_shared(base, 2 * P, Prot::RW, ino, 0).unwrap();
+        b.map_shared(base, 2 * P, Prot::RW, ino, 0).unwrap();
+        {
+            let mut bus = MemBus {
+                aspace: &mut a,
+                shared: &mut s,
+            };
+            bus.store32(base + 8, 0xCAFE_F00D).unwrap();
+        }
+        // Process B sees A's store instantly (genuine write sharing).
+        let mut bus_b = MemBus {
+            aspace: &mut b,
+            shared: &mut s,
+        };
+        assert_eq!(bus_b.load32(base + 8).unwrap(), 0xCAFE_F00D);
+        // And the bytes are the file's bytes.
+        assert_eq!(
+            &s.fs.file_bytes(ino).unwrap()[8..12],
+            &0xCAFE_F00Du32.to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn shared_mapping_beyond_file_faults() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        let ino = s.create_file("/small", 0o666, 0).unwrap();
+        s.fs.truncate(ino, P as u64).unwrap();
+        let base = SharedFs::addr_of_ino(ino);
+        a.map_shared(base, 2 * P, Prot::RW, ino, 0).unwrap();
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        assert!(bus.load32(base).is_ok());
+        assert!(bus.load32(base + P).is_err());
+    }
+
+    #[test]
+    fn fork_clone_is_cow() {
+        let mut parent = AddressSpace::new();
+        let mut s = SharedFs::new();
+        parent.map_anon(0x1000, P, Prot::RW).unwrap();
+        parent.write_bytes(&mut s, 0x1000, b"parent data").unwrap();
+        let mut child = parent.fork_clone();
+        // Child sees parent's data.
+        assert_eq!(child.read_bytes(&s, 0x1000, 6).unwrap(), b"parent");
+        // Child write triggers a copy; parent unaffected.
+        child.write_bytes(&mut s, 0x1000, b"child!").unwrap();
+        assert_eq!(child.stats.cow_copies, 1);
+        assert_eq!(parent.read_bytes(&s, 0x1000, 6).unwrap(), b"parent");
+        // Second child write copies nothing further.
+        child.write_bytes(&mut s, 0x1004, b"x").unwrap();
+        assert_eq!(child.stats.cow_copies, 1);
+    }
+
+    #[test]
+    fn fork_shares_public_pages() {
+        let mut parent = AddressSpace::new();
+        let mut s = SharedFs::new();
+        let ino = s.create_file("/pub", 0o666, 0).unwrap();
+        s.fs.truncate(ino, P as u64).unwrap();
+        let base = SharedFs::addr_of_ino(ino);
+        parent.map_shared(base, P, Prot::RW, ino, 0).unwrap();
+        let mut child = parent.fork_clone();
+        child.write_bytes(&mut s, base, b"from child").unwrap();
+        assert_eq!(parent.read_bytes(&s, base, 10).unwrap(), b"from child");
+    }
+
+    #[test]
+    fn set_prot_enables_lazy_link_trap() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, P, Prot::NONE).unwrap();
+        {
+            let mut bus = MemBus {
+                aspace: &mut a,
+                shared: &mut s,
+            };
+            assert!(matches!(bus.load32(0x1000), Err(Fault::Protection { .. })));
+        }
+        a.set_prot(0x1000, P, Prot::RWX).unwrap();
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        assert!(bus.load32(0x1000).is_ok());
+        assert!(bus.fetch(0x1000).is_ok());
+    }
+
+    #[test]
+    fn find_free_skips_mappings() {
+        let mut a = AddressSpace::new();
+        a.map_anon(0x2000, P, Prot::RW).unwrap();
+        a.map_anon(0x4000, P, Prot::RW).unwrap();
+        assert_eq!(a.find_free(P, 0x1000, 0x10000), Some(0x1000));
+        assert_eq!(a.find_free(2 * P, 0x2000, 0x10000), Some(0x5000));
+        assert_eq!(a.find_free(P, 0x2000, 0x3000), None);
+    }
+
+    #[test]
+    fn unmap_requires_full_coverage() {
+        let mut a = AddressSpace::new();
+        a.map_anon(0x1000, P, Prot::RW).unwrap();
+        assert!(matches!(
+            a.unmap(0x1000, 2 * P),
+            Err(MemError::NotMapped { .. })
+        ));
+        a.unmap(0x1000, P).unwrap();
+        assert_eq!(a.page_count(), 0);
+    }
+
+    #[test]
+    fn read_cstr_and_bounds() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, P, Prot::RW).unwrap();
+        a.write_bytes(&mut s, 0x1000, b"/shared/db\0").unwrap();
+        assert_eq!(a.read_cstr(&s, 0x1000).unwrap(), "/shared/db");
+        assert!(a.read_cstr(&s, 0x9000).is_err());
+    }
+
+    #[test]
+    fn whole_slot_mapping_works() {
+        // A full 1 MB module segment maps and is addressable end to end.
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        let ino = s.create_file("/big", 0o666, 0).unwrap();
+        s.fs.truncate(ino, SLOT_SIZE as u64).unwrap();
+        let base = SharedFs::addr_of_ino(ino);
+        a.map_shared(base, SLOT_SIZE, Prot::RW, ino, 0).unwrap();
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        bus.store32(base + SLOT_SIZE - 4, 7).unwrap();
+        assert_eq!(bus.load32(base + SLOT_SIZE - 4).unwrap(), 7);
+    }
+}

@@ -1,0 +1,148 @@
+//! System call numbers and argument conventions.
+//!
+//! The guest loads the call number into `$v0`, arguments into `$a0..$a3`,
+//! and executes `syscall`. Results return in `$v0` (and sometimes `$v1`);
+//! a negative `$v0` in `-4095..0` is `-errno`. Numbers at or above
+//! [`SERVICE_BASE`] are not handled by the kernel: they are surfaced to
+//! the embedding runtime, which is how Hemlock's user-level machinery
+//! (`crt0`'s call into `ldl`, the heap package) hooks in without kernel
+//! knowledge.
+
+/// First syscall number forwarded to the embedder instead of the kernel.
+pub const SERVICE_BASE: u32 = 100;
+
+/// Kernel system calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Sys {
+    /// `exit(status)` — terminate the calling process.
+    Exit = 1,
+    /// `write(fd, buf, len)` → bytes written. fd 1/2 = console.
+    Write = 2,
+    /// `read(fd, buf, len)` → bytes read.
+    Read = 3,
+    /// `open(path, flags)` → fd. Flags: bit0 write, bit6 create,
+    /// bit9 truncate.
+    Open = 4,
+    /// `close(fd)`.
+    Close = 5,
+    /// `fork()` → child pid (parent) / 0 (child).
+    Fork = 6,
+    /// `getpid()` → pid.
+    Getpid = 7,
+    /// `sbrk(incr)` → previous break.
+    Sbrk = 8,
+    /// `path_to_addr(path)` → the segment's global virtual address.
+    PathToAddr = 9,
+    /// `addr_to_path(addr, buf, len)` → path length; `$v1` = byte offset
+    /// of `addr` within the segment.
+    AddrToPath = 10,
+    /// `open_by_addr(addr)` → fd ("open a file by address instead of by
+    /// name, with a single system call").
+    OpenByAddr = 11,
+    /// `sem_create(initial)` → semaphore id.
+    SemCreate = 12,
+    /// `sem_p(id)` — may block.
+    SemP = 13,
+    /// `sem_v(id)`.
+    SemV = 14,
+    /// `sigaction(handler)` → previous handler (0 = none). Registers a
+    /// guest SIGSEGV handler.
+    Sigaction = 15,
+    /// `waitpid(pid)` → exited child pid; `$v1` = status. pid 0 = any.
+    Waitpid = 16,
+    /// `unlink(path)`.
+    Unlink = 17,
+    /// `mkdir(path, mode)`.
+    Mkdir = 18,
+    /// `symlink(target, linkpath)`.
+    Symlink = 19,
+    /// `creat(path, mode)` → fd.
+    Creat = 20,
+    /// `flock(fd, kind)` — 0 shared, 1 exclusive, may block; 2 unlocks.
+    Flock = 21,
+    /// `ftruncate(fd, size)`.
+    Ftruncate = 22,
+    /// `yield()` — relinquish the processor.
+    Yield = 23,
+    /// `time()` → instructions retired by this process (the simulation
+    /// clock).
+    Time = 24,
+    /// `stat(path)` → size; `$v1` = inode number.
+    Stat = 25,
+    /// `getuid()` → uid.
+    Getuid = 26,
+    /// `getenv(name, buf, len)` → value length or -ENOENT.
+    Getenv = 27,
+    /// `lseek(fd, offset, whence)` → new offset.
+    Lseek = 28,
+    /// `rename(old, new)`.
+    Rename = 29,
+    /// `readdir(fd, index, buf, len)` → name length or 0 when exhausted.
+    Readdir = 30,
+    /// `sigreturn()` — restore the context saved when a guest signal
+    /// handler was invoked; the faulting instruction re-executes.
+    Sigreturn = 31,
+}
+
+impl Sys {
+    /// Decodes a syscall number.
+    pub fn from_num(num: u32) -> Option<Sys> {
+        Some(match num {
+            1 => Sys::Exit,
+            2 => Sys::Write,
+            3 => Sys::Read,
+            4 => Sys::Open,
+            5 => Sys::Close,
+            6 => Sys::Fork,
+            7 => Sys::Getpid,
+            8 => Sys::Sbrk,
+            9 => Sys::PathToAddr,
+            10 => Sys::AddrToPath,
+            11 => Sys::OpenByAddr,
+            12 => Sys::SemCreate,
+            13 => Sys::SemP,
+            14 => Sys::SemV,
+            15 => Sys::Sigaction,
+            16 => Sys::Waitpid,
+            17 => Sys::Unlink,
+            18 => Sys::Mkdir,
+            19 => Sys::Symlink,
+            20 => Sys::Creat,
+            21 => Sys::Flock,
+            22 => Sys::Ftruncate,
+            23 => Sys::Yield,
+            24 => Sys::Time,
+            25 => Sys::Stat,
+            26 => Sys::Getuid,
+            27 => Sys::Getenv,
+            28 => Sys::Lseek,
+            29 => Sys::Rename,
+            30 => Sys::Readdir,
+            31 => Sys::Sigreturn,
+            _ => return None,
+        })
+    }
+}
+
+/// `open` flag: request write access.
+pub const O_WRONLY: u32 = 1;
+/// `open` flag: create if missing.
+pub const O_CREAT: u32 = 1 << 6;
+/// `open` flag: truncate to zero length.
+pub const O_TRUNC: u32 = 1 << 9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for n in 1..=31 {
+            let sys = Sys::from_num(n).expect("all low numbers assigned");
+            assert_eq!(sys as u32, n);
+        }
+        assert_eq!(Sys::from_num(0), None);
+        assert_eq!(Sys::from_num(SERVICE_BASE), None);
+    }
+}

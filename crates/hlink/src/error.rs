@@ -1,0 +1,134 @@
+//! Linker diagnostics.
+
+use hobj::binfmt::BinError;
+use hobj::{ObjectError, RelocError};
+use hsfs::FsError;
+use std::fmt;
+
+/// Everything that can go wrong in `lds` or `ldl`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// A *static* module could not be found — `lds` aborts ("Lds aborts
+    /// linking if it cannot find a given static module").
+    StaticModuleNotFound { name: String },
+    /// A template failed to decode.
+    BadTemplate { path: String, err: BinError },
+    /// A template failed structural validation.
+    InvalidTemplate {
+        path: String,
+        errors: Vec<ObjectError>,
+    },
+    /// The module uses `$gp`-relative addressing ("ldl insists that
+    /// modules be compiled with a flag that disables use of the
+    /// processor's ... global pointer register").
+    ModuleUsesGp { name: String },
+    /// A public module's template does not reside on the shared
+    /// partition, so no global address can be assigned to its instance.
+    TemplateNotShared { path: String },
+    /// A public template is not named `*.o`, so the instance name (the
+    /// template path "obtained by dropping the final '.o'") is undefined.
+    TemplateNotDotO { path: String },
+    /// A relocation could not be applied (and was not trampoline-able).
+    Reloc { module: String, err: RelocError },
+    /// The trampoline area overflowed (an internal sizing bug).
+    TrampolineOverflow { module: String },
+    /// Two modules in one link export the same global; reported when the
+    /// linker is run in strict mode (otherwise the first wins).
+    DuplicateSymbol {
+        symbol: String,
+        first: String,
+        second: String,
+    },
+    /// The image has no `_start` (missing/incorrect `crt0`).
+    NoEntryPoint,
+    /// The merged image outgrew its region.
+    ImageTooLarge { bytes: u64 },
+    /// A file-system operation failed.
+    Fs(FsError),
+    /// The shared partition is out of inodes/slots.
+    OutOfSegments,
+    /// The process's address space had no room for a private module.
+    OutOfPrivateSpace { name: String },
+    /// Fault address does not correspond to any segment or module.
+    Unresolvable { addr: u32 },
+    /// Access rights forbid mapping the segment ("access rights
+    /// permitting, [the handler] maps the named segment").
+    AccessDenied { path: String },
+}
+
+impl From<FsError> for LinkError {
+    fn from(e: FsError) -> LinkError {
+        LinkError::Fs(e)
+    }
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::StaticModuleNotFound { name } => {
+                write!(f, "lds: cannot find static module `{name}`")
+            }
+            LinkError::BadTemplate { path, err } => write!(f, "bad template {path}: {err}"),
+            LinkError::InvalidTemplate { path, errors } => {
+                write!(f, "invalid template {path}: {} problem(s)", errors.len())
+            }
+            LinkError::ModuleUsesGp { name } => write!(
+                f,
+                "module `{name}` uses gp-relative addressing; recompile without the \
+                 global-pointer optimization"
+            ),
+            LinkError::TemplateNotShared { path } => {
+                write!(
+                    f,
+                    "public template {path} must reside on the shared partition"
+                )
+            }
+            LinkError::TemplateNotDotO { path } => {
+                write!(f, "public template {path} must be named <module>.o")
+            }
+            LinkError::Reloc { module, err } => write!(f, "relocation in `{module}`: {err}"),
+            LinkError::TrampolineOverflow { module } => {
+                write!(f, "trampoline area overflow in `{module}`")
+            }
+            LinkError::DuplicateSymbol {
+                symbol,
+                first,
+                second,
+            } => {
+                write!(f, "`{symbol}` exported by both `{first}` and `{second}`")
+            }
+            LinkError::NoEntryPoint => write!(f, "no `_start` symbol (bad crt0)"),
+            LinkError::ImageTooLarge { bytes } => write!(f, "image too large ({bytes} bytes)"),
+            LinkError::Fs(e) => write!(f, "file system: {e}"),
+            LinkError::OutOfSegments => write!(f, "shared file system out of segments"),
+            LinkError::OutOfPrivateSpace { name } => {
+                write!(f, "no private address space left for module `{name}`")
+            }
+            LinkError::Unresolvable { addr } => {
+                write!(f, "no segment or module at address {addr:#010x}")
+            }
+            LinkError::AccessDenied { path } => write!(f, "access denied: {path}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = LinkError::ModuleUsesGp {
+            name: "fast".into(),
+        };
+        assert!(e.to_string().contains("global-pointer"));
+        let e = LinkError::StaticModuleNotFound { name: "x".into() };
+        assert!(e.to_string().contains("lds"));
+        assert_eq!(
+            LinkError::from(FsError::NoSpace),
+            LinkError::Fs(FsError::NoSpace)
+        );
+    }
+}

@@ -1,0 +1,788 @@
+//! `ldl` — the run-time lazy dynamic linker and fault handler.
+//!
+//! `crt0` calls `ldl` before `main` (via the `SERVICE_LDL_INIT` service
+//! call). `ldl` locates dynamic modules using the saved search strategy
+//! (with the *run-time* `LD_LIBRARY_PATH` taking precedence), creates a
+//! new instance of each dynamic-private module and of each dynamic-public
+//! module that does not yet exist, maps everything, and resolves the main
+//! image's undefined references. "If any module contains undefined
+//! references ... ldl maps the module without access permissions, so that
+//! the first reference will cause a segmentation fault" (§2).
+//!
+//! The fault path ([`Ldl::handle_fault`]) serves two purposes, as in the
+//! paper: it finishes lazy links, and it lets processes follow raw
+//! pointers into shared segments that are not yet mapped (translating the
+//! address to a path with the new kernel call and mapping the file).
+
+use crate::error::LinkError;
+use crate::instance::{ensure_public_instance, instantiate, ModuleRegistry};
+use crate::scope::{LinkDag, ROOT};
+use crate::search::SearchPath;
+use crate::tramp::trampoline_code;
+use hkernel::layout::{DATA_END, DYN_PRIVATE_BASE};
+use hkernel::{Kernel, Pid, Prot};
+use hobj::reloc::RelocError;
+use hobj::{binfmt, ImageReloc, LoadImage, RelocKind, SearchStrategy, ShareClass};
+use hsfs::vfs::Mount;
+use hsfs::{FsError, Ino, SharedFs, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// One linked (or pending) module in a process.
+#[derive(Clone, Debug)]
+pub struct ModuleInst {
+    /// Module name.
+    pub name: String,
+    /// Sharing class.
+    pub class: ShareClass,
+    /// Base address of the instance.
+    pub base: u32,
+    /// Mapped length.
+    pub total_len: u32,
+    /// Exported globals.
+    pub exports: Vec<(String, u32)>,
+    /// Unresolved relocations (nonempty ⇒ mapped without access).
+    pub pending: Vec<ImageReloc>,
+    /// The module's own scoped-linking search information.
+    pub search: hobj::SearchSpec,
+    /// Mapped without access permissions, awaiting its first touch.
+    pub lazy: bool,
+    /// Shared-partition inode (public modules only).
+    pub ino: Option<Ino>,
+    /// Trampoline area offset/capacity/used within the instance.
+    pub tramp: (u32, u32, u32),
+}
+
+impl ModuleInst {
+    /// True if `addr` falls inside this instance.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.base + self.total_len
+    }
+}
+
+/// What the fault handler did with a SIGSEGV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDisposition {
+    /// The segment was mapped and/or linked; restart the instruction.
+    Resolved,
+    /// Hemlock could not resolve it; a guest-registered handler was
+    /// invoked (the backward-compatible `signal()` path).
+    DeliveredToGuest,
+    /// No resolution and no guest handler: the process should be killed.
+    Fatal,
+}
+
+/// Counters for the linking benchmarks (E2/E6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LdlStats {
+    /// Faults resolved by mapping or linking.
+    pub faults_resolved: u64,
+    /// Modules linked lazily (on first touch).
+    pub lazy_links: u64,
+    /// Modules linked eagerly at init.
+    pub init_links: u64,
+    /// Plain (non-module) segments mapped by pointer-following.
+    pub segments_mapped: u64,
+    /// Individual symbol resolutions performed.
+    pub symbols_resolved: u64,
+    /// Symbols that remained unresolved after scoped search.
+    pub symbols_unresolved: u64,
+    /// Trampolines synthesized at run time.
+    pub trampolines: u64,
+    /// Directories scanned during scoped symbol search.
+    pub dir_scans: u64,
+    /// Public (shared) instances patched with a *private* address — the
+    /// §5 "Safety" hazard: the resolution is only meaningful in the
+    /// resolving process's protection domain.
+    pub cross_domain_resolutions: u64,
+}
+
+/// Per-process dynamic-linking state (lives in the Hemlock runtime).
+#[derive(Clone, Debug, Default)]
+pub struct LinkState {
+    /// Loaded modules by name.
+    pub modules: HashMap<String, ModuleInst>,
+    /// The link DAG for scoped resolution.
+    pub dag: LinkDag,
+    /// The main image's exports.
+    pub image_exports: HashMap<String, u32>,
+    /// The main image's still-unresolved references.
+    pub image_pending: Vec<ImageReloc>,
+    /// The image's trampoline area (base, cap, used).
+    pub image_tramp: (u32, u32, u32),
+    /// Search strategy recorded by `lds`.
+    pub strategy: SearchStrategy,
+    /// Cache of directory scans: dir → (symbol → template path).
+    dir_cache: HashMap<String, HashMap<String, String>>,
+    /// Statistics.
+    pub stats: LdlStats,
+}
+
+impl LinkState {
+    /// The module instance containing `addr`, if any.
+    pub fn module_at(&self, addr: u32) -> Option<&ModuleInst> {
+        self.modules.values().find(|m| m.contains(addr))
+    }
+
+    /// Looks up a symbol among the image and every loaded module
+    /// (used for the image's own resolution at init, which the paper
+    /// performs eagerly).
+    pub fn lookup_global(&self, name: &str) -> Option<u32> {
+        if let Some(&a) = self.image_exports.get(name) {
+            return Some(a);
+        }
+        for m in self.modules.values() {
+            if let Some((_, a)) = m.exports.iter().find(|(n, _)| n == name) {
+                return Some(*a);
+            }
+        }
+        None
+    }
+}
+
+/// The dynamic linker, operating on one process inside the kernel.
+pub struct Ldl<'a> {
+    /// The kernel (address spaces + file systems).
+    pub kernel: &'a mut Kernel,
+    /// The public-module metadata registry.
+    pub registry: &'a mut ModuleRegistry,
+    /// This process's link state.
+    pub state: &'a mut LinkState,
+    /// The process being linked.
+    pub pid: Pid,
+}
+
+impl<'a> Ldl<'a> {
+    /// Bundles the linker context.
+    pub fn new(
+        kernel: &'a mut Kernel,
+        registry: &'a mut ModuleRegistry,
+        state: &'a mut LinkState,
+        pid: Pid,
+    ) -> Ldl<'a> {
+        Ldl {
+            kernel,
+            registry,
+            state,
+            pid,
+        }
+    }
+
+    fn env(&self, name: &str) -> Option<String> {
+        self.kernel
+            .procs
+            .get(&self.pid)
+            .and_then(|p| p.env.get(name).cloned())
+    }
+
+    fn cwd(&self) -> String {
+        self.kernel
+            .procs
+            .get(&self.pid)
+            .map(|p| p.cwd.clone())
+            .unwrap_or_else(|| "/".into())
+    }
+
+    fn uid(&self) -> u32 {
+        self.kernel.procs.get(&self.pid).map(|p| p.uid).unwrap_or(0)
+    }
+
+    fn runtime_search(&self) -> SearchPath {
+        SearchPath::for_ldl(self.env("LD_LIBRARY_PATH").as_deref(), &self.state.strategy)
+    }
+
+    /// Initializes dynamic linking for a fresh process: maps the static
+    /// public modules `lds` recorded, locates and instantiates the
+    /// dynamic modules, and resolves the image's undefined references.
+    ///
+    /// Returns warnings for dynamic modules that could not be found.
+    pub fn init(&mut self, image: &LoadImage) -> Result<Vec<String>, LinkError> {
+        let mut warnings = Vec::new();
+        self.state.strategy = image.strategy.clone();
+        self.state.image_tramp = (
+            image.text_base + image.tramp_offset,
+            (image.text.len() as u32).saturating_sub(image.tramp_offset),
+            image.tramp_used,
+        );
+        for sym in &image.symbols {
+            if let Some(addr) = sym.addr {
+                self.state.image_exports.insert(sym.name.clone(), addr);
+            }
+        }
+        self.state.image_pending = image.pending.clone();
+
+        // Map the static-public modules recorded by lds.
+        for rec in &image.statics {
+            if rec.class != ShareClass::StaticPublic {
+                continue;
+            }
+            let vnode = self.kernel.vfs.resolve(&rec.path)?;
+            self.map_public_module(vnode.ino, ShareClass::StaticPublic, ROOT)?;
+        }
+        // Locate and link dynamic modules.
+        let search = self.runtime_search();
+        let cwd = self.cwd();
+        for dynmod in &image.dynamic {
+            match search.locate(&mut self.kernel.vfs, &cwd, &dynmod.name) {
+                Some(template_path) => {
+                    self.load_module(&template_path, dynmod.class, ROOT)?;
+                }
+                None => warnings.push(format!("ldl: cannot find dynamic module `{}`", dynmod.name)),
+            }
+        }
+        // Resolve the image's own undefined references eagerly, as the
+        // paper's ldl does before normal execution begins.
+        let pendings = std::mem::take(&mut self.state.image_pending);
+        let mut still = Vec::new();
+        for p in pendings {
+            match self.state.lookup_global(&p.symbol) {
+                Some(addr) => {
+                    self.patch_pending(&p, addr, None)?;
+                    self.state.stats.symbols_resolved += 1;
+                }
+                None => still.push(p),
+            }
+        }
+        self.state.image_pending = still;
+        self.state.stats.init_links += 1;
+        Ok(warnings)
+    }
+
+    /// Loads a module from a template path with the given class and
+    /// parent (scoped-linking DAG edge). Public instances are created on
+    /// first use; private instances are fresh per process.
+    pub fn load_module(
+        &mut self,
+        template_path: &str,
+        class: ShareClass,
+        parent: &str,
+    ) -> Result<String, LinkError> {
+        match class {
+            ShareClass::DynamicPublic | ShareClass::StaticPublic => {
+                let (ino, _) = ensure_public_instance(
+                    &mut self.kernel.vfs,
+                    self.registry,
+                    template_path,
+                    self.pid as u64,
+                )?;
+                self.map_public_module(ino, class, parent)
+            }
+            ShareClass::DynamicPrivate | ShareClass::StaticPrivate => {
+                self.load_private_module(template_path, parent)
+            }
+        }
+    }
+
+    /// Maps an existing public instance into this process.
+    fn map_public_module(
+        &mut self,
+        ino: Ino,
+        class: ShareClass,
+        parent: &str,
+    ) -> Result<String, LinkError> {
+        let meta = self
+            .registry
+            .get(&mut self.kernel.vfs, ino)
+            .cloned()
+            .ok_or(LinkError::Unresolvable {
+                addr: SharedFs::addr_of_ino(ino),
+            })?;
+        let name = meta.name.clone();
+        if let Some(existing) = self.state.modules.get(&name) {
+            // Already mapped; just record the additional DAG edge.
+            let _ = existing;
+            self.state.dag.add_edge(&name, parent);
+            return Ok(name);
+        }
+        let lazy = meta.needs_lazy_link();
+        let prot = if lazy { Prot::NONE } else { Prot::RWX };
+        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        proc.aspace
+            .map_shared(meta.base, meta.total_len, prot, ino, 0)
+            .map_err(|_| LinkError::Fs(FsError::Busy))?;
+        self.state.modules.insert(
+            name.clone(),
+            ModuleInst {
+                name: name.clone(),
+                class,
+                base: meta.base,
+                total_len: meta.total_len,
+                exports: meta.exports.clone(),
+                pending: meta.pending.clone(),
+                search: meta.search.clone(),
+                lazy,
+                ino: Some(ino),
+                tramp: (meta.tramp_off, meta.tramp_cap, meta.tramp_used),
+            },
+        );
+        self.state.dag.add_edge(&name, parent);
+        Ok(name)
+    }
+
+    /// Creates a fresh private instance of a template in this process's
+    /// private region.
+    fn load_private_module(
+        &mut self,
+        template_path: &str,
+        parent: &str,
+    ) -> Result<String, LinkError> {
+        let raw = self.kernel.vfs.read_all(template_path)?;
+        let obj = binfmt::decode_object(&raw).map_err(|err| LinkError::BadTemplate {
+            path: template_path.to_string(),
+            err,
+        })?;
+        if let Some(existing) = self.state.modules.get(&obj.name) {
+            let name = existing.name.clone();
+            self.state.dag.add_edge(&name, parent);
+            return Ok(name);
+        }
+        let layout = crate::instance::layout_of(&obj);
+        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let base = proc
+            .aspace
+            .find_free(layout.total_len, DYN_PRIVATE_BASE, DATA_END)
+            .ok_or_else(|| LinkError::OutOfPrivateSpace {
+                name: obj.name.clone(),
+            })?;
+        let inst = instantiate(&obj, base)?;
+        let lazy = inst.meta.needs_lazy_link();
+        let prot = if lazy { Prot::NONE } else { Prot::RWX };
+        proc.aspace
+            .map_anon(base, layout.total_len, prot)
+            .map_err(|_| LinkError::OutOfPrivateSpace {
+                name: obj.name.clone(),
+            })?;
+        proc.aspace
+            .write_bytes(&mut self.kernel.vfs.shared, base, &inst.bytes)
+            .map_err(|_| LinkError::OutOfPrivateSpace {
+                name: obj.name.clone(),
+            })?;
+        let name = inst.meta.name.clone();
+        self.state.modules.insert(
+            name.clone(),
+            ModuleInst {
+                name: name.clone(),
+                class: ShareClass::DynamicPrivate,
+                base,
+                total_len: layout.total_len,
+                exports: inst.meta.exports.clone(),
+                pending: inst.meta.pending.clone(),
+                search: inst.meta.search.clone(),
+                lazy,
+                ino: None,
+                tramp: (
+                    inst.meta.tramp_off,
+                    inst.meta.tramp_cap,
+                    inst.meta.tramp_used,
+                ),
+            },
+        );
+        self.state.dag.add_edge(&name, parent);
+        Ok(name)
+    }
+
+    /// The user-level SIGSEGV handler (§2): finish a lazy link, or map a
+    /// shared segment a pointer led into, or fall through to the guest's
+    /// own handler.
+    pub fn handle_fault(&mut self, addr: u32) -> Result<FaultDisposition, LinkError> {
+        // Case 1: the address lies in a module mapped for lazy linking.
+        if let Some(name) = self
+            .state
+            .modules
+            .values()
+            .find(|m| m.contains(addr) && m.lazy)
+            .map(|m| m.name.clone())
+        {
+            self.lazy_link(&name)?;
+            self.state.stats.faults_resolved += 1;
+            self.state.stats.lazy_links += 1;
+            return Ok(FaultDisposition::Resolved);
+        }
+        // A fault inside an already-linked module (e.g. an exec attempt
+        // on a data page) is a genuine error, not a mapping request —
+        // falling into case 2 would uselessly "re-map" it forever.
+        if self.state.module_at(addr).is_some() {
+            return self.fall_through(addr);
+        }
+        // Case 2: a pointer into the shared region.
+        if SharedFs::contains(addr) {
+            match self.kernel.vfs.shared.addr_to_ino(addr) {
+                Ok((ino, _off)) => {
+                    // Access rights permitting, map the named segment.
+                    let uid = self.uid();
+                    let can = self
+                        .kernel
+                        .vfs
+                        .shared
+                        .fs
+                        .access(ino, uid, false)
+                        .unwrap_or(false);
+                    if !can {
+                        let path = self.kernel.vfs.shared.fs.path_of(ino).unwrap_or_default();
+                        return Err(LinkError::AccessDenied { path });
+                    }
+                    if self.registry.get(&mut self.kernel.vfs, ino).is_some() {
+                        // The segment is a module: map it (possibly for
+                        // lazy linking), attributing the DAG edge to the
+                        // module whose code faulted.
+                        let parent = self.faulting_parent();
+                        self.map_public_module(ino, ShareClass::DynamicPublic, &parent)?;
+                    } else {
+                        self.map_plain_segment(ino)?;
+                        self.state.stats.segments_mapped += 1;
+                    }
+                    self.state.stats.faults_resolved += 1;
+                    return Ok(FaultDisposition::Resolved);
+                }
+                Err(_) => return self.fall_through(addr),
+            }
+        }
+        self.fall_through(addr)
+    }
+
+    /// The module whose text the faulting PC lies in (for DAG edges).
+    fn faulting_parent(&self) -> String {
+        let pc = self
+            .kernel
+            .procs
+            .get(&self.pid)
+            .map(|p| p.cpu.pc)
+            .unwrap_or(0);
+        self.state
+            .module_at(pc)
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|| ROOT.to_string())
+    }
+
+    /// Maps a plain (non-module) shared segment — the pointer-following
+    /// case. The whole file is mapped read/write at its slot address.
+    fn map_plain_segment(&mut self, ino: Ino) -> Result<(), LinkError> {
+        let meta = self.kernel.vfs.shared.fs.metadata(ino)?;
+        let len = (meta.size as u32).div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE;
+        // Grow the backing file to whole pages so mapped stores work.
+        if (meta.size as u32) < len {
+            self.kernel.vfs.shared.fs.truncate(ino, len as u64)?;
+        }
+        let base = SharedFs::addr_of_ino(ino);
+        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        proc.aspace
+            .map_shared(base, len, Prot::RW, ino, 0)
+            .map_err(|_| LinkError::Fs(FsError::Busy))?;
+        Ok(())
+    }
+
+    /// Could not resolve: give the program's own handler a chance, per
+    /// the paper's `signal()`-compatible fallback.
+    fn fall_through(&mut self, addr: u32) -> Result<FaultDisposition, LinkError> {
+        if self.kernel.deliver_segv(self.pid, addr) {
+            Ok(FaultDisposition::DeliveredToGuest)
+        } else {
+            Ok(FaultDisposition::Fatal)
+        }
+    }
+
+    /// Finishes the lazy link of `name`: resolves its pending references
+    /// with scoped search (possibly mapping new modules, inaccessibly),
+    /// then enables access.
+    pub fn lazy_link(&mut self, name: &str) -> Result<(), LinkError> {
+        let (pendings, ino) = {
+            let m = self.state.modules.get_mut(name).expect("module exists");
+            (std::mem::take(&mut m.pending), m.ino)
+        };
+        let mut unresolved = Vec::new();
+        for p in pendings {
+            match self.resolve_scoped(name, &p.symbol)? {
+                Some(addr) => {
+                    // Per Figure 2, scoped resolution may climb to the
+                    // root — the main program — so a *public* instance
+                    // can end up patched with a private address. The
+                    // bytes are shared: in every other protection domain
+                    // that address means something else. This is the
+                    // §5 "Safety" hazard the paper accepts ("a more
+                    // defensive style of programming"); we keep the
+                    // paper's semantics but count the event so tools
+                    // and tests can see it happened.
+                    if ino.is_some() && !SharedFs::contains(addr) {
+                        self.state.stats.cross_domain_resolutions += 1;
+                    }
+                    self.patch_pending(&p, addr, Some(name))?;
+                    self.state.stats.symbols_resolved += 1;
+                }
+                None => {
+                    self.state.stats.symbols_unresolved += 1;
+                    unresolved.push(p);
+                }
+            }
+        }
+        let m = self.state.modules.get_mut(name).expect("module exists");
+        m.pending = unresolved.clone();
+        m.lazy = false;
+        let (base, len) = (m.base, m.total_len);
+        let tramp = m.tramp;
+        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        proc.aspace
+            .set_prot(base, len, Prot::RWX)
+            .map_err(|_| LinkError::Unresolvable { addr: base })?;
+        // Persist the resolved state for public modules so other
+        // processes (and later runs) see the link.
+        if let Some(ino) = ino {
+            if let Some(meta) = self.registry.get(&mut self.kernel.vfs, ino).cloned() {
+                let mut meta = meta;
+                meta.pending = unresolved;
+                meta.tramp_used = tramp.2;
+                self.registry.put(&mut self.kernel.vfs, ino, meta)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scoped symbol resolution (§3, Figure 2): first the module's own
+    /// module list and search path, then its parents', grandparents', up
+    /// to the root (the image and the modules `lds` knew about).
+    pub fn resolve_scoped(&mut self, module: &str, symbol: &str) -> Result<Option<u32>, LinkError> {
+        let chain = self.state.dag.escalation_chain(module);
+        for node in chain {
+            if node == ROOT {
+                if let Some(&a) = self.state.image_exports.get(symbol) {
+                    return Ok(Some(a));
+                }
+                // Modules loaded at the root (the lds command line).
+                if let Some(addr) = self.exports_of_children(ROOT, symbol) {
+                    return Ok(Some(addr));
+                }
+                // Finally the ldl search path directories.
+                let search = self.runtime_search();
+                if let Some(addr) = self.scan_dirs_for(symbol, search.dirs().to_vec(), ROOT)? {
+                    return Ok(Some(addr));
+                }
+                continue;
+            }
+            let (uses, dirs) = match self.state.modules.get(&node) {
+                Some(m) => (m.search.modules.clone(), m.search.dirs.clone()),
+                None => continue,
+            };
+            // (a) Modules on the node's module list: load on demand (the
+            // "chain reaction" of recursive inclusion).
+            for dep in &uses {
+                let dep_name = self.ensure_dep_loaded(dep, &node, &dirs)?;
+                if let Some(dep_name) = dep_name {
+                    if let Some(addr) = self.export_of(&dep_name, symbol) {
+                        return Ok(Some(addr));
+                    }
+                }
+            }
+            // (b) Modules already loaded as children of this node.
+            if let Some(addr) = self.exports_of_children(&node, symbol) {
+                return Ok(Some(addr));
+            }
+            // (c) Templates in the node's search directories.
+            if !dirs.is_empty() {
+                if let Some(addr) = self.scan_dirs_for(symbol, dirs, &node)? {
+                    return Ok(Some(addr));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn export_of(&self, module: &str, symbol: &str) -> Option<u32> {
+        self.state
+            .modules
+            .get(module)?
+            .exports
+            .iter()
+            .find(|(n, _)| n == symbol)
+            .map(|&(_, a)| a)
+    }
+
+    /// Exports of modules whose DAG parent includes `node`.
+    fn exports_of_children(&self, node: &str, symbol: &str) -> Option<u32> {
+        for m in self.state.modules.values() {
+            if self.state.dag.parents_of(&m.name).iter().any(|p| p == node) {
+                if let Some((_, a)) = m.exports.iter().find(|(n, _)| n == symbol) {
+                    return Some(*a);
+                }
+            }
+        }
+        None
+    }
+
+    /// Loads a module named on a `.uses` list, searching the owner's own
+    /// directories first, then the global strategy. Returns the loaded
+    /// module's name, or `None` if it cannot be found (a warning-level
+    /// situation: the reference may still resolve higher up the chain).
+    fn ensure_dep_loaded(
+        &mut self,
+        dep: &str,
+        parent: &str,
+        parent_dirs: &[String],
+    ) -> Result<Option<String>, LinkError> {
+        // Already loaded under this (module) name?
+        if self.state.modules.contains_key(dep) {
+            self.state.dag.add_edge(dep, parent);
+            return Ok(Some(dep.to_string()));
+        }
+        let cwd = self.cwd();
+        let own = SearchPath::of_dirs(parent_dirs);
+        let path = own.locate(&mut self.kernel.vfs, &cwd, dep).or_else(|| {
+            self.runtime_search()
+                .locate(&mut self.kernel.vfs, &cwd, dep)
+        });
+        let Some(path) = path else { return Ok(None) };
+        // Public if the template lives on the shared partition, private
+        // otherwise.
+        let class = match self.kernel.vfs.route_norm(&path) {
+            Ok((Mount::Shared, _)) => ShareClass::DynamicPublic,
+            _ => ShareClass::DynamicPrivate,
+        };
+        let name = self.load_module(&path, class, parent)?;
+        Ok(Some(name))
+    }
+
+    /// Scans directories for a template exporting `symbol`; loads the
+    /// first match (as a child of `parent`) and returns the address.
+    fn scan_dirs_for(
+        &mut self,
+        symbol: &str,
+        dirs: Vec<String>,
+        parent: &str,
+    ) -> Result<Option<u32>, LinkError> {
+        for dir in dirs {
+            if !self.state.dir_cache.contains_key(&dir) {
+                self.state.stats.dir_scans += 1;
+                let mut map = HashMap::new();
+                if let Ok(names) = self.kernel.vfs.readdir(&dir) {
+                    for file in names {
+                        if !file.ends_with(".o") {
+                            continue;
+                        }
+                        let path = format!("{}/{}", dir.trim_end_matches('/'), file);
+                        if let Ok(raw) = self.kernel.vfs.read_all(&path) {
+                            if let Ok(obj) = binfmt::decode_object(&raw) {
+                                for sym in obj.exported_symbols() {
+                                    map.entry(sym.name.clone()).or_insert_with(|| path.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                self.state.dir_cache.insert(dir.clone(), map);
+            }
+            let hit = self.state.dir_cache[&dir].get(symbol).cloned();
+            if let Some(template) = hit {
+                let class = match self.kernel.vfs.route_norm(&template) {
+                    Ok((Mount::Shared, _)) => ShareClass::DynamicPublic,
+                    _ => ShareClass::DynamicPrivate,
+                };
+                let name = self.load_module(&template, class, parent)?;
+                if let Some(addr) = self.export_of(&name, symbol) {
+                    return Ok(Some(addr));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Patches one pending relocation site in guest memory, synthesizing
+    /// a trampoline in the owner's area when a jump is out of region.
+    /// `owner` is the module whose area serves the trampoline (`None` ⇒
+    /// the main image's area).
+    fn patch_pending(
+        &mut self,
+        p: &ImageReloc,
+        symbol_addr: u32,
+        owner: Option<&str>,
+    ) -> Result<(), LinkError> {
+        let value = symbol_addr.wrapping_add(p.addend as u32);
+        match self.try_patch(p.addr, p.kind, value) {
+            Ok(()) => Ok(()),
+            Err(RelocError::JumpOutOfRange { .. }) => {
+                let tramp_addr = self.alloc_runtime_trampoline(owner, value)?;
+                self.try_patch(p.addr, p.kind, tramp_addr)
+                    .map_err(|err| LinkError::Reloc {
+                        module: p.symbol.clone(),
+                        err,
+                    })
+            }
+            Err(err) => Err(LinkError::Reloc {
+                module: p.symbol.clone(),
+                err,
+            }),
+        }
+    }
+
+    /// Reads, patches, and writes back the 32-bit word at `addr` through
+    /// the kernel (works for both private and shared mappings).
+    fn try_patch(&mut self, addr: u32, kind: RelocKind, value: u32) -> Result<(), RelocError> {
+        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let old = proc
+            .aspace
+            .read_bytes(&self.kernel.vfs.shared, addr, 4)
+            .map_err(|_| RelocError::Misaligned { offset: addr })?;
+        let word = u32::from_le_bytes([old[0], old[1], old[2], old[3]]);
+        let patched = kind.apply(word, value, addr)?;
+        proc.aspace
+            .write_bytes(&mut self.kernel.vfs.shared, addr, &patched.to_le_bytes())
+            .map_err(|_| RelocError::Misaligned { offset: addr })?;
+        Ok(())
+    }
+
+    /// Allocates (and writes) a run-time trampoline in `owner`'s area.
+    fn alloc_runtime_trampoline(
+        &mut self,
+        owner: Option<&str>,
+        target: u32,
+    ) -> Result<u32, LinkError> {
+        let (base, cap, used, who) = match owner {
+            Some(name) => {
+                let m = self
+                    .state
+                    .modules
+                    .get(name)
+                    .ok_or(LinkError::Unresolvable { addr: target })?;
+                (
+                    m.base + m.tramp.0,
+                    m.tramp.1,
+                    m.tramp.2,
+                    Some(name.to_string()),
+                )
+            }
+            None => {
+                let (b, c, u) = self.state.image_tramp;
+                (b, c, u, None)
+            }
+        };
+        if used + crate::tramp::TRAMP_BYTES > cap {
+            return Err(LinkError::TrampolineOverflow {
+                module: who.unwrap_or_else(|| "<image>".into()),
+            });
+        }
+        let addr = base + used;
+        let code: Vec<u8> = trampoline_code(target)
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
+        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        proc.aspace
+            .write_bytes(&mut self.kernel.vfs.shared, addr, &code)
+            .map_err(|_| LinkError::Unresolvable { addr })?;
+        match who {
+            Some(name) => {
+                let m = self.state.modules.get_mut(&name).expect("just looked up");
+                m.tramp.2 += crate::tramp::TRAMP_BYTES;
+            }
+            None => self.state.image_tramp.2 += crate::tramp::TRAMP_BYTES,
+        }
+        self.state.stats.trampolines += 1;
+        Ok(addr)
+    }
+
+    /// Maps the shared segment at `addr` read/write without any linking —
+    /// used by the runtime's `map_segment` service for programs that want
+    /// a raw shared segment by path.
+    pub fn map_segment_by_path(&mut self, path: &str) -> Result<u32, LinkError> {
+        let base = self.kernel.vfs.path_to_addr(path)?;
+        let (ino, _) = self.kernel.vfs.shared.addr_to_ino(base)?;
+        self.map_plain_segment(ino)?;
+        Ok(base)
+    }
+}

@@ -1,0 +1,166 @@
+//! Long-branch trampolines.
+//!
+//! §3: "To cope with a similar 28-bit addressing limit on the processor's
+//! jump instructions, lds and ldl arrange for over-long branches to be
+//! replaced with jumps to new, nearby code fragments that load the
+//! appropriate target address into a register and jump indirectly."
+//!
+//! A trampoline is three instructions (12 bytes) in a reserved area at the
+//! end of the module's text, reachable by the original `j`/`jal`:
+//!
+//! ```text
+//! lui  $at, target[31:16]
+//! ori  $at, $at, target[15:0]
+//! jr   $at
+//! ```
+//!
+//! `$at` is the linker-reserved register, so no live value is clobbered;
+//! `jal` still writes `$ra` at the original call site, so calls through a
+//! trampoline return correctly.
+
+use hvm::{encode, Instr, Reg};
+use std::collections::HashMap;
+
+/// Size of one trampoline in bytes.
+pub const TRAMP_BYTES: u32 = 12;
+
+/// Encodes the three-instruction trampoline body for `target`.
+pub fn trampoline_code(target: u32) -> [u32; 3] {
+    [
+        encode(Instr::Lui {
+            rt: Reg::AT,
+            imm: (target >> 16) as u16,
+        }),
+        encode(Instr::Ori {
+            rt: Reg::AT,
+            rs: Reg::AT,
+            imm: target as u16,
+        }),
+        encode(Instr::Jr { rs: Reg::AT }),
+    ]
+}
+
+/// Allocates trampolines within a module's reserved area, deduplicating
+/// by target.
+#[derive(Debug)]
+pub struct TrampolineArea {
+    /// Virtual address of the first trampoline slot.
+    pub base: u32,
+    /// Total reserved bytes.
+    pub capacity: u32,
+    /// Bytes handed out so far.
+    pub used: u32,
+    by_target: HashMap<u32, u32>,
+    /// Emitted code, appended per allocation (3 words each).
+    pub code: Vec<u32>,
+}
+
+impl TrampolineArea {
+    /// Creates an allocator over `[base, base + capacity)`.
+    pub fn new(base: u32, capacity: u32) -> TrampolineArea {
+        TrampolineArea {
+            base,
+            capacity,
+            used: 0,
+            by_target: HashMap::new(),
+            code: Vec::new(),
+        }
+    }
+
+    /// Returns the address of a trampoline to `target`, creating one if
+    /// this target has none yet. `None` if the area is full.
+    pub fn get(&mut self, target: u32) -> Option<u32> {
+        if let Some(&addr) = self.by_target.get(&target) {
+            return Some(addr);
+        }
+        if self.used + TRAMP_BYTES > self.capacity {
+            return None;
+        }
+        let addr = self.base + self.used;
+        self.used += TRAMP_BYTES;
+        self.by_target.insert(target, addr);
+        self.code.extend_from_slice(&trampoline_code(target));
+        Some(addr)
+    }
+
+    /// The emitted trampoline bytes (little-endian), ready to copy into
+    /// the reserved area.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.code.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Number of distinct trampolines emitted.
+    pub fn count(&self) -> usize {
+        self.by_target.len()
+    }
+}
+
+/// Conservative reservation for a module with `jump26_relocs` region-
+/// limited jump relocations: every one might need its own trampoline.
+pub fn reserve_for(jump26_relocs: usize) -> u32 {
+    (jump26_relocs as u32) * TRAMP_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvm::decode;
+
+    #[test]
+    fn trampoline_loads_target_and_jumps_indirect() {
+        let code = trampoline_code(0x3456_789C);
+        assert_eq!(
+            decode(code[0]).unwrap(),
+            Instr::Lui {
+                rt: Reg::AT,
+                imm: 0x3456
+            }
+        );
+        assert_eq!(
+            decode(code[1]).unwrap(),
+            Instr::Ori {
+                rt: Reg::AT,
+                rs: Reg::AT,
+                imm: 0x789C
+            }
+        );
+        assert_eq!(decode(code[2]).unwrap(), Instr::Jr { rs: Reg::AT });
+    }
+
+    #[test]
+    fn allocation_and_dedup() {
+        let mut area = TrampolineArea::new(0x5000, 24);
+        let a = area.get(0x3000_0000).unwrap();
+        let b = area.get(0x3000_0000).unwrap();
+        assert_eq!(a, b, "same target shares a trampoline");
+        assert_eq!(a, 0x5000);
+        let c = area.get(0x4000_0000).unwrap();
+        assert_eq!(c, 0x500C);
+        assert_eq!(area.count(), 2);
+        // Area exhausted.
+        assert_eq!(area.get(0x5000_0000), None);
+    }
+
+    #[test]
+    fn bytes_layout_matches_allocations() {
+        let mut area = TrampolineArea::new(0x5000, 24);
+        area.get(0x1111_2222).unwrap();
+        area.get(0x3333_4444).unwrap();
+        let bytes = area.bytes();
+        assert_eq!(bytes.len(), 24);
+        let w0 = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        assert_eq!(
+            decode(w0).unwrap(),
+            Instr::Lui {
+                rt: Reg::AT,
+                imm: 0x1111
+            }
+        );
+    }
+
+    #[test]
+    fn reservation_bound() {
+        assert_eq!(reserve_for(0), 0);
+        assert_eq!(reserve_for(7), 84);
+    }
+}

@@ -1,0 +1,282 @@
+//! Direct tests of `lds` and the linker plumbing (below the `World`
+//! event loop, which the repository-level integration tests cover).
+
+use hlink::{Lds, LdsInput, LinkError, ModuleRegistry, ModuleSpec};
+use hobj::hasm::assemble;
+use hobj::{binfmt, Object, ShareClass};
+use hsfs::Vfs;
+
+fn crt0() -> Object {
+    assemble(
+        "crt0",
+        ".module crt0\n.text\n.globl _start\n_start: li v0, 100\nsyscall\njal main\n\
+         or a0, v0, r0\nli v0, 1\nsyscall\n",
+    )
+    .unwrap()
+}
+
+fn install(vfs: &mut Vfs, path: &str, src: &str) {
+    let name = path.rsplit('/').next().unwrap().trim_end_matches(".o");
+    let obj = assemble(name, src).unwrap();
+    if let Some((dir, _)) = hsfs::path::split_parent(path) {
+        vfs.mkdir_all(dir, 0o777, 0).unwrap();
+    }
+    vfs.write_file(path, &binfmt::encode_object(&obj), 0o666, 0)
+        .unwrap();
+}
+
+fn input(modules: Vec<ModuleSpec>) -> LdsInput {
+    LdsInput {
+        program: "/bin/a.out".into(),
+        cwd: "/".into(),
+        cli_dirs: vec![],
+        ld_library_path: None,
+        modules,
+        crt0: crt0(),
+        strict_duplicates: false,
+    }
+}
+
+#[test]
+fn missing_static_module_aborts() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    let err = Lds::link(
+        &mut vfs,
+        &mut reg,
+        &input(vec![ModuleSpec::new("nope", ShareClass::StaticPrivate)]),
+    )
+    .unwrap_err();
+    assert!(matches!(err, LinkError::StaticModuleNotFound { .. }));
+}
+
+#[test]
+fn missing_dynamic_module_warns_and_continues() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/src/main.o",
+        ".module main\n.text\n.globl main\nmain: jr ra\n",
+    );
+    let out = Lds::link(
+        &mut vfs,
+        &mut reg,
+        &input(vec![
+            ModuleSpec::new("/src/main.o", ShareClass::StaticPrivate),
+            ModuleSpec::new("ghost", ShareClass::DynamicPublic),
+        ]),
+    )
+    .unwrap();
+    assert!(out.warnings.iter().any(|w| w.contains("ghost")));
+    assert_eq!(out.image.dynamic.len(), 1);
+}
+
+#[test]
+fn no_main_still_links_with_pending_reference() {
+    // crt0's `jal main` stays pending; ldl would resolve it at run time.
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    let out = Lds::link(&mut vfs, &mut reg, &input(vec![])).unwrap();
+    assert!(out.image.pending.iter().any(|p| p.symbol == "main"));
+}
+
+#[test]
+fn duplicate_globals_first_wins_with_warning() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/src/a.o",
+        ".module a\n.text\n.globl main\n.globl dup\nmain: jal dup\njr ra\ndup: li v0, 1\njr ra\n",
+    );
+    install(
+        &mut vfs,
+        "/src/b.o",
+        ".module b\n.text\n.globl dup\ndup: li v0, 2\njr ra\n",
+    );
+    let out = Lds::link(
+        &mut vfs,
+        &mut reg,
+        &input(vec![
+            ModuleSpec::new("/src/a.o", ShareClass::StaticPrivate),
+            ModuleSpec::new("/src/b.o", ShareClass::StaticPrivate),
+        ]),
+    )
+    .unwrap();
+    assert!(out.warnings.iter().any(|w| w.contains("dup")));
+    // `a`'s definition (the first) wins.
+    let a_dup = out.image.find_export("dup").unwrap();
+    assert!(a_dup < out.image.find_export("main").unwrap() + 0x100);
+}
+
+#[test]
+fn strict_mode_reports_duplicates_as_errors() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/src/a.o",
+        ".module a\n.text\n.globl main\nmain: jr ra\n",
+    );
+    install(
+        &mut vfs,
+        "/src/b.o",
+        ".module b\n.text\n.globl main\nmain: jr ra\n",
+    );
+    let mut inp = input(vec![
+        ModuleSpec::new("/src/a.o", ShareClass::StaticPrivate),
+        ModuleSpec::new("/src/b.o", ShareClass::StaticPrivate),
+    ]);
+    inp.strict_duplicates = true;
+    assert!(matches!(
+        Lds::link(&mut vfs, &mut reg, &inp),
+        Err(LinkError::DuplicateSymbol { .. })
+    ));
+}
+
+#[test]
+fn gp_module_rejected_by_lds() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/src/fast.o",
+        ".module fast\n.text\n.globl main\nmain: lw v0, %gprel(x)(gp)\njr ra\n.data\nx: .word 3\n",
+    );
+    assert!(matches!(
+        Lds::link(
+            &mut vfs,
+            &mut reg,
+            &input(vec![ModuleSpec::new(
+                "/src/fast.o",
+                ShareClass::StaticPrivate
+            )])
+        ),
+        Err(LinkError::ModuleUsesGp { .. })
+    ));
+}
+
+#[test]
+fn static_public_call_goes_through_trampoline() {
+    // Image text sits at ~0x1000; a static-public module sits at
+    // 0x30xxxxxx — outside the jump's 256 MB region, so `lds` must route
+    // the call through a trampoline and the image must record nonzero
+    // trampoline usage.
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/shared/lib/far.o",
+        ".module far\n.text\n.globl far_fn\nfar_fn: li v0, 5\njr ra\n",
+    );
+    install(
+        &mut vfs,
+        "/src/main.o",
+        ".module main\n.text\n.globl main\nmain: addi sp, sp, -8\nsw ra, 0(sp)\njal far_fn\nlw ra, 0(sp)\naddi sp, sp, 8\njr ra\n",
+    );
+    let out = Lds::link(
+        &mut vfs,
+        &mut reg,
+        &input(vec![
+            ModuleSpec::new("/src/main.o", ShareClass::StaticPrivate),
+            ModuleSpec::new("/shared/lib/far.o", ShareClass::StaticPublic),
+        ]),
+    )
+    .unwrap();
+    assert!(
+        out.image.tramp_used >= 12,
+        "tramp_used = {}",
+        out.image.tramp_used
+    );
+    // far_fn resolved to its global (shared-region) address.
+    let far = out.image.find_export("far_fn").unwrap();
+    assert!(far >= 0x3000_0000);
+    // The instance exists in the shared file system.
+    assert!(vfs.resolve("/shared/lib/far").is_ok());
+}
+
+#[test]
+fn public_instance_reused_across_links() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/shared/lib/mod.o",
+        ".module mod\n.text\n.globl f\nf: jr ra\n.data\n.globl v\nv: .word 9\n",
+    );
+    install(
+        &mut vfs,
+        "/src/main.o",
+        ".module main\n.text\n.globl main\nmain: jr ra\n",
+    );
+    let specs = vec![
+        ModuleSpec::new("/src/main.o", ShareClass::StaticPrivate),
+        ModuleSpec::new("/shared/lib/mod.o", ShareClass::StaticPublic),
+    ];
+    let out1 = Lds::link(&mut vfs, &mut reg, &input(specs.clone())).unwrap();
+    let out2 = Lds::link(&mut vfs, &mut reg, &input(specs)).unwrap();
+    assert_eq!(out1.image.find_export("v"), out2.image.find_export("v"));
+    // Only one instance file.
+    let listing = vfs.readdir("/shared/lib").unwrap();
+    assert_eq!(listing, vec!["mod", "mod.o"]);
+}
+
+#[test]
+fn search_order_first_match_wins_for_statics() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/one/m.o",
+        ".module m\n.text\n.globl tag\ntag: li v0, 1\njr ra\n",
+    );
+    install(
+        &mut vfs,
+        "/two/m.o",
+        ".module m\n.text\n.globl tag\ntag: li v0, 2\njr ra\n",
+    );
+    install(
+        &mut vfs,
+        "/src/main.o",
+        ".module main\n.text\n.globl main\nmain: jr ra\n",
+    );
+    let mut inp = input(vec![
+        ModuleSpec::new("/src/main.o", ShareClass::StaticPrivate),
+        ModuleSpec::new("m", ShareClass::StaticPrivate),
+    ]);
+    inp.cli_dirs = vec!["/one".into(), "/two".into()];
+    let out = Lds::link(&mut vfs, &mut reg, &inp).unwrap();
+    // /one/m.o won; its `tag` is in the image.
+    assert!(out.image.find_export("tag").is_some());
+    // Decode the tag function's first word: li v0,1 → lui v0,0.
+    let addr = out.image.find_export("tag").unwrap();
+    let off = (addr - out.image.text_base) as usize;
+    let w1 = u32::from_le_bytes(out.image.text[off + 4..off + 8].try_into().unwrap());
+    match hvm::decode(w1).unwrap() {
+        hvm::Instr::Ori { imm, .. } => assert_eq!(imm, 1),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn image_round_trips_through_binfmt() {
+    let mut vfs = Vfs::new();
+    let mut reg = ModuleRegistry::new();
+    install(
+        &mut vfs,
+        "/src/main.o",
+        ".module main\n.text\n.globl main\nmain: jr ra\n",
+    );
+    let out = Lds::link(
+        &mut vfs,
+        &mut reg,
+        &input(vec![ModuleSpec::new(
+            "/src/main.o",
+            ShareClass::StaticPrivate,
+        )]),
+    )
+    .unwrap();
+    let bytes = binfmt::encode_image(&out.image);
+    assert_eq!(binfmt::decode_image(&bytes).unwrap(), out.image);
+}

@@ -1,0 +1,209 @@
+//! `objdump`-style textual dumps of templates and load images.
+//!
+//! Developer tooling the real system would ship alongside `lds`/`ldl`:
+//! human-readable listings of sections, symbols, relocations, the
+//! dynamic-module list, and the recorded search strategy. Used by the
+//! examples for diagnostics and by tests as a stable rendering of linker
+//! output.
+
+use crate::image::LoadImage;
+use crate::object::{Object, SectionId};
+use crate::reloc::RelocKind;
+use crate::symbol::Binding;
+use hvm::disasm::disasm_region;
+use std::fmt::Write as _;
+
+fn kind_name(kind: RelocKind) -> &'static str {
+    match kind {
+        RelocKind::Hi16 => "HI16",
+        RelocKind::Lo16 => "LO16",
+        RelocKind::Jump26 => "JUMP26",
+        RelocKind::Branch16 => "BRANCH16",
+        RelocKind::Word32 => "WORD32",
+        RelocKind::GpRel16 => "GPREL16",
+    }
+}
+
+fn section_name(s: SectionId) -> &'static str {
+    match s {
+        SectionId::Text => ".text",
+        SectionId::Data => ".data",
+        SectionId::Bss => ".bss",
+    }
+}
+
+/// Renders a template: header, symbols, relocations, disassembly.
+pub fn dump_object(obj: &Object) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}:", obj.name);
+    let _ = writeln!(
+        out,
+        "  sections: .text {} bytes, .data {} bytes, .bss {} bytes{}",
+        obj.text.len(),
+        obj.data.len(),
+        obj.bss_size,
+        if obj.uses_gp {
+            "   [USES $gp — not dynamically linkable]"
+        } else {
+            ""
+        }
+    );
+    if !obj.search.modules.is_empty() || !obj.search.dirs.is_empty() {
+        let _ = writeln!(
+            out,
+            "  scoped linking: uses {:?}, search {:?}",
+            obj.search.modules, obj.search.dirs
+        );
+    }
+    let _ = writeln!(out, "  symbols:");
+    for sym in &obj.symbols {
+        let binding = match sym.binding {
+            Binding::Global => "g",
+            Binding::Local => "l",
+        };
+        match sym.def {
+            Some(def) => {
+                let _ = writeln!(
+                    out,
+                    "    {binding} {:<24} {}+{:#x}",
+                    sym.name,
+                    section_name(def.section),
+                    def.offset
+                );
+            }
+            None => {
+                let _ = writeln!(out, "    {binding} {:<24} *UND*", sym.name);
+            }
+        }
+    }
+    if !obj.relocs.is_empty() {
+        let _ = writeln!(out, "  relocations:");
+        for r in &obj.relocs {
+            let _ = writeln!(
+                out,
+                "    {}+{:#06x} {:<8} {}{:+}",
+                section_name(r.section),
+                r.offset,
+                kind_name(r.kind),
+                obj.symbols
+                    .get(r.symbol as usize)
+                    .map(|s| s.name.as_str())
+                    .unwrap_or("<bad index>"),
+                r.addend
+            );
+        }
+    }
+    if !obj.text.is_empty() {
+        let _ = writeln!(out, "  disassembly of .text (unrelocated, at offset 0):");
+        for line in disasm_region(&obj.text, 0).lines() {
+            let _ = writeln!(out, "    {line}");
+        }
+    }
+    out
+}
+
+/// Renders a load image: layout, entry, dynamic list, pending
+/// relocations, and the recorded search strategy.
+pub fn dump_image(img: &LoadImage) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "image {}:", img.name);
+    let _ = writeln!(
+        out,
+        "  text {:#010x}..{:#010x} (tramp area at +{:#x}, {} bytes used)",
+        img.text_base,
+        img.text_base + img.text.len() as u32,
+        img.tramp_offset,
+        img.tramp_used
+    );
+    let _ = writeln!(
+        out,
+        "  data {:#010x}..{:#010x}  bss {:#010x}..{:#010x}  entry {:#010x}",
+        img.data_base,
+        img.data_base + img.data.len() as u32,
+        img.bss_base,
+        img.bss_base + img.bss_size,
+        img.entry
+    );
+    let _ = writeln!(out, "  static modules:");
+    for rec in &img.statics {
+        let _ = writeln!(
+            out,
+            "    {:<20} {:?} at {:#010x} {}",
+            rec.name,
+            rec.class,
+            rec.base,
+            if rec.path.is_empty() {
+                "(merged)"
+            } else {
+                rec.path.as_str()
+            }
+        );
+    }
+    if !img.dynamic.is_empty() {
+        let _ = writeln!(out, "  dynamic modules (for ldl):");
+        for d in &img.dynamic {
+            let _ = writeln!(out, "    {:<20} {:?}", d.name, d.class);
+        }
+    }
+    if !img.pending.is_empty() {
+        let _ = writeln!(out, "  pending relocations:");
+        for p in &img.pending {
+            let _ = writeln!(
+                out,
+                "    {:#010x} {:<8} {}{:+}",
+                p.addr,
+                kind_name(p.kind),
+                p.symbol,
+                p.addend
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  search strategy: {:?}",
+        img.strategy.dirs().collect::<Vec<_>>()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hasm::assemble;
+
+    #[test]
+    fn object_dump_contains_everything() {
+        let obj = assemble(
+            "demo",
+            ".module demo\n.uses locks\n.text\n.globl f\nf: jal g\njr ra\n.data\nv: .word 1\n",
+        )
+        .unwrap();
+        let text = dump_object(&obj);
+        assert!(text.contains("module demo"));
+        assert!(text.contains("g f"), "{text}");
+        assert!(text.contains("*UND*"));
+        assert!(text.contains("JUMP26"));
+        assert!(text.contains("uses [\"locks\"]"));
+        assert!(text.contains("jr   $ra"));
+    }
+
+    #[test]
+    fn gp_module_flagged() {
+        let obj = assemble("fast", ".text\nlw r9, %gprel(v)(gp)\n.data\nv: .word 0\n").unwrap();
+        assert!(dump_object(&obj).contains("USES $gp"));
+    }
+
+    #[test]
+    fn image_dump_smoke() {
+        let img = LoadImage {
+            name: "a.out".into(),
+            text_base: 0x1000,
+            text: vec![0; 8],
+            entry: 0x1000,
+            ..Default::default()
+        };
+        let text = dump_image(&img);
+        assert!(text.contains("image a.out"));
+        assert!(text.contains("entry 0x00001000"));
+    }
+}

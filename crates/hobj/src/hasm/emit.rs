@@ -1,0 +1,767 @@
+//! Two-pass emission: statement IR → relocatable [`Object`].
+//!
+//! Pass 1 lays out sections and binds labels; pass 2 encodes instructions
+//! and data, producing relocation records for every reference whose value
+//! depends on the module's (unknown) final address. The two passes must
+//! agree byte-for-byte on layout; both funnel size effects through
+//! [`Layout`].
+
+use super::parse::{DataVal, Imm, InstrStmt, Item, Line, Operand, SymRef};
+use super::AsmError;
+use crate::object::{Object, SearchSpec, SectionId};
+use crate::reloc::{Reloc, RelocKind};
+use crate::symbol::{Binding, Symbol, SymbolDef};
+use hvm::isa::branch_disp;
+use hvm::{encode, Instr, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// Section offsets shared by both passes.
+#[derive(Clone, Copy, Default)]
+struct Layout {
+    text: u32,
+    data: u32,
+    bss: u32,
+}
+
+impl Layout {
+    fn offset(&mut self, s: SectionId) -> &mut u32 {
+        match s {
+            SectionId::Text => &mut self.text,
+            SectionId::Data => &mut self.data,
+            SectionId::Bss => &mut self.bss,
+        }
+    }
+
+    fn align(&mut self, s: SectionId, to: u32) -> u32 {
+        let off = self.offset(s);
+        let rem = *off % to;
+        let pad = if rem == 0 { 0 } else { to - rem };
+        *off += pad;
+        pad
+    }
+}
+
+/// Alignment a statement requires before it is placed.
+fn item_alignment(item: &Item) -> u32 {
+    match item {
+        Item::Word(_) => 4,
+        Item::Half(_) => 2,
+        Item::Align(n) => *n,
+        Item::Instr(_) => 4,
+        _ => 1,
+    }
+}
+
+/// Number of code words a (pseudo-)instruction expands to.
+fn instr_words(mnemonic: &str) -> Option<u32> {
+    Some(match mnemonic {
+        "la" | "li" => 2,
+        "add" | "sub" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" | "sll" | "srl" | "sra"
+        | "sllv" | "srlv" | "srav" | "mult" | "multu" | "div" | "divu" | "mfhi" | "mflo"
+        | "addi" | "slti" | "sltiu" | "andi" | "ori" | "xori" | "lui" | "lb" | "lbu" | "lh"
+        | "lhu" | "lw" | "sb" | "sh" | "sw" | "beq" | "bne" | "blez" | "bgtz" | "bltz" | "bgez"
+        | "j" | "jal" | "jr" | "jalr" | "syscall" | "break" | "nop" | "move" | "b" | "beqz"
+        | "bnez" | "neg" | "not" => 1,
+        _ => return None,
+    })
+}
+
+/// Size in bytes a statement contributes to its section.
+fn item_size(item: &Item) -> Option<u32> {
+    Some(match item {
+        Item::Word(vals) => 4 * vals.len() as u32,
+        Item::Half(vals) => 2 * vals.len() as u32,
+        Item::Byte(vals) => vals.len() as u32,
+        Item::Space(n) => *n,
+        Item::Ascii(b) => b.len() as u32,
+        Item::Instr(i) => 4 * instr_words(&i.mnemonic)?,
+        _ => 0,
+    })
+}
+
+struct Emitter<'a> {
+    name: String,
+    lines: &'a [Line],
+    errors: Vec<AsmError>,
+    labels: HashMap<String, SymbolDef>,
+    label_order: Vec<String>,
+    globals: HashSet<String>,
+    text: Vec<u8>,
+    data: Vec<u8>,
+    relocs: Vec<(SectionId, u32, String, i32, RelocKind)>,
+    search: SearchSpec,
+    uses_gp: bool,
+}
+
+impl<'a> Emitter<'a> {
+    fn err(&mut self, line: u32, msg: impl Into<String>) {
+        self.errors.push(AsmError {
+            line,
+            msg: msg.into(),
+        });
+    }
+
+    /// Pass 1: bind labels, record globals/search/options, check layout.
+    fn pass1(&mut self) {
+        let mut layout = Layout::default();
+        let mut section = SectionId::Text;
+        for line in self.lines {
+            if let Some(item) = &line.item {
+                match item {
+                    Item::Module(name) => self.name = name.clone(),
+                    Item::Section(s) => section = *s,
+                    Item::Globl(names) => {
+                        self.globals.extend(names.iter().cloned());
+                    }
+                    Item::Search(dirs) => self.search.dirs.extend(dirs.iter().cloned()),
+                    Item::Uses(mods) => self.search.modules.extend(mods.iter().cloned()),
+                    Item::OptionGp => self.uses_gp = true,
+                    _ => {}
+                }
+                layout.align(section, item_alignment(item));
+            }
+            for label in &line.labels {
+                let def = SymbolDef {
+                    section,
+                    offset: *layout.offset(section),
+                };
+                if self.labels.insert(label.clone(), def).is_some() {
+                    self.err(line.no, format!("duplicate label `{label}`"));
+                } else {
+                    self.label_order.push(label.clone());
+                }
+            }
+            if let Some(item) = &line.item {
+                match item_size(item) {
+                    Some(size) => *layout.offset(section) += size,
+                    None => {
+                        if let Item::Instr(i) = item {
+                            self.err(line.no, format!("unknown mnemonic `{}`", i.mnemonic));
+                        }
+                    }
+                }
+                if section == SectionId::Bss
+                    && !matches!(
+                        item,
+                        Item::Space(_)
+                            | Item::Align(_)
+                            | Item::Section(_)
+                            | Item::Globl(_)
+                            | Item::Module(_)
+                            | Item::Search(_)
+                            | Item::Uses(_)
+                            | Item::OptionGp
+                    )
+                {
+                    self.err(line.no, "initialized data not allowed in .bss");
+                }
+            }
+        }
+    }
+
+    fn section_buf(&mut self, s: SectionId) -> Option<&mut Vec<u8>> {
+        match s {
+            SectionId::Text => Some(&mut self.text),
+            SectionId::Data => Some(&mut self.data),
+            SectionId::Bss => None,
+        }
+    }
+
+    fn pad(&mut self, section: SectionId, bss: &mut u32, align: u32) {
+        match self.section_buf(section) {
+            Some(buf) => {
+                while !(buf.len() as u32).is_multiple_of(align) {
+                    buf.push(0);
+                }
+            }
+            None => {
+                let rem = *bss % align;
+                if rem != 0 {
+                    *bss += align - rem;
+                }
+            }
+        }
+    }
+
+    fn push_bytes(&mut self, section: SectionId, bss: &mut u32, bytes: &[u8]) {
+        match self.section_buf(section) {
+            Some(buf) => buf.extend_from_slice(bytes),
+            None => *bss += bytes.len() as u32,
+        }
+    }
+
+    fn reloc(&mut self, section: SectionId, offset: u32, sym: &SymRef, kind: RelocKind) {
+        if kind == RelocKind::GpRel16 {
+            self.uses_gp = true;
+        }
+        self.relocs
+            .push((section, offset, sym.name.clone(), sym.addend, kind));
+    }
+
+    /// Pass 2: encode bytes and relocations.
+    fn pass2(&mut self) {
+        let mut section = SectionId::Text;
+        let mut bss: u32 = 0;
+        for line in self.lines {
+            let Some(item) = &line.item else { continue };
+            self.pad(section, &mut bss, item_alignment(item));
+            match item {
+                Item::Module(_)
+                | Item::Globl(_)
+                | Item::Search(_)
+                | Item::Uses(_)
+                | Item::OptionGp
+                | Item::Align(_) => {}
+                Item::Section(s) => section = *s,
+                Item::Word(vals) => {
+                    for v in vals.clone() {
+                        match v {
+                            DataVal::Int(n) => {
+                                if !(-(1i64 << 31)..(1i64 << 32)).contains(&n) {
+                                    self.err(line.no, format!("word value {n} out of range"));
+                                }
+                                self.push_bytes(section, &mut bss, &(n as u32).to_le_bytes());
+                            }
+                            DataVal::Sym(sr) => {
+                                let off = self.text_or_data_len(section);
+                                self.reloc(section, off, &sr, RelocKind::Word32);
+                                self.push_bytes(section, &mut bss, &[0; 4]);
+                            }
+                        }
+                    }
+                }
+                Item::Half(vals) => {
+                    for &n in vals {
+                        if !(-(1i64 << 15)..(1i64 << 16)).contains(&n) {
+                            self.err(line.no, format!("half value {n} out of range"));
+                        }
+                        self.push_bytes(section, &mut bss, &(n as u16).to_le_bytes());
+                    }
+                }
+                Item::Byte(vals) => {
+                    for &n in vals {
+                        if !(-128..256).contains(&n) {
+                            self.err(line.no, format!("byte value {n} out of range"));
+                        }
+                        self.push_bytes(section, &mut bss, &[n as u8]);
+                    }
+                }
+                Item::Space(n) => {
+                    let n = *n;
+                    match self.section_buf(section) {
+                        Some(buf) => buf.extend(std::iter::repeat_n(0u8, n as usize)),
+                        None => bss += n,
+                    }
+                }
+                Item::Ascii(b) => {
+                    let b = b.clone();
+                    self.push_bytes(section, &mut bss, &b);
+                }
+                Item::Instr(stmt) => {
+                    if section != SectionId::Text {
+                        self.err(line.no, "instructions outside .text");
+                        continue;
+                    }
+                    if instr_words(&stmt.mnemonic).is_none() {
+                        // Already diagnosed in pass 1.
+                        continue;
+                    }
+                    let stmt = stmt.clone();
+                    self.emit_instr(line.no, &stmt);
+                }
+            }
+        }
+    }
+
+    fn text_or_data_len(&self, section: SectionId) -> u32 {
+        match section {
+            SectionId::Text => self.text.len() as u32,
+            SectionId::Data => self.data.len() as u32,
+            SectionId::Bss => 0,
+        }
+    }
+
+    fn push_word(&mut self, instr: Instr) {
+        let w = encode(instr);
+        self.text.extend_from_slice(&w.to_le_bytes());
+    }
+
+    /// Resolves an immediate operand into a raw 16-bit field, emitting a
+    /// relocation when the value depends on final addresses. `signed`
+    /// selects the literal range check.
+    fn imm16(&mut self, no: u32, imm: &Imm, signed: bool, at: u32) -> u16 {
+        match imm {
+            Imm::Lit(v) => {
+                let ok = if signed {
+                    (-(1i64 << 15)..(1i64 << 15)).contains(v)
+                } else {
+                    (0..(1i64 << 16)).contains(v)
+                };
+                if !ok {
+                    self.err(no, format!("immediate {v} out of 16-bit range"));
+                    return 0;
+                }
+                *v as u16
+            }
+            Imm::Hi(sr) => {
+                let sr = sr.clone();
+                self.reloc(SectionId::Text, at, &sr, RelocKind::Hi16);
+                0
+            }
+            Imm::Lo(sr) => {
+                let sr = sr.clone();
+                self.reloc(SectionId::Text, at, &sr, RelocKind::Lo16);
+                0
+            }
+            Imm::GpRel(sr) => {
+                let sr = sr.clone();
+                self.reloc(SectionId::Text, at, &sr, RelocKind::GpRel16);
+                0
+            }
+        }
+    }
+
+    /// Emits a conditional branch: resolved in place when the target is a
+    /// label in `.text`, otherwise via a `Branch16` relocation.
+    fn branch_imm(&mut self, no: u32, target: &SymRef, at: u32) -> u16 {
+        if let Some(def) = self.labels.get(&target.name) {
+            if def.section == SectionId::Text {
+                let dest = def.offset.wrapping_add(target.addend as u32);
+                match branch_disp(at, dest) {
+                    Some(disp) => return disp,
+                    None => {
+                        self.err(no, format!("branch target `{}` out of range", target.name));
+                        return 0;
+                    }
+                }
+            }
+        }
+        let target = target.clone();
+        self.reloc(SectionId::Text, at, &target, RelocKind::Branch16);
+        0
+    }
+
+    fn emit_instr(&mut self, no: u32, stmt: &InstrStmt) {
+        use Operand as Op;
+        let m = stmt.mnemonic.as_str();
+        let ops = &stmt.ops;
+        let at = self.text.len() as u32;
+
+        macro_rules! bail {
+            ($msg:expr) => {{
+                self.err(no, format!("{m}: {}", $msg));
+                // Keep layout in sync with pass 1.
+                for _ in 0..instr_words(m).unwrap_or(1) {
+                    self.push_word(Instr::Sll {
+                        rd: Reg::ZERO,
+                        rt: Reg::ZERO,
+                        shamt: 0,
+                    });
+                }
+                return;
+            }};
+        }
+        macro_rules! reg {
+            ($i:expr) => {
+                match ops.get($i) {
+                    Some(Op::Reg(r)) => *r,
+                    _ => bail!(format!("operand {} must be a register", $i + 1)),
+                }
+            };
+        }
+        macro_rules! want {
+            ($n:expr) => {
+                if ops.len() != $n {
+                    bail!(format!("expected {} operands, found {}", $n, ops.len()));
+                }
+            };
+        }
+
+        match m {
+            "add" | "sub" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" => {
+                want!(3);
+                let (rd, rs, rt) = (reg!(0), reg!(1), reg!(2));
+                self.push_word(match m {
+                    "add" => Instr::Add { rd, rs, rt },
+                    "sub" => Instr::Sub { rd, rs, rt },
+                    "and" => Instr::And { rd, rs, rt },
+                    "or" => Instr::Or { rd, rs, rt },
+                    "xor" => Instr::Xor { rd, rs, rt },
+                    "nor" => Instr::Nor { rd, rs, rt },
+                    "slt" => Instr::Slt { rd, rs, rt },
+                    _ => Instr::Sltu { rd, rs, rt },
+                });
+            }
+            "sll" | "srl" | "sra" => {
+                want!(3);
+                let (rd, rt) = (reg!(0), reg!(1));
+                let shamt = match ops.get(2) {
+                    Some(Op::Imm(Imm::Lit(v))) if (0..32).contains(v) => *v as u8,
+                    _ => bail!("shift amount must be 0..=31"),
+                };
+                self.push_word(match m {
+                    "sll" => Instr::Sll { rd, rt, shamt },
+                    "srl" => Instr::Srl { rd, rt, shamt },
+                    _ => Instr::Sra { rd, rt, shamt },
+                });
+            }
+            "sllv" | "srlv" | "srav" => {
+                want!(3);
+                let (rd, rt, rs) = (reg!(0), reg!(1), reg!(2));
+                self.push_word(match m {
+                    "sllv" => Instr::Sllv { rd, rt, rs },
+                    "srlv" => Instr::Srlv { rd, rt, rs },
+                    _ => Instr::Srav { rd, rt, rs },
+                });
+            }
+            "mult" | "multu" | "div" | "divu" => {
+                want!(2);
+                let (rs, rt) = (reg!(0), reg!(1));
+                self.push_word(match m {
+                    "mult" => Instr::Mult { rs, rt },
+                    "multu" => Instr::Multu { rs, rt },
+                    "div" => Instr::Div { rs, rt },
+                    _ => Instr::Divu { rs, rt },
+                });
+            }
+            "mfhi" | "mflo" => {
+                want!(1);
+                let rd = reg!(0);
+                self.push_word(if m == "mfhi" {
+                    Instr::Mfhi { rd }
+                } else {
+                    Instr::Mflo { rd }
+                });
+            }
+            "addi" | "slti" | "sltiu" | "andi" | "ori" | "xori" => {
+                want!(3);
+                let (rt, rs) = (reg!(0), reg!(1));
+                let signed = matches!(m, "addi" | "slti" | "sltiu");
+                let imm = match ops.get(2) {
+                    Some(Op::Imm(i)) => {
+                        let i = i.clone();
+                        self.imm16(no, &i, signed, at)
+                    }
+                    _ => bail!("operand 3 must be an immediate"),
+                };
+                self.push_word(match m {
+                    "addi" => Instr::Addi { rt, rs, imm },
+                    "slti" => Instr::Slti { rt, rs, imm },
+                    "sltiu" => Instr::Sltiu { rt, rs, imm },
+                    "andi" => Instr::Andi { rt, rs, imm },
+                    "ori" => Instr::Ori { rt, rs, imm },
+                    _ => Instr::Xori { rt, rs, imm },
+                });
+            }
+            "lui" => {
+                want!(2);
+                let rt = reg!(0);
+                let imm = match ops.get(1) {
+                    Some(Op::Imm(i)) => {
+                        let i = i.clone();
+                        self.imm16(no, &i, false, at)
+                    }
+                    _ => bail!("operand 2 must be an immediate"),
+                };
+                self.push_word(Instr::Lui { rt, imm });
+            }
+            "lb" | "lbu" | "lh" | "lhu" | "lw" | "sb" | "sh" | "sw" => {
+                want!(2);
+                let rt = reg!(0);
+                let (disp, base) = match ops.get(1) {
+                    Some(Op::Mem { disp, base }) => (disp.clone(), *base),
+                    _ => bail!("operand 2 must be disp(base)"),
+                };
+                let imm = self.imm16(no, &disp, true, at);
+                let rs = base;
+                self.push_word(match m {
+                    "lb" => Instr::Lb { rt, rs, imm },
+                    "lbu" => Instr::Lbu { rt, rs, imm },
+                    "lh" => Instr::Lh { rt, rs, imm },
+                    "lhu" => Instr::Lhu { rt, rs, imm },
+                    "lw" => Instr::Lw { rt, rs, imm },
+                    "sb" => Instr::Sb { rt, rs, imm },
+                    "sh" => Instr::Sh { rt, rs, imm },
+                    _ => Instr::Sw { rt, rs, imm },
+                });
+            }
+            "beq" | "bne" => {
+                want!(3);
+                let (rs, rt) = (reg!(0), reg!(1));
+                let target = match ops.get(2) {
+                    Some(Op::Sym(sr)) => sr.clone(),
+                    _ => bail!("operand 3 must be a label"),
+                };
+                let imm = self.branch_imm(no, &target, at);
+                self.push_word(if m == "beq" {
+                    Instr::Beq { rs, rt, imm }
+                } else {
+                    Instr::Bne { rs, rt, imm }
+                });
+            }
+            "blez" | "bgtz" | "bltz" | "bgez" => {
+                want!(2);
+                let rs = reg!(0);
+                let target = match ops.get(1) {
+                    Some(Op::Sym(sr)) => sr.clone(),
+                    _ => bail!("operand 2 must be a label"),
+                };
+                let imm = self.branch_imm(no, &target, at);
+                self.push_word(match m {
+                    "blez" => Instr::Blez { rs, imm },
+                    "bgtz" => Instr::Bgtz { rs, imm },
+                    "bltz" => Instr::Bltz { rs, imm },
+                    _ => Instr::Bgez { rs, imm },
+                });
+            }
+            "j" | "jal" => {
+                want!(1);
+                let target = match ops.first() {
+                    Some(Op::Sym(sr)) => sr.clone(),
+                    _ => bail!("operand must be a symbol"),
+                };
+                self.reloc(SectionId::Text, at, &target, RelocKind::Jump26);
+                self.push_word(if m == "j" {
+                    Instr::J { target: 0 }
+                } else {
+                    Instr::Jal { target: 0 }
+                });
+            }
+            "jr" => {
+                want!(1);
+                self.push_word(Instr::Jr { rs: reg!(0) });
+            }
+            "jalr" => match ops.len() {
+                1 => self.push_word(Instr::Jalr {
+                    rd: Reg::RA,
+                    rs: reg!(0),
+                }),
+                2 => self.push_word(Instr::Jalr {
+                    rd: reg!(0),
+                    rs: reg!(1),
+                }),
+                _ => bail!("expected 1 or 2 operands"),
+            },
+            "syscall" => {
+                want!(0);
+                self.push_word(Instr::Syscall);
+            }
+            "break" => {
+                let code = match ops.first() {
+                    None => 0,
+                    Some(Op::Imm(Imm::Lit(v))) if (0..(1i64 << 20)).contains(v) => *v as u32,
+                    _ => bail!("break code must be 0..2^20"),
+                };
+                self.push_word(Instr::Break { code });
+            }
+            "nop" => {
+                want!(0);
+                self.push_word(Instr::Sll {
+                    rd: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    shamt: 0,
+                });
+            }
+            "move" => {
+                want!(2);
+                let (rd, rs) = (reg!(0), reg!(1));
+                self.push_word(Instr::Or {
+                    rd,
+                    rs,
+                    rt: Reg::ZERO,
+                });
+            }
+            "neg" => {
+                want!(2);
+                let (rd, rs) = (reg!(0), reg!(1));
+                self.push_word(Instr::Sub {
+                    rd,
+                    rs: Reg::ZERO,
+                    rt: rs,
+                });
+            }
+            "not" => {
+                want!(2);
+                let (rd, rs) = (reg!(0), reg!(1));
+                self.push_word(Instr::Nor {
+                    rd,
+                    rs,
+                    rt: Reg::ZERO,
+                });
+            }
+            "b" => {
+                want!(1);
+                let target = match ops.first() {
+                    Some(Op::Sym(sr)) => sr.clone(),
+                    _ => bail!("operand must be a label"),
+                };
+                let imm = self.branch_imm(no, &target, at);
+                self.push_word(Instr::Beq {
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm,
+                });
+            }
+            "beqz" | "bnez" => {
+                want!(2);
+                let rs = reg!(0);
+                let target = match ops.get(1) {
+                    Some(Op::Sym(sr)) => sr.clone(),
+                    _ => bail!("operand 2 must be a label"),
+                };
+                let imm = self.branch_imm(no, &target, at);
+                self.push_word(if m == "beqz" {
+                    Instr::Beq {
+                        rs,
+                        rt: Reg::ZERO,
+                        imm,
+                    }
+                } else {
+                    Instr::Bne {
+                        rs,
+                        rt: Reg::ZERO,
+                        imm,
+                    }
+                });
+            }
+            "la" => {
+                want!(2);
+                let rt = reg!(0);
+                let sr = match ops.get(1) {
+                    Some(Op::Sym(sr)) => sr.clone(),
+                    _ => bail!("operand 2 must be a symbol"),
+                };
+                self.reloc(SectionId::Text, at, &sr, RelocKind::Hi16);
+                self.push_word(Instr::Lui { rt, imm: 0 });
+                self.reloc(SectionId::Text, at + 4, &sr, RelocKind::Lo16);
+                self.push_word(Instr::Addi { rt, rs: rt, imm: 0 });
+            }
+            "li" => {
+                want!(2);
+                let rt = reg!(0);
+                let v = match ops.get(1) {
+                    Some(Op::Imm(Imm::Lit(v))) if (-(1i64 << 31)..(1i64 << 32)).contains(v) => {
+                        *v as u32
+                    }
+                    _ => bail!("operand 2 must be a 32-bit constant"),
+                };
+                self.push_word(Instr::Lui {
+                    rt,
+                    imm: (v >> 16) as u16,
+                });
+                self.push_word(Instr::Ori {
+                    rt,
+                    rs: rt,
+                    imm: v as u16,
+                });
+            }
+            _ => bail!("unknown mnemonic"),
+        }
+    }
+
+    fn finish(mut self) -> Result<Object, Vec<AsmError>> {
+        // Pad sections to word multiples.
+        while !self.text.len().is_multiple_of(4) {
+            self.text.push(0);
+        }
+        while !self.data.len().is_multiple_of(4) {
+            self.data.push(0);
+        }
+        // Build the symbol table: defined labels first, then undefined
+        // imports (referenced by relocations or declared `.globl`).
+        let mut symbols = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        for name in &self.label_order {
+            let def = self.labels[name];
+            let binding = if self.globals.contains(name) {
+                Binding::Global
+            } else {
+                Binding::Local
+            };
+            index.insert(name.clone(), symbols.len() as u32);
+            symbols.push(Symbol {
+                name: name.clone(),
+                binding,
+                def: Some(def),
+            });
+        }
+        let add_undef =
+            |name: &str, symbols: &mut Vec<Symbol>, index: &mut HashMap<String, u32>| {
+                if !index.contains_key(name) {
+                    index.insert(name.to_string(), symbols.len() as u32);
+                    symbols.push(Symbol::undefined(name));
+                }
+            };
+        for (_, _, name, _, _) in &self.relocs {
+            add_undef(name, &mut symbols, &mut index);
+        }
+        let globals: Vec<String> = self.globals.iter().cloned().collect();
+        for g in globals {
+            add_undef(&g, &mut symbols, &mut index);
+        }
+        let relocs = self
+            .relocs
+            .iter()
+            .map(|(section, offset, name, addend, kind)| Reloc {
+                section: *section,
+                offset: *offset,
+                symbol: index[name],
+                addend: *addend,
+                kind: *kind,
+            })
+            .collect();
+
+        if !self.errors.is_empty() {
+            return Err(self.errors);
+        }
+        // Recompute the final bss size from pass-1 layout (pass 2 tracked
+        // it too, but pass 1 is authoritative for label binding).
+        let mut layout = Layout::default();
+        let mut section = SectionId::Text;
+        for line in self.lines {
+            if let Some(item) = &line.item {
+                if let Item::Section(s) = item {
+                    section = *s;
+                }
+                layout.align(section, item_alignment(item));
+                if let Some(sz) = item_size(item) {
+                    *layout.offset(section) += sz;
+                }
+            }
+        }
+        let bss_size = (layout.bss + 3) & !3;
+
+        let obj = Object {
+            name: self.name,
+            text: self.text,
+            data: self.data,
+            bss_size,
+            symbols,
+            relocs,
+            search: self.search,
+            uses_gp: self.uses_gp,
+        };
+        debug_assert_eq!(obj.validate(), Ok(()));
+        Ok(obj)
+    }
+}
+
+/// Runs both passes over parsed lines.
+pub fn emit(name: &str, lines: &[Line]) -> Result<Object, Vec<AsmError>> {
+    let mut e = Emitter {
+        name: name.to_string(),
+        lines,
+        errors: Vec::new(),
+        labels: HashMap::new(),
+        label_order: Vec::new(),
+        globals: HashSet::new(),
+        text: Vec::new(),
+        data: Vec::new(),
+        relocs: Vec::new(),
+        search: SearchSpec::default(),
+        uses_gp: false,
+    };
+    e.pass1();
+    e.pass2();
+    e.finish()
+}

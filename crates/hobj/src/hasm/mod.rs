@@ -1,0 +1,387 @@
+//! `hasm` — the assembler that produces module templates.
+//!
+//! The paper's toolchain feeds compiler-produced `.o` files to the linkers
+//! (Figure 1: `cc` → `lds`). We do not reproduce a C compiler; `hasm`
+//! stands in for `cc`, producing the same artifact the linkers consume — a
+//! relocatable [`Object`] with symbols and relocations.
+//!
+//! # Syntax
+//!
+//! One statement per line; comments start with `;` or `#`.
+//!
+//! ```text
+//! .module counter             ; module name
+//! .uses   locks               ; scoped-linking module list
+//! .search /shared/lib         ; scoped-linking search path
+//! .text
+//! .globl  incr
+//! incr:   la   r8, count      ; lui+addi with %hi/%lo relocations
+//!         lw   r9, 0(r8)
+//!         addi r9, r9, 1
+//!         sw   r9, 0(r8)
+//!         jr   ra
+//! .data
+//! .globl  count
+//! count:  .word 0
+//! next:   .ptr  count         ; a pointer in initialized data (Word32)
+//! msg:    .asciiz "hello"
+//! .bss
+//! buf:    .space 256
+//! ```
+//!
+//! Pseudo-instructions: `la`, `li`, `move`, `nop`, `b`, `beqz`, `bnez`,
+//! `neg`, `not`. Explicit relocation operators: `%hi(sym)`, `%lo(sym)`
+//! (usable with `lui`/`addi`/`ori` and as load/store displacements) and
+//! `%gprel(sym)` — the global-pointer form that marks the module as
+//! unusable for dynamic linking, exactly as on the R3000.
+
+mod emit;
+mod parse;
+
+use crate::object::Object;
+use std::fmt;
+
+/// One assembly diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Assembles `source` into a module template named `name`.
+///
+/// The `.module` directive, if present, overrides `name`. All diagnostics
+/// are collected; the result is an error if any were produced.
+pub fn assemble(name: &str, source: &str) -> Result<Object, Vec<AsmError>> {
+    let stmts = parse::parse(source)?;
+    emit::emit(name, &stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::SectionId;
+    use crate::reloc::RelocKind;
+    use crate::symbol::Binding;
+    use hvm::{decode, Instr, Reg};
+
+    fn words(bytes: &[u8]) -> Vec<u32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    #[test]
+    fn minimal_module() {
+        let o = assemble(
+            "m",
+            r#"
+            .text
+            .globl start
+            start: addi r8, r0, 5
+                   jr ra
+            "#,
+        )
+        .unwrap();
+        assert_eq!(o.name, "m");
+        assert_eq!(o.text.len(), 8);
+        let w = words(&o.text);
+        assert_eq!(
+            decode(w[0]).unwrap(),
+            Instr::Addi {
+                rt: Reg(8),
+                rs: Reg::ZERO,
+                imm: 5
+            }
+        );
+        assert_eq!(decode(w[1]).unwrap(), Instr::Jr { rs: Reg::RA });
+        let start = o.find_export("start").unwrap();
+        assert_eq!(start.def.unwrap().offset, 0);
+        assert_eq!(o.validate(), Ok(()));
+    }
+
+    #[test]
+    fn module_directive_overrides_name() {
+        let o = assemble("x", ".module counter\n.text\nnop\n").unwrap();
+        assert_eq!(o.name, "counter");
+    }
+
+    #[test]
+    fn la_emits_hi_lo_relocs() {
+        let o = assemble(
+            "m",
+            r#"
+            .text
+            la r8, count
+            .data
+            .globl count
+            count: .word 7
+            "#,
+        )
+        .unwrap();
+        assert_eq!(o.relocs.len(), 2);
+        assert_eq!(o.relocs[0].kind, RelocKind::Hi16);
+        assert_eq!(o.relocs[0].offset, 0);
+        assert_eq!(o.relocs[1].kind, RelocKind::Lo16);
+        assert_eq!(o.relocs[1].offset, 4);
+        let sym = &o.symbols[o.relocs[0].symbol as usize];
+        assert_eq!(sym.name, "count");
+        assert_eq!(sym.def.unwrap().section, SectionId::Data);
+    }
+
+    #[test]
+    fn undefined_external_reference() {
+        let o = assemble(
+            "m",
+            r#"
+            .text
+            jal shared_fn
+            jr ra
+            "#,
+        )
+        .unwrap();
+        assert!(o.has_undefined());
+        assert_eq!(o.undefined_symbols().collect::<Vec<_>>(), vec!["shared_fn"]);
+        assert_eq!(o.relocs[0].kind, RelocKind::Jump26);
+    }
+
+    #[test]
+    fn local_branch_resolved_at_assembly() {
+        let o = assemble(
+            "m",
+            r#"
+            .text
+            top:  addi r8, r8, 1
+                  bne  r8, r9, top
+                  jr   ra
+            "#,
+        )
+        .unwrap();
+        // Branch to a local label in the same section needs no relocation.
+        assert!(o.relocs.is_empty());
+        let w = words(&o.text);
+        match decode(w[1]).unwrap() {
+            Instr::Bne { imm, .. } => assert_eq!(hvm::isa::branch_target(4, imm), 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_to_external_gets_reloc() {
+        let o = assemble("m", ".text\nbeq r8, r9, elsewhere\n").unwrap();
+        assert_eq!(o.relocs[0].kind, RelocKind::Branch16);
+        assert!(o.has_undefined());
+    }
+
+    #[test]
+    fn data_directives() {
+        let o = assemble(
+            "m",
+            r#"
+            .data
+            a: .word 1, 2, -1
+            b: .half 258
+            c: .byte 7
+            s: .asciiz "hi\n"
+            p: .ptr a+4
+            "#,
+        )
+        .unwrap();
+        assert_eq!(&o.data[0..4], &1i32.to_le_bytes());
+        assert_eq!(&o.data[8..12], &(-1i32).to_le_bytes());
+        assert_eq!(&o.data[12..14], &258u16.to_le_bytes());
+        assert_eq!(o.data[14], 7);
+        assert_eq!(&o.data[15..19], b"hi\n\0");
+        // `.ptr` must be word-aligned: 15+4 = 19 → padded to 20.
+        let ptr_reloc = &o.relocs[0];
+        assert_eq!(ptr_reloc.kind, RelocKind::Word32);
+        assert_eq!(ptr_reloc.offset, 20);
+        assert_eq!(ptr_reloc.addend, 4);
+        assert_eq!(o.validate(), Ok(()));
+    }
+
+    #[test]
+    fn bss_reservations() {
+        let o = assemble(
+            "m",
+            r#"
+            .bss
+            .globl buf
+            buf: .space 100
+            tail: .space 3
+            "#,
+        )
+        .unwrap();
+        // Rounded up to a word multiple.
+        assert_eq!(o.bss_size, 104);
+        assert_eq!(
+            o.find_export("buf").unwrap().def.unwrap().section,
+            SectionId::Bss
+        );
+    }
+
+    #[test]
+    fn li_splits_large_constants() {
+        let o = assemble("m", ".text\nli r8, 0x30001234\n").unwrap();
+        let w = words(&o.text);
+        assert_eq!(
+            decode(w[0]).unwrap(),
+            Instr::Lui {
+                rt: Reg(8),
+                imm: 0x3000
+            }
+        );
+        assert_eq!(
+            decode(w[1]).unwrap(),
+            Instr::Ori {
+                rt: Reg(8),
+                rs: Reg(8),
+                imm: 0x1234
+            }
+        );
+    }
+
+    #[test]
+    fn explicit_hi_lo_operators() {
+        let o = assemble(
+            "m",
+            r#"
+            .text
+            lui  r8, %hi(tbl)
+            lw   r9, %lo(tbl)(r8)
+            .data
+            tbl: .word 0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(o.relocs[0].kind, RelocKind::Hi16);
+        assert_eq!(o.relocs[1].kind, RelocKind::Lo16);
+        assert_eq!(o.relocs[1].offset, 4);
+    }
+
+    #[test]
+    fn gprel_marks_module() {
+        let o = assemble(
+            "m",
+            r#"
+            .text
+            lw r9, %gprel(fast_var)(gp)
+            .data
+            fast_var: .word 0
+            "#,
+        )
+        .unwrap();
+        assert!(o.uses_gp);
+        assert_eq!(o.relocs[0].kind, RelocKind::GpRel16);
+    }
+
+    #[test]
+    fn search_and_uses_directives() {
+        let o = assemble(
+            "m",
+            ".module x\n.uses locks, rings\n.search /a:/b\n.search /c\n.text\nnop\n",
+        )
+        .unwrap();
+        assert_eq!(o.search.modules, vec!["locks", "rings"]);
+        assert_eq!(o.search.dirs, vec!["/a", "/b", "/c"]);
+    }
+
+    #[test]
+    fn option_gp_directive() {
+        let o = assemble("m", ".option gp\n.text\nnop\n").unwrap();
+        assert!(o.uses_gp);
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let errs = assemble("m", ".text\nx: nop\nx: nop\n").unwrap_err();
+        assert!(errs[0].msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let errs = assemble("m", ".text\nnop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(errs[0].line, 3);
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        assert!(assemble("m", ".text\naddi r8, r0, 70000\n").is_err());
+        assert!(assemble("m", ".text\naddi r8, r0, -32768\n").is_ok());
+        assert!(assemble("m", ".text\nori r8, r0, 65535\n").is_ok());
+        assert!(assemble("m", ".text\nori r8, r0, -1\n").is_err());
+    }
+
+    #[test]
+    fn multiple_errors_collected() {
+        let errs = assemble("m", ".text\nbogus1\nbogus2\n").unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn globl_before_or_after_label() {
+        let o = assemble("m", ".text\n.globl f\nf: nop\n.globl g\ng: nop\n").unwrap();
+        assert!(o.find_export("f").is_some());
+        assert!(o.find_export("g").is_some());
+        let o2 = assemble("m", ".text\nf: nop\n.globl f\n").unwrap();
+        assert!(o2.find_export("f").is_some());
+    }
+
+    #[test]
+    fn globl_without_definition_is_undefined_import() {
+        // Declaring a symbol global without defining it simply records the
+        // import, mirroring `extern` declarations compiled to undefined
+        // symbols in a real `.o`.
+        let o = assemble("m", ".globl ext\n.text\nla r8, ext\n").unwrap();
+        assert!(o.has_undefined());
+    }
+
+    #[test]
+    fn align_directive() {
+        let o = assemble("m", ".data\n.byte 1\n.align 8\nx: .word 2\n").unwrap();
+        let x = o.symbols.iter().find(|s| s.name == "x").unwrap();
+        assert_eq!(x.def.unwrap().offset, 8);
+    }
+
+    #[test]
+    fn char_literals_and_hex() {
+        let o = assemble("m", ".data\n.byte 'A', 0x42, 10\n").unwrap();
+        assert_eq!(&o.data[0..3], b"AB\n");
+    }
+
+    #[test]
+    fn jump_to_local_label_gets_reloc_against_local_symbol() {
+        // Unlike branches, jumps are absolute: even a local target needs a
+        // relocation because the module's final address is unknown.
+        let o = assemble("m", ".text\nf: nop\njal f\n").unwrap();
+        assert_eq!(o.relocs.len(), 1);
+        assert_eq!(o.relocs[0].kind, RelocKind::Jump26);
+        let sym = &o.symbols[o.relocs[0].symbol as usize];
+        assert_eq!(sym.name, "f");
+        assert_eq!(sym.binding, Binding::Local);
+    }
+
+    #[test]
+    fn empty_source_is_valid_empty_module() {
+        let o = assemble("m", "").unwrap();
+        assert_eq!(o.load_size(), 0);
+        assert_eq!(o.validate(), Ok(()));
+    }
+
+    #[test]
+    fn word_with_symbol_reference() {
+        let o = assemble("m", ".data\nhead: .word next\nnext: .word 0\n").unwrap();
+        assert_eq!(o.relocs.len(), 1);
+        assert_eq!(o.relocs[0].kind, RelocKind::Word32);
+        assert_eq!(o.relocs[0].offset, 0);
+    }
+}

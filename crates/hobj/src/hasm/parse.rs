@@ -1,0 +1,540 @@
+//! Line-level parsing of `hasm` source into a statement IR.
+
+use super::AsmError;
+use crate::object::SectionId;
+use hvm::Reg;
+
+/// A symbol reference with an optional constant offset (`sym+4`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymRef {
+    pub name: String,
+    pub addend: i32,
+}
+
+/// A value in a data directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataVal {
+    Int(i64),
+    Sym(SymRef),
+}
+
+/// An immediate operand, possibly a relocation operator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Imm {
+    Lit(i64),
+    Hi(SymRef),
+    Lo(SymRef),
+    GpRel(SymRef),
+}
+
+/// One parsed operand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(Imm),
+    /// `disp(base)` memory form.
+    Mem {
+        disp: Imm,
+        base: Reg,
+    },
+    /// A bare symbol (branch/jump target or `la` source).
+    Sym(SymRef),
+}
+
+/// A parsed instruction (mnemonic still uninterpreted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstrStmt {
+    pub mnemonic: String,
+    pub ops: Vec<Operand>,
+}
+
+/// A non-label statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    Module(String),
+    Section(SectionId),
+    Globl(Vec<String>),
+    Word(Vec<DataVal>),
+    Half(Vec<i64>),
+    Byte(Vec<i64>),
+    Space(u32),
+    Ascii(Vec<u8>),
+    Align(u32),
+    Search(Vec<String>),
+    Uses(Vec<String>),
+    OptionGp,
+    Instr(InstrStmt),
+}
+
+/// One source line: its labels plus at most one item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    pub no: u32,
+    pub labels: Vec<String>,
+    pub item: Option<Item>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+/// True if `s` is a well-formed symbol name.
+pub fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if is_ident_start(c)) && chars.all(is_ident_char)
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    let tok = tok.trim();
+    if let Some(body) = tok.strip_prefix("'") {
+        let body = body.strip_suffix('\'')?;
+        let bytes = unescape(body).ok()?;
+        if bytes.len() == 1 {
+            return Some(bytes[0] as i64);
+        }
+        return None;
+    }
+    let (neg, rest) = match tok.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = rest.strip_prefix("0x").or_else(|| rest.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        rest.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_symref(tok: &str) -> Option<SymRef> {
+    let tok = tok.trim();
+    // Split a trailing +N / -N (the sign must not be the first char).
+    for (i, c) in tok.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let (name, off) = tok.split_at(i);
+            if !is_ident(name) {
+                return None;
+            }
+            let off = parse_int(off)?;
+            return Some(SymRef {
+                name: name.to_string(),
+                addend: off as i32,
+            });
+        }
+    }
+    if is_ident(tok) {
+        Some(SymRef {
+            name: tok.to_string(),
+            addend: 0,
+        })
+    } else {
+        None
+    }
+}
+
+fn parse_reloc_op(tok: &str) -> Option<Result<Imm, String>> {
+    for (prefix, ctor) in [
+        ("%hi(", Imm::Hi as fn(SymRef) -> Imm),
+        ("%lo(", Imm::Lo as fn(SymRef) -> Imm),
+        ("%gprel(", Imm::GpRel as fn(SymRef) -> Imm),
+    ] {
+        if let Some(rest) = tok.strip_prefix(prefix) {
+            let Some(inner) = rest.strip_suffix(')') else {
+                return Some(Err(format!("unterminated {prefix}...)")));
+            };
+            return Some(match parse_symref(inner) {
+                Some(sr) => Ok(ctor(sr)),
+                None => Err(format!("bad symbol reference `{inner}`")),
+            });
+        }
+    }
+    None
+}
+
+fn parse_imm(tok: &str) -> Result<Imm, String> {
+    if let Some(r) = parse_reloc_op(tok) {
+        return r;
+    }
+    parse_int(tok)
+        .map(Imm::Lit)
+        .ok_or_else(|| format!("bad immediate `{tok}`"))
+}
+
+fn parse_operand(tok: &str) -> Result<Operand, String> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err("empty operand".into());
+    }
+    if let Some(r) = Reg::parse(tok) {
+        return Ok(Operand::Reg(r));
+    }
+    // Memory form `disp(base)` — base is the innermost parenthesized
+    // register at the end of the token.
+    if tok.ends_with(')') {
+        if let Some(open) = tok.rfind('(') {
+            let base_txt = &tok[open + 1..tok.len() - 1];
+            if let Some(base) = Reg::parse(base_txt) {
+                let disp_txt = tok[..open].trim();
+                let disp = if disp_txt.is_empty() {
+                    Imm::Lit(0)
+                } else {
+                    parse_imm(disp_txt)?
+                };
+                return Ok(Operand::Mem { disp, base });
+            }
+        }
+    }
+    if let Some(r) = parse_reloc_op(tok) {
+        return r.map(Operand::Imm);
+    }
+    if let Some(v) = parse_int(tok) {
+        return Ok(Operand::Imm(Imm::Lit(v)));
+    }
+    if let Some(sr) = parse_symref(tok) {
+        return Ok(Operand::Sym(sr));
+    }
+    Err(format!("unparsable operand `{tok}`"))
+}
+
+/// Unescapes the body of a string or char literal.
+pub fn unescape(body: &str) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('r') => out.push(b'\r'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            Some('\'') => out.push(b'\''),
+            Some(other) => return Err(format!("unknown escape \\{other}")),
+            None => return Err("dangling backslash".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Comments start at `;` or `#` outside of string/char literals.
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !in_char && !prev_backslash => in_str = !in_str,
+            '\'' if !in_str && !prev_backslash => in_char = !in_char,
+            ';' | '#' if !in_str && !in_char => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Splits on commas that are outside string/char literals.
+fn split_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !in_char && !prev_backslash => in_str = !in_str,
+            '\'' if !in_str && !prev_backslash => in_char = !in_char,
+            ',' if !in_str && !in_char => {
+                parts.push(cur.trim().to_string());
+                cur = String::new();
+                prev_backslash = false;
+                continue;
+            }
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() || !parts.is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+fn parse_string_literal(tok: &str) -> Result<Vec<u8>, String> {
+    let body = tok
+        .trim()
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected string literal, found `{tok}`"))?;
+    unescape(body)
+}
+
+fn parse_item(head: &str, rest: &str, no: u32) -> Result<Item, AsmError> {
+    let err = |msg: String| AsmError { line: no, msg };
+    let int_list = |rest: &str| -> Result<Vec<i64>, AsmError> {
+        split_commas(rest)
+            .iter()
+            .map(|t| parse_int(t).ok_or_else(|| err(format!("bad integer `{t}`"))))
+            .collect()
+    };
+    Ok(match head {
+        ".module" => {
+            let name = rest.trim();
+            if !is_ident(name) {
+                return Err(err(format!("bad module name `{name}`")));
+            }
+            Item::Module(name.to_string())
+        }
+        ".text" => Item::Section(SectionId::Text),
+        ".data" => Item::Section(SectionId::Data),
+        ".bss" => Item::Section(SectionId::Bss),
+        ".globl" | ".global" => {
+            let names: Vec<String> = split_commas(rest)
+                .into_iter()
+                .flat_map(|t| t.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+                .collect();
+            if names.is_empty() || !names.iter().all(|n| is_ident(n)) {
+                return Err(err(".globl needs symbol names".into()));
+            }
+            Item::Globl(names)
+        }
+        ".word" | ".ptr" => {
+            let vals: Result<Vec<DataVal>, AsmError> = split_commas(rest)
+                .iter()
+                .map(|t| {
+                    if let Some(v) = parse_int(t) {
+                        Ok(DataVal::Int(v))
+                    } else if let Some(sr) = parse_symref(t) {
+                        Ok(DataVal::Sym(sr))
+                    } else {
+                        Err(err(format!("bad word value `{t}`")))
+                    }
+                })
+                .collect();
+            let vals = vals?;
+            if vals.is_empty() {
+                return Err(err(format!("{head} needs at least one value")));
+            }
+            if head == ".ptr" && !vals.iter().all(|v| matches!(v, DataVal::Sym(_))) {
+                return Err(err(".ptr values must be symbol references".into()));
+            }
+            Item::Word(vals)
+        }
+        ".half" => Item::Half(int_list(rest)?),
+        ".byte" => Item::Byte(int_list(rest)?),
+        ".space" | ".res" => {
+            let n = parse_int(rest)
+                .filter(|&n| (0..=(64 << 20)).contains(&n))
+                .ok_or_else(|| err(format!("bad size `{}`", rest.trim())))?;
+            Item::Space(n as u32)
+        }
+        ".ascii" => Item::Ascii(parse_string_literal(rest).map_err(err)?),
+        ".asciiz" => {
+            let mut b = parse_string_literal(rest).map_err(err)?;
+            b.push(0);
+            Item::Ascii(b)
+        }
+        ".align" => {
+            let n = parse_int(rest)
+                .filter(|&n| n > 0 && n <= 4096 && (n as u64).is_power_of_two())
+                .ok_or_else(|| err(".align needs a power-of-two byte count".into()))?;
+            Item::Align(n as u32)
+        }
+        ".search" => {
+            let dirs: Vec<String> = rest
+                .split([':', ' '])
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if dirs.is_empty() {
+                return Err(err(".search needs at least one directory".into()));
+            }
+            Item::Search(dirs)
+        }
+        ".uses" => {
+            let mods: Vec<String> = split_commas(rest)
+                .into_iter()
+                .flat_map(|t| t.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+                .collect();
+            if mods.is_empty() {
+                return Err(err(".uses needs at least one module name".into()));
+            }
+            Item::Uses(mods)
+        }
+        ".option" => match rest.trim() {
+            "gp" => Item::OptionGp,
+            other => return Err(err(format!("unknown option `{other}`"))),
+        },
+        d if d.starts_with('.') => return Err(err(format!("unknown directive `{d}`"))),
+        mnemonic => {
+            let ops: Result<Vec<Operand>, AsmError> = split_commas(rest)
+                .iter()
+                .filter(|t| !t.is_empty())
+                .map(|t| parse_operand(t).map_err(err))
+                .collect();
+            Item::Instr(InstrStmt {
+                mnemonic: mnemonic.to_ascii_lowercase(),
+                ops: ops?,
+            })
+        }
+    })
+}
+
+/// Parses full source into lines; collects all diagnostics.
+pub fn parse(source: &str) -> Result<Vec<Line>, Vec<AsmError>> {
+    let mut lines = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let no = (idx + 1) as u32;
+        let mut text = strip_comment(raw).trim();
+        let mut labels = Vec::new();
+        // Peel leading `label:` prefixes.
+        while let Some(colon) = text.find(':') {
+            let cand = text[..colon].trim();
+            if is_ident(cand) && !cand.starts_with('.') {
+                labels.push(cand.to_string());
+                text = text[colon + 1..].trim();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            if !labels.is_empty() {
+                lines.push(Line {
+                    no,
+                    labels,
+                    item: None,
+                });
+            }
+            continue;
+        }
+        let (head, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        match parse_item(head, rest, no) {
+            Ok(item) => lines.push(Line {
+                no,
+                labels,
+                item: Some(item),
+            }),
+            Err(e) => errors.push(e),
+        }
+    }
+    if errors.is_empty() {
+        Ok(lines)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operands() {
+        assert_eq!(parse_operand("r8"), Ok(Operand::Reg(Reg(8))));
+        assert_eq!(parse_operand("$sp"), Ok(Operand::Reg(Reg::SP)));
+        assert_eq!(parse_operand("42"), Ok(Operand::Imm(Imm::Lit(42))));
+        assert_eq!(parse_operand("-0x10"), Ok(Operand::Imm(Imm::Lit(-16))));
+        assert_eq!(
+            parse_operand("8(sp)"),
+            Ok(Operand::Mem {
+                disp: Imm::Lit(8),
+                base: Reg::SP
+            })
+        );
+        assert_eq!(
+            parse_operand("%lo(x+4)(r8)"),
+            Ok(Operand::Mem {
+                disp: Imm::Lo(SymRef {
+                    name: "x".into(),
+                    addend: 4
+                }),
+                base: Reg(8)
+            })
+        );
+        assert_eq!(
+            parse_operand("label-8"),
+            Ok(Operand::Sym(SymRef {
+                name: "label".into(),
+                addend: -8
+            }))
+        );
+        assert!(parse_operand("%hi(x").is_err());
+        assert!(parse_operand("12fish").is_err());
+    }
+
+    #[test]
+    fn comments_and_labels() {
+        let lines = parse("a: b: nop ; trailing\n# whole line\nc:\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].labels, vec!["a", "b"]);
+        assert!(matches!(lines[0].item, Some(Item::Instr(_))));
+        assert_eq!(lines[1].labels, vec!["c"]);
+        assert!(lines[1].item.is_none());
+    }
+
+    #[test]
+    fn semicolon_inside_string_not_comment() {
+        let lines = parse(".data\n.asciiz \"a;b#c\"\n").unwrap();
+        match &lines[1].item {
+            Some(Item::Ascii(b)) => assert_eq!(b, b"a;b#c\0"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn char_literal_values() {
+        assert_eq!(parse_int("'A'"), Some(65));
+        assert_eq!(parse_int("'\\n'"), Some(10));
+        assert_eq!(parse_int("'\\0'"), Some(0));
+        assert_eq!(parse_int("''"), None);
+    }
+
+    #[test]
+    fn comma_in_char_literal_survives_split() {
+        let parts = split_commas("',', 'x'");
+        assert_eq!(parts, vec!["','", "'x'"]);
+    }
+
+    #[test]
+    fn directive_errors_carry_line_numbers() {
+        let errs = parse("nop\n.align 3\n").unwrap_err();
+        assert_eq!(errs[0].line, 2);
+    }
+
+    #[test]
+    fn search_accepts_colon_and_space_separators() {
+        let lines = parse(".search /a:/b /c\n").unwrap();
+        assert_eq!(
+            lines[0].item,
+            Some(Item::Search(vec!["/a".into(), "/b".into(), "/c".into()]))
+        );
+    }
+
+    #[test]
+    fn ptr_requires_symbols() {
+        assert!(parse(".ptr 42\n").is_err());
+        assert!(parse(".ptr head\n").is_ok());
+    }
+
+    #[test]
+    fn unescape_errors() {
+        assert!(unescape("\\q").is_err());
+        assert!(unescape("\\").is_err());
+        assert_eq!(unescape("a\\tb"), Ok(b"a\tb".to_vec()));
+    }
+}

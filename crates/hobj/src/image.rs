@@ -1,0 +1,231 @@
+//! The executable load image (`a.out`) produced by the static linker.
+//!
+//! Because the stock IRIX `ld` "refuses to retain relocation information
+//! for an executable program", the paper's `lds` saves it "in an explicit
+//! data structure" (§3). [`LoadImage`] is that data structure, made
+//! first-class: the merged private sections, the absolute symbol table,
+//! the *pending* relocations that name symbols expected from dynamic
+//! modules, the dynamic-module list, and the search strategy `lds` used —
+//! everything `ldl` needs at run time.
+
+use crate::reloc::RelocKind;
+use crate::symbol::Binding;
+use crate::ShareClass;
+
+/// The search strategy recorded by `lds` for `ldl`.
+///
+/// §3, "The Linkers": at execution time `ldl` searches (1) the
+/// `LD_LIBRARY_PATH` current at *run* time, then (2) the directories in
+/// which `lds` searched for static modules: the directory in which static
+/// linking occurred, the `-L` directories from the `lds` command line, the
+/// directories in `LD_LIBRARY_PATH` at *static link* time, and the default
+/// directories. Only (2) is recorded here; (1) is read from the process
+/// environment when `ldl` runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStrategy {
+    /// Directory in which static linking occurred.
+    pub link_cwd: String,
+    /// `-L` directories given on the `lds` command line.
+    pub cli_dirs: Vec<String>,
+    /// `LD_LIBRARY_PATH` entries captured at static link time.
+    pub env_dirs: Vec<String>,
+    /// System default library directories.
+    pub default_dirs: Vec<String>,
+}
+
+impl SearchStrategy {
+    /// The recorded directories in lookup order.
+    pub fn dirs(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.link_cwd.as_str())
+            .filter(|d| !d.is_empty())
+            .chain(self.cli_dirs.iter().map(String::as_str))
+            .chain(self.env_dirs.iter().map(String::as_str))
+            .chain(self.default_dirs.iter().map(String::as_str))
+    }
+}
+
+/// One entry in the image's dynamic-module list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DynamicModule {
+    /// Module name or path, as specified to `lds`.
+    pub name: String,
+    /// Dynamic-private or dynamic-public.
+    pub class: ShareClass,
+}
+
+/// A static module `lds` already placed, recorded so `exec` can map the
+/// public ones and debuggers can attribute addresses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticModuleRecord {
+    /// Module name.
+    pub name: String,
+    /// For public modules, the shared-file-system path of the instance;
+    /// empty for private modules merged into the image.
+    pub path: String,
+    /// Base virtual address assigned to the module.
+    pub base: u32,
+    /// Sharing class (static-private or static-public).
+    pub class: ShareClass,
+}
+
+/// A symbol with its absolute virtual address (or pending resolution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImageSymbol {
+    /// Symbol name.
+    pub name: String,
+    /// Binding (locals are kept for diagnostics only).
+    pub binding: Binding,
+    /// Absolute address, if resolved at static link time.
+    pub addr: Option<u32>,
+}
+
+/// A relocation left pending for the run-time linker, expressed against an
+/// absolute patch address and a symbol *name* (indices are meaningless
+/// once modules from other templates enter the picture).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImageReloc {
+    /// Absolute virtual address of the patched word.
+    pub addr: u32,
+    /// Fixup kind.
+    pub kind: RelocKind,
+    /// Name of the symbol whose address is needed.
+    pub symbol: String,
+    /// Constant added to the symbol's address.
+    pub addend: i32,
+}
+
+/// An executable program image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadImage {
+    /// Program name.
+    pub name: String,
+    /// Base virtual address of the merged text section.
+    pub text_base: u32,
+    /// Merged text bytes (including the trampoline area, if any).
+    pub text: Vec<u8>,
+    /// Base virtual address of the merged data section.
+    pub data_base: u32,
+    /// Merged data bytes.
+    pub data: Vec<u8>,
+    /// Base virtual address of the merged bss.
+    pub bss_base: u32,
+    /// Merged bss size in bytes.
+    pub bss_size: u32,
+    /// Entry point (the special `crt0` that calls `ldl` before `main`).
+    pub entry: u32,
+    /// Offset within `text` where the trampoline area begins; trampolines
+    /// are allocated upward from here by `lds` and `ldl`.
+    pub tramp_offset: u32,
+    /// Next free byte in the trampoline area.
+    pub tramp_used: u32,
+    /// Absolute symbol table (exports and pending imports).
+    pub symbols: Vec<ImageSymbol>,
+    /// Relocations lds could not resolve; `ldl` finishes them at run time.
+    pub pending: Vec<ImageReloc>,
+    /// Modules to locate and link at run time.
+    pub dynamic: Vec<DynamicModule>,
+    /// Static modules already placed at link time.
+    pub statics: Vec<StaticModuleRecord>,
+    /// Recorded search strategy for `ldl`.
+    pub strategy: SearchStrategy,
+}
+
+impl LoadImage {
+    /// Looks up a resolved global symbol exported by the image.
+    pub fn find_export(&self, name: &str) -> Option<u32> {
+        self.symbols
+            .iter()
+            .find(|s| s.binding == Binding::Global && s.name == name)
+            .and_then(|s| s.addr)
+    }
+
+    /// Names the image imports but does not define.
+    pub fn undefined_symbols(&self) -> impl Iterator<Item = &str> {
+        self.symbols
+            .iter()
+            .filter(|s| s.addr.is_none() && s.binding == Binding::Global)
+            .map(|s| s.name.as_str())
+    }
+
+    /// Total private memory footprint of the image.
+    pub fn load_size(&self) -> u32 {
+        self.text.len() as u32 + self.data.len() as u32 + self.bss_size
+    }
+
+    /// End of the highest private address the image occupies.
+    pub fn top(&self) -> u32 {
+        self.bss_base + self.bss_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_strategy_dir_order() {
+        let s = SearchStrategy {
+            link_cwd: "/home/u/proj".into(),
+            cli_dirs: vec!["/a".into(), "/b".into()],
+            env_dirs: vec!["/env".into()],
+            default_dirs: vec!["/usr/hemlock/lib".into()],
+        };
+        let dirs: Vec<_> = s.dirs().collect();
+        assert_eq!(
+            dirs,
+            vec!["/home/u/proj", "/a", "/b", "/env", "/usr/hemlock/lib"]
+        );
+    }
+
+    #[test]
+    fn empty_cwd_skipped() {
+        let s = SearchStrategy {
+            default_dirs: vec!["/lib".into()],
+            ..Default::default()
+        };
+        assert_eq!(s.dirs().collect::<Vec<_>>(), vec!["/lib"]);
+    }
+
+    #[test]
+    fn exports_and_undefined() {
+        let img = LoadImage {
+            symbols: vec![
+                ImageSymbol {
+                    name: "main".into(),
+                    binding: Binding::Global,
+                    addr: Some(0x1000),
+                },
+                ImageSymbol {
+                    name: "helper".into(),
+                    binding: Binding::Local,
+                    addr: Some(0x1040),
+                },
+                ImageSymbol {
+                    name: "shared_counter".into(),
+                    binding: Binding::Global,
+                    addr: None,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(img.find_export("main"), Some(0x1000));
+        assert_eq!(img.find_export("helper"), None);
+        assert_eq!(
+            img.undefined_symbols().collect::<Vec<_>>(),
+            vec!["shared_counter"]
+        );
+    }
+
+    #[test]
+    fn footprint() {
+        let img = LoadImage {
+            text: vec![0; 0x100],
+            data: vec![0; 0x80],
+            bss_size: 0x40,
+            bss_base: 0x2000,
+            ..Default::default()
+        };
+        assert_eq!(img.load_size(), 0x1C0);
+        assert_eq!(img.top(), 0x2040);
+    }
+}

@@ -1,0 +1,389 @@
+//! The relocatable module template — Hemlock's `.o` file.
+
+use crate::reloc::{Reloc, RelocKind};
+use crate::symbol::{Binding, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The three sections of a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SectionId {
+    /// Executable code.
+    Text,
+    /// Initialized data.
+    Data,
+    /// Zero-initialized data (occupies no file space).
+    Bss,
+}
+
+impl SectionId {
+    /// Stable numeric tag used by the binary encoding.
+    pub fn tag(self) -> u8 {
+        match self {
+            SectionId::Text => 0,
+            SectionId::Data => 1,
+            SectionId::Bss => 2,
+        }
+    }
+
+    /// Inverse of [`SectionId::tag`].
+    pub fn from_tag(tag: u8) -> Option<SectionId> {
+        match tag {
+            0 => Some(SectionId::Text),
+            1 => Some(SectionId::Data),
+            2 => Some(SectionId::Bss),
+            _ => None,
+        }
+    }
+}
+
+/// Search information a template may embed for scoped linking.
+///
+/// §2: a template "can at the user's discretion be run through lds, with an
+/// argument that retains relocation information. In this case, lds can be
+/// asked to include search strategy information in the new .o file." When
+/// `ldl` instantiates a module, unresolved references are first resolved
+/// against modules found via *this* spec before escalating to the parent's.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchSpec {
+    /// Modules this module explicitly wants linked in (its "module list").
+    pub modules: Vec<String>,
+    /// Directories to search for those modules and for symbol providers.
+    pub dirs: Vec<String>,
+}
+
+impl SearchSpec {
+    /// True when the spec carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty() && self.dirs.is_empty()
+    }
+}
+
+/// A relocatable module template.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Object {
+    /// Module name (conventionally the file name without `.o`).
+    pub name: String,
+    /// The `.text` section bytes.
+    pub text: Vec<u8>,
+    /// The `.data` section bytes.
+    pub data: Vec<u8>,
+    /// Size in bytes of the `.bss` section.
+    pub bss_size: u32,
+    /// Symbol table.
+    pub symbols: Vec<Symbol>,
+    /// Relocation records against `symbols`.
+    pub relocs: Vec<Reloc>,
+    /// Scoped-linking search information, if embedded.
+    pub search: SearchSpec,
+    /// True if any code uses `$gp`-relative addressing; such modules are
+    /// rejected by the dynamic linker (§3, "The Linkers").
+    pub uses_gp: bool,
+}
+
+/// Structural problems detected by [`Object::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectError {
+    /// A section's length is not a multiple of four bytes.
+    UnalignedSection(SectionId),
+    /// A symbol is defined beyond the end of its section.
+    SymbolOutOfBounds { symbol: String },
+    /// A local symbol without a definition is meaningless.
+    UndefinedLocal { symbol: String },
+    /// Two global definitions of the same name within one module.
+    DuplicateGlobal { symbol: String },
+    /// A relocation's symbol index exceeds the symbol table.
+    BadSymbolIndex { reloc: usize },
+    /// A relocation patches bytes outside its section (or `.bss`).
+    RelocOutOfBounds { reloc: usize },
+    /// A relocation offset is not word-aligned.
+    RelocMisaligned { reloc: usize },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::UnalignedSection(s) => write!(f, "section {s:?} length not word-aligned"),
+            ObjectError::SymbolOutOfBounds { symbol } => {
+                write!(f, "symbol `{symbol}` defined beyond its section")
+            }
+            ObjectError::UndefinedLocal { symbol } => {
+                write!(f, "local symbol `{symbol}` has no definition")
+            }
+            ObjectError::DuplicateGlobal { symbol } => {
+                write!(
+                    f,
+                    "global symbol `{symbol}` defined more than once in the module"
+                )
+            }
+            ObjectError::BadSymbolIndex { reloc } => {
+                write!(f, "relocation #{reloc} references a nonexistent symbol")
+            }
+            ObjectError::RelocOutOfBounds { reloc } => {
+                write!(f, "relocation #{reloc} patches bytes outside its section")
+            }
+            ObjectError::RelocMisaligned { reloc } => {
+                write!(f, "relocation #{reloc} is not word-aligned")
+            }
+        }
+    }
+}
+
+impl Object {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Object {
+        Object {
+            name: name.into(),
+            ..Object::default()
+        }
+    }
+
+    /// The byte length of a section (for `.bss`, its reserved size).
+    pub fn section_len(&self, section: SectionId) -> u32 {
+        match section {
+            SectionId::Text => self.text.len() as u32,
+            SectionId::Data => self.data.len() as u32,
+            SectionId::Bss => self.bss_size,
+        }
+    }
+
+    /// Total memory footprint when loaded: text + data + bss.
+    pub fn load_size(&self) -> u32 {
+        self.text.len() as u32 + self.data.len() as u32 + self.bss_size
+    }
+
+    /// The names of global symbols this module still needs from others.
+    pub fn undefined_symbols(&self) -> impl Iterator<Item = &str> {
+        self.symbols
+            .iter()
+            .filter(|s| s.is_undefined())
+            .map(|s| s.name.as_str())
+    }
+
+    /// True if the module has unresolved external references.
+    ///
+    /// `ldl` maps such modules without access permissions so the first
+    /// touch faults into the lazy linker.
+    pub fn has_undefined(&self) -> bool {
+        self.symbols.iter().any(|s| s.is_undefined())
+    }
+
+    /// The names of global symbols this module exports.
+    pub fn exported_symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| s.binding == Binding::Global && !s.is_undefined())
+    }
+
+    /// Looks up an exported global by name.
+    pub fn find_export(&self, name: &str) -> Option<&Symbol> {
+        self.exported_symbols().find(|s| s.name == name)
+    }
+
+    /// Finds or appends an undefined-global entry, returning its index.
+    ///
+    /// Used by the assembler and by `lds` when merging modules.
+    pub fn intern_undefined(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.symbols.iter().position(|s| s.name == name) {
+            return i as u32;
+        }
+        self.symbols.push(Symbol::undefined(name));
+        (self.symbols.len() - 1) as u32
+    }
+
+    /// Checks internal consistency; returns every problem found.
+    pub fn validate(&self) -> Result<(), Vec<ObjectError>> {
+        let mut errs = Vec::new();
+        for sec in [SectionId::Text, SectionId::Data, SectionId::Bss] {
+            if !self.section_len(sec).is_multiple_of(4) {
+                errs.push(ObjectError::UnalignedSection(sec));
+            }
+        }
+        let mut globals: HashMap<&str, u32> = HashMap::new();
+        for sym in &self.symbols {
+            match (&sym.def, sym.binding) {
+                (Some(def), _) => {
+                    if def.offset > self.section_len(def.section) {
+                        errs.push(ObjectError::SymbolOutOfBounds {
+                            symbol: sym.name.clone(),
+                        });
+                    }
+                    if sym.binding == Binding::Global {
+                        let n = globals.entry(sym.name.as_str()).or_insert(0);
+                        *n += 1;
+                        if *n == 2 {
+                            errs.push(ObjectError::DuplicateGlobal {
+                                symbol: sym.name.clone(),
+                            });
+                        }
+                    }
+                }
+                (None, Binding::Local) => {
+                    errs.push(ObjectError::UndefinedLocal {
+                        symbol: sym.name.clone(),
+                    });
+                }
+                (None, Binding::Global) => {}
+            }
+        }
+        for (i, reloc) in self.relocs.iter().enumerate() {
+            if reloc.symbol as usize >= self.symbols.len() {
+                errs.push(ObjectError::BadSymbolIndex { reloc: i });
+            }
+            if reloc.section == SectionId::Bss {
+                errs.push(ObjectError::RelocOutOfBounds { reloc: i });
+                continue;
+            }
+            if reloc.offset % 4 != 0 {
+                errs.push(ObjectError::RelocMisaligned { reloc: i });
+            }
+            if reloc.offset + 4 > self.section_len(reloc.section) {
+                errs.push(ObjectError::RelocOutOfBounds { reloc: i });
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// True if any relocation is `$gp`-relative or the module is flagged.
+    pub fn requires_gp(&self) -> bool {
+        self.uses_gp || self.relocs.iter().any(|r| r.kind == RelocKind::GpRel16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn sample() -> Object {
+        let mut o = Object::new("sample");
+        o.text = vec![0; 16];
+        o.data = vec![0; 8];
+        o.bss_size = 4;
+        o.symbols.push(Symbol::global("entry", SectionId::Text, 0));
+        o.symbols
+            .push(Symbol::global("counter", SectionId::Data, 4));
+        o.symbols.push(Symbol::undefined("extern_fn"));
+        o.relocs.push(Reloc {
+            section: SectionId::Text,
+            offset: 8,
+            symbol: 2,
+            addend: 0,
+            kind: RelocKind::Jump26,
+        });
+        o
+    }
+
+    #[test]
+    fn valid_object_passes() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn footprint_and_queries() {
+        let o = sample();
+        assert_eq!(o.load_size(), 28);
+        assert!(o.has_undefined());
+        assert_eq!(o.undefined_symbols().collect::<Vec<_>>(), vec!["extern_fn"]);
+        assert!(o.find_export("counter").is_some());
+        assert!(o.find_export("extern_fn").is_none());
+    }
+
+    #[test]
+    fn detects_bad_symbol_index() {
+        let mut o = sample();
+        o.relocs[0].symbol = 99;
+        assert!(o
+            .validate()
+            .unwrap_err()
+            .contains(&ObjectError::BadSymbolIndex { reloc: 0 }));
+    }
+
+    #[test]
+    fn detects_reloc_out_of_bounds_and_misaligned() {
+        let mut o = sample();
+        o.relocs[0].offset = 14;
+        let errs = o.validate().unwrap_err();
+        assert!(errs.contains(&ObjectError::RelocMisaligned { reloc: 0 }));
+        assert!(errs.contains(&ObjectError::RelocOutOfBounds { reloc: 0 }));
+    }
+
+    #[test]
+    fn detects_undefined_local_and_duplicate_global() {
+        let mut o = sample();
+        o.symbols.push(Symbol {
+            name: "x".into(),
+            binding: Binding::Local,
+            def: None,
+        });
+        o.symbols
+            .push(Symbol::global("counter", SectionId::Data, 0));
+        let errs = o.validate().unwrap_err();
+        assert!(errs.contains(&ObjectError::UndefinedLocal { symbol: "x".into() }));
+        assert!(errs.contains(&ObjectError::DuplicateGlobal {
+            symbol: "counter".into()
+        }));
+    }
+
+    #[test]
+    fn detects_unaligned_section() {
+        let mut o = sample();
+        o.data.push(0);
+        assert!(o
+            .validate()
+            .unwrap_err()
+            .contains(&ObjectError::UnalignedSection(SectionId::Data)));
+    }
+
+    #[test]
+    fn bss_relocs_rejected() {
+        let mut o = sample();
+        o.relocs.push(Reloc {
+            section: SectionId::Bss,
+            offset: 0,
+            symbol: 0,
+            addend: 0,
+            kind: RelocKind::Word32,
+        });
+        assert!(o
+            .validate()
+            .unwrap_err()
+            .contains(&ObjectError::RelocOutOfBounds { reloc: 1 }));
+    }
+
+    #[test]
+    fn intern_undefined_reuses_entries() {
+        let mut o = sample();
+        let a = o.intern_undefined("extern_fn");
+        assert_eq!(a, 2);
+        let b = o.intern_undefined("brand_new");
+        assert_eq!(b, 3);
+        assert_eq!(o.intern_undefined("brand_new"), 3);
+    }
+
+    #[test]
+    fn gp_detection() {
+        let mut o = sample();
+        assert!(!o.requires_gp());
+        o.relocs.push(Reloc {
+            section: SectionId::Text,
+            offset: 0,
+            symbol: 0,
+            addend: 0,
+            kind: RelocKind::GpRel16,
+        });
+        assert!(o.requires_gp());
+    }
+
+    #[test]
+    fn section_tags_round_trip() {
+        for s in [SectionId::Text, SectionId::Data, SectionId::Bss] {
+            assert_eq!(SectionId::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(SectionId::from_tag(9), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Symbols: names for the objects (variables and functions) that modules
+//! export and import.
+//!
+//! The paper (§2): "Each template contains references to *symbols*, which
+//! are names for *objects*, the items of interest to programmers. (Objects
+//! have no meaning to the kernel.)"
+
+use crate::object::SectionId;
+use std::fmt;
+
+/// Whether a symbol participates in cross-module resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// Visible only within the defining module.
+    Local,
+    /// Exported to (or imported from) other modules.
+    Global,
+}
+
+/// The definition site of a symbol within its module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SymbolDef {
+    /// Section containing the symbol.
+    pub section: SectionId,
+    /// Byte offset of the symbol from the start of that section.
+    pub offset: u32,
+}
+
+/// One entry in a module's symbol table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// The symbol's name, as the programmer wrote it.
+    pub name: String,
+    /// Local or global binding.
+    pub binding: Binding,
+    /// Where the symbol is defined, or `None` for an undefined reference
+    /// that a linker must resolve against some other module.
+    pub def: Option<SymbolDef>,
+}
+
+impl Symbol {
+    /// A global symbol defined at `offset` within `section`.
+    pub fn global(name: impl Into<String>, section: SectionId, offset: u32) -> Symbol {
+        Symbol {
+            name: name.into(),
+            binding: Binding::Global,
+            def: Some(SymbolDef { section, offset }),
+        }
+    }
+
+    /// A local symbol defined at `offset` within `section`.
+    pub fn local(name: impl Into<String>, section: SectionId, offset: u32) -> Symbol {
+        Symbol {
+            name: name.into(),
+            binding: Binding::Local,
+            def: Some(SymbolDef { section, offset }),
+        }
+    }
+
+    /// An undefined global reference to `name`.
+    pub fn undefined(name: impl Into<String>) -> Symbol {
+        Symbol {
+            name: name.into(),
+            binding: Binding::Global,
+            def: None,
+        }
+    }
+
+    /// True if this entry still needs resolution by a linker.
+    pub fn is_undefined(&self) -> bool {
+        self.def.is_none()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.def, self.binding) {
+            (Some(d), Binding::Global) => {
+                write!(
+                    f,
+                    "{} @ {:?}+{:#x} (global)",
+                    self.name, d.section, d.offset
+                )
+            }
+            (Some(d), Binding::Local) => {
+                write!(f, "{} @ {:?}+{:#x} (local)", self.name, d.section, d.offset)
+            }
+            (None, _) => write!(f, "{} (undefined)", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let g = Symbol::global("count", SectionId::Data, 4);
+        assert_eq!(g.binding, Binding::Global);
+        assert!(!g.is_undefined());
+        let u = Symbol::undefined("extern_fn");
+        assert!(u.is_undefined());
+        assert_eq!(u.binding, Binding::Global);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(Symbol::undefined("x").to_string().contains("undefined"));
+        assert!(Symbol::local("l", SectionId::Text, 0)
+            .to_string()
+            .contains("local"));
+    }
+}

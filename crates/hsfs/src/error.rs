@@ -1,0 +1,120 @@
+//! Errno-style error type shared by all file-system layers.
+
+use std::fmt;
+
+/// File-system operation failures, mirroring the Unix errnos the paper's
+/// kernel would have returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FsError {
+    /// ENOENT.
+    NotFound,
+    /// ENOTDIR — a path component is not a directory.
+    NotADirectory,
+    /// EISDIR — the operation needs a file but found a directory.
+    IsADirectory,
+    /// EEXIST.
+    AlreadyExists,
+    /// ENOSPC — out of inodes or data space.
+    NoSpace,
+    /// EFBIG — would exceed the shared partition's 1 MB per-file cap.
+    FileTooLarge,
+    /// EACCES.
+    PermissionDenied,
+    /// EPERM — hard links are prohibited in the shared file system.
+    HardLinkForbidden,
+    /// ENOTEMPTY.
+    NotEmpty,
+    /// EWOULDBLOCK — advisory lock held by someone else.
+    WouldBlock,
+    /// EINVAL — malformed path or argument.
+    Invalid,
+    /// ELOOP — too many levels of symbolic links.
+    SymlinkLoop,
+    /// EXDEV — rename/link across the root/shared mount boundary.
+    CrossDevice,
+    /// EBUSY — the object is in use (e.g. unlinking a mapped segment
+    /// pinned by an active mapping).
+    Busy,
+    /// EFAULT — an address-keyed lookup missed (no segment at address).
+    BadAddress,
+}
+
+impl FsError {
+    /// The conventional errno number, for syscall return values.
+    pub fn errno(self) -> i32 {
+        match self {
+            FsError::NotFound => 2,
+            FsError::NotADirectory => 20,
+            FsError::IsADirectory => 21,
+            FsError::AlreadyExists => 17,
+            FsError::NoSpace => 28,
+            FsError::FileTooLarge => 27,
+            FsError::PermissionDenied => 13,
+            FsError::HardLinkForbidden => 1,
+            FsError::NotEmpty => 39,
+            FsError::WouldBlock => 11,
+            FsError::Invalid => 22,
+            FsError::SymlinkLoop => 40,
+            FsError::CrossDevice => 18,
+            FsError::Busy => 16,
+            FsError::BadAddress => 14,
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::NotADirectory => "not a directory",
+            FsError::IsADirectory => "is a directory",
+            FsError::AlreadyExists => "file exists",
+            FsError::NoSpace => "no space left on device",
+            FsError::FileTooLarge => "file too large",
+            FsError::PermissionDenied => "permission denied",
+            FsError::HardLinkForbidden => "hard links prohibited here",
+            FsError::NotEmpty => "directory not empty",
+            FsError::WouldBlock => "resource temporarily unavailable",
+            FsError::Invalid => "invalid argument",
+            FsError::SymlinkLoop => "too many levels of symbolic links",
+            FsError::CrossDevice => "cross-device link",
+            FsError::Busy => "device or resource busy",
+            FsError::BadAddress => "bad address",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errnos_are_distinct_and_nonzero() {
+        let all = [
+            FsError::NotFound,
+            FsError::NotADirectory,
+            FsError::IsADirectory,
+            FsError::AlreadyExists,
+            FsError::NoSpace,
+            FsError::FileTooLarge,
+            FsError::PermissionDenied,
+            FsError::HardLinkForbidden,
+            FsError::NotEmpty,
+            FsError::WouldBlock,
+            FsError::Invalid,
+            FsError::SymlinkLoop,
+            FsError::CrossDevice,
+            FsError::Busy,
+            FsError::BadAddress,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in all {
+            assert!(e.errno() > 0);
+            assert!(seen.insert(e.errno()), "duplicate errno {}", e.errno());
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

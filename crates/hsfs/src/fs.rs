@@ -1,0 +1,924 @@
+//! A general-purpose in-memory inode file system.
+//!
+//! Used twice: with lax limits as the "root" Unix file system (templates,
+//! executables, home directories), and — via [`crate::shared::SharedFs`] —
+//! with the paper's limits (1024 inodes, 1 MB files, no hard links) as the
+//! shared partition. Inode numbers are slot indices so the shared layer
+//! can derive each file's virtual address directly from its inode number.
+
+use crate::error::FsError;
+use crate::path as fspath;
+use crate::stats::FsStats;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An inode number (slot index).
+pub type Ino = u32;
+
+/// Maximum symlink traversals per lookup before `ELOOP`.
+const MAX_SYMLINK_DEPTH: u32 = 40;
+
+/// What an inode is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+    /// Symbolic link.
+    Symlink,
+}
+
+/// Advisory lock flavors (the paper's `ldl` "uses file locking to
+/// synchronize the creation of shared segments", §4 footnote 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    /// Multiple readers.
+    Shared,
+    /// One writer.
+    Exclusive,
+}
+
+/// `stat`-style metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: Ino,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// File size in bytes (0 for directories/symlinks).
+    pub size: u64,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Permission bits, Unix style (`0o644` etc.; only user/other
+    /// read/write bits are enforced).
+    pub mode: u16,
+    /// Owning user.
+    pub uid: u32,
+}
+
+/// File-system construction limits.
+#[derive(Clone, Copy, Debug)]
+pub struct FsConfig {
+    /// Maximum number of live inodes (including the root directory).
+    pub max_inodes: u32,
+    /// Maximum size of one file in bytes.
+    pub max_file_size: u64,
+    /// Whether `link(2)` is permitted.
+    pub allow_hardlinks: bool,
+}
+
+impl FsConfig {
+    /// Roomy limits for the root file system.
+    pub fn root() -> FsConfig {
+        FsConfig {
+            max_inodes: 1 << 20,
+            max_file_size: 1 << 32,
+            allow_hardlinks: true,
+        }
+    }
+
+    /// The paper's shared-partition limits: "exactly 1024 inodes, and each
+    /// file is limited to a maximum of 1M bytes in size. Hard links
+    /// (other than '.' and '..') are prohibited."
+    pub fn shared() -> FsConfig {
+        FsConfig {
+            max_inodes: crate::shared::SHARED_INODES,
+            max_file_size: crate::shared::SLOT_SIZE as u64,
+            allow_hardlinks: false,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    File { content: Vec<u8> },
+    Dir { entries: BTreeMap<String, Ino> },
+    Symlink { target: String },
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+enum LockState {
+    #[default]
+    Unlocked,
+    Shared(BTreeSet<u64>),
+    Exclusive(u64),
+}
+
+#[derive(Clone, Debug)]
+struct Inode {
+    node: Node,
+    nlink: u32,
+    mode: u16,
+    uid: u32,
+    /// Parent inode and entry name, for inode→path reconstruction.
+    /// Reliable whenever hard links are disabled (the shared partition).
+    parent: Ino,
+    name: String,
+    lock: LockState,
+}
+
+/// The in-memory file system.
+#[derive(Clone, Debug)]
+pub struct FileSystem {
+    config: FsConfig,
+    slots: Vec<Option<Inode>>,
+    free: Vec<Ino>,
+    live: u32,
+    /// I/O accounting for the cost model.
+    pub stats: FsStats,
+}
+
+/// The root directory's inode number.
+pub const ROOT_INO: Ino = 0;
+
+impl FileSystem {
+    /// Creates a file system containing only the root directory, owned by
+    /// uid 0 with mode `0o755`.
+    pub fn new(config: FsConfig) -> FileSystem {
+        let root = Inode {
+            node: Node::Dir {
+                entries: BTreeMap::new(),
+            },
+            nlink: 1,
+            mode: 0o755,
+            uid: 0,
+            parent: ROOT_INO,
+            name: String::new(),
+            lock: LockState::Unlocked,
+        };
+        FileSystem {
+            config,
+            slots: vec![Some(root)],
+            free: Vec::new(),
+            live: 1,
+            stats: FsStats::default(),
+        }
+    }
+
+    /// Number of live inodes.
+    pub fn inode_count(&self) -> u32 {
+        self.live
+    }
+
+    /// Inodes still available.
+    pub fn inodes_free(&self) -> u32 {
+        self.config.max_inodes - self.live
+    }
+
+    fn inode(&self, ino: Ino) -> Result<&Inode, FsError> {
+        self.slots
+            .get(ino as usize)
+            .and_then(Option::as_ref)
+            .ok_or(FsError::NotFound)
+    }
+
+    fn inode_mut(&mut self, ino: Ino) -> Result<&mut Inode, FsError> {
+        self.slots
+            .get_mut(ino as usize)
+            .and_then(Option::as_mut)
+            .ok_or(FsError::NotFound)
+    }
+
+    fn alloc(&mut self, inode: Inode) -> Result<Ino, FsError> {
+        if self.live >= self.config.max_inodes {
+            return Err(FsError::NoSpace);
+        }
+        self.live += 1;
+        if let Some(ino) = self.free.pop() {
+            self.slots[ino as usize] = Some(inode);
+            Ok(ino)
+        } else {
+            self.slots.push(Some(inode));
+            Ok((self.slots.len() - 1) as Ino)
+        }
+    }
+
+    fn release(&mut self, ino: Ino) {
+        if self
+            .slots
+            .get_mut(ino as usize)
+            .and_then(Option::take)
+            .is_some()
+        {
+            self.live -= 1;
+            self.free.push(ino);
+        }
+    }
+
+    // --- path resolution ---
+
+    fn dir_entries(&self, ino: Ino) -> Result<&BTreeMap<String, Ino>, FsError> {
+        match &self.inode(ino)?.node {
+            Node::Dir { entries } => Ok(entries),
+            _ => Err(FsError::NotADirectory),
+        }
+    }
+
+    fn walk(&mut self, path: &str, follow_final: bool, depth: u32) -> Result<Ino, FsError> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(FsError::SymlinkLoop);
+        }
+        let path = fspath::normalize(path)?;
+        let mut cur = ROOT_INO;
+        let comps: Vec<&str> = fspath::components(&path).collect();
+        for (i, comp) in comps.iter().enumerate() {
+            self.stats.lookups += 1;
+            let next = *self.dir_entries(cur)?.get(*comp).ok_or(FsError::NotFound)?;
+            let is_final = i + 1 == comps.len();
+            let target = match &self.inode(next)?.node {
+                Node::Symlink { target } if (!is_final || follow_final) => Some(target.clone()),
+                _ => None,
+            };
+            match target {
+                Some(t) => {
+                    let base = if t.starts_with('/') {
+                        t
+                    } else {
+                        let parent_path = self.path_of(cur)?;
+                        format!("{parent_path}/{t}")
+                    };
+                    let rest = comps[i + 1..].join("/");
+                    let full = if rest.is_empty() {
+                        base
+                    } else {
+                        format!("{base}/{rest}")
+                    };
+                    return self.walk(&full, follow_final, depth + 1);
+                }
+                None => cur = next,
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolves a normalized absolute path to an inode, following
+    /// symlinks (including in the final component).
+    pub fn resolve(&mut self, path: &str) -> Result<Ino, FsError> {
+        self.walk(path, true, 0)
+    }
+
+    /// Like [`FileSystem::resolve`] but does not follow a symlink in the
+    /// final component (for `lstat`/`unlink`/`readlink`).
+    pub fn resolve_nofollow(&mut self, path: &str) -> Result<Ino, FsError> {
+        self.walk(path, false, 0)
+    }
+
+    fn resolve_parent(&mut self, path: &str) -> Result<(Ino, String), FsError> {
+        let path = fspath::normalize(path)?;
+        let (parent, name) = fspath::split_parent(&path).ok_or(FsError::Invalid)?;
+        if !fspath::valid_name(name) {
+            return Err(FsError::Invalid);
+        }
+        let dir = self.walk(parent, true, 0)?;
+        match self.inode(dir)?.node {
+            Node::Dir { .. } => Ok((dir, name.to_string())),
+            _ => Err(FsError::NotADirectory),
+        }
+    }
+
+    /// Reconstructs the path of an inode by following parent pointers.
+    ///
+    /// Unambiguous whenever hard links are disabled — the property the
+    /// paper relies on for its one-to-one inode↔path mapping.
+    pub fn path_of(&self, ino: Ino) -> Result<String, FsError> {
+        let mut parts = Vec::new();
+        let mut cur = ino;
+        let mut hops = 0;
+        while cur != ROOT_INO {
+            let node = self.inode(cur)?;
+            parts.push(node.name.clone());
+            cur = node.parent;
+            hops += 1;
+            if hops > 4096 {
+                return Err(FsError::Invalid);
+            }
+        }
+        parts.reverse();
+        Ok(if parts.is_empty() {
+            "/".into()
+        } else {
+            format!("/{}", parts.join("/"))
+        })
+    }
+
+    // --- creation / removal ---
+
+    fn insert_child(
+        &mut self,
+        dir: Ino,
+        name: &str,
+        node: Node,
+        mode: u16,
+        uid: u32,
+    ) -> Result<Ino, FsError> {
+        if self.dir_entries(dir)?.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        let ino = self.alloc(Inode {
+            node,
+            nlink: 1,
+            mode,
+            uid,
+            parent: dir,
+            name: name.to_string(),
+            lock: LockState::Unlocked,
+        })?;
+        match &mut self.inode_mut(dir)?.node {
+            Node::Dir { entries } => {
+                entries.insert(name.to_string(), ino);
+            }
+            _ => unreachable!("checked above"),
+        }
+        self.stats.creates += 1;
+        Ok(ino)
+    }
+
+    /// Creates an empty regular file.
+    pub fn create_file(&mut self, path: &str, mode: u16, uid: u32) -> Result<Ino, FsError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.insert_child(
+            dir,
+            &name,
+            Node::File {
+                content: Vec::new(),
+            },
+            mode,
+            uid,
+        )
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str, mode: u16, uid: u32) -> Result<Ino, FsError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.insert_child(
+            dir,
+            &name,
+            Node::Dir {
+                entries: BTreeMap::new(),
+            },
+            mode,
+            uid,
+        )
+    }
+
+    /// Creates all missing directories along `path`.
+    pub fn mkdir_all(&mut self, path: &str, mode: u16, uid: u32) -> Result<(), FsError> {
+        let path = fspath::normalize(path)?;
+        let mut cur = String::from("/");
+        for comp in fspath::components(&path).collect::<Vec<_>>() {
+            cur = fspath::join(&cur, comp);
+            match self.mkdir(&cur, mode, uid) {
+                Ok(_) | Err(FsError::AlreadyExists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a symbolic link at `path` pointing to `target`.
+    pub fn symlink(&mut self, target: &str, path: &str, uid: u32) -> Result<Ino, FsError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.insert_child(
+            dir,
+            &name,
+            Node::Symlink {
+                target: target.to_string(),
+            },
+            0o777,
+            uid,
+        )
+    }
+
+    /// Reads a symlink's target.
+    pub fn readlink(&mut self, path: &str) -> Result<String, FsError> {
+        let ino = self.resolve_nofollow(path)?;
+        match &self.inode(ino)?.node {
+            Node::Symlink { target } => Ok(target.clone()),
+            _ => Err(FsError::Invalid),
+        }
+    }
+
+    /// Creates a hard link `new` to the file at `old`.
+    pub fn hardlink(&mut self, old: &str, new: &str) -> Result<(), FsError> {
+        if !self.config.allow_hardlinks {
+            return Err(FsError::HardLinkForbidden);
+        }
+        let target = self.resolve(old)?;
+        if matches!(self.inode(target)?.node, Node::Dir { .. }) {
+            return Err(FsError::IsADirectory);
+        }
+        let (dir, name) = self.resolve_parent(new)?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(FsError::AlreadyExists);
+        }
+        match &mut self.inode_mut(dir)?.node {
+            Node::Dir { entries } => {
+                entries.insert(name, target);
+            }
+            _ => unreachable!(),
+        }
+        self.inode_mut(target)?.nlink += 1;
+        Ok(())
+    }
+
+    /// Removes a file or symlink.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let ino = *self.dir_entries(dir)?.get(&name).ok_or(FsError::NotFound)?;
+        if matches!(self.inode(ino)?.node, Node::Dir { .. }) {
+            return Err(FsError::IsADirectory);
+        }
+        match &mut self.inode_mut(dir)?.node {
+            Node::Dir { entries } => {
+                entries.remove(&name);
+            }
+            _ => unreachable!(),
+        }
+        let inode = self.inode_mut(ino)?;
+        inode.nlink -= 1;
+        if inode.nlink == 0 {
+            self.release(ino);
+        }
+        self.stats.removes += 1;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let ino = *self.dir_entries(dir)?.get(&name).ok_or(FsError::NotFound)?;
+        match &self.inode(ino)?.node {
+            Node::Dir { entries } if entries.is_empty() => {}
+            Node::Dir { .. } => return Err(FsError::NotEmpty),
+            _ => return Err(FsError::NotADirectory),
+        }
+        match &mut self.inode_mut(dir)?.node {
+            Node::Dir { entries } => {
+                entries.remove(&name);
+            }
+            _ => unreachable!(),
+        }
+        self.release(ino);
+        self.stats.removes += 1;
+        Ok(())
+    }
+
+    /// Renames `old` to `new` (same file system; replaces an existing
+    /// file at `new` but not an existing directory).
+    pub fn rename(&mut self, old: &str, new: &str) -> Result<(), FsError> {
+        let (odir, oname) = self.resolve_parent(old)?;
+        let ino = *self
+            .dir_entries(odir)?
+            .get(&oname)
+            .ok_or(FsError::NotFound)?;
+        let (ndir, nname) = self.resolve_parent(new)?;
+        if let Some(&existing) = self.dir_entries(ndir)?.get(&nname) {
+            if existing == ino {
+                return Ok(());
+            }
+            if matches!(self.inode(existing)?.node, Node::Dir { .. }) {
+                return Err(FsError::IsADirectory);
+            }
+            self.unlink(new)?;
+        }
+        match &mut self.inode_mut(odir)?.node {
+            Node::Dir { entries } => {
+                entries.remove(&oname);
+            }
+            _ => unreachable!(),
+        }
+        match &mut self.inode_mut(ndir)?.node {
+            Node::Dir { entries } => {
+                entries.insert(nname.clone(), ino);
+            }
+            _ => unreachable!(),
+        }
+        let inode = self.inode_mut(ino)?;
+        inode.parent = ndir;
+        inode.name = nname;
+        Ok(())
+    }
+
+    // --- file content ---
+
+    /// Reads up to `len` bytes at `offset`; short reads at EOF.
+    pub fn read_at(&mut self, ino: Ino, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let content = match &self.inode(ino)?.node {
+            Node::File { content } => content,
+            Node::Dir { .. } => return Err(FsError::IsADirectory),
+            Node::Symlink { .. } => return Err(FsError::Invalid),
+        };
+        let start = (offset as usize).min(content.len());
+        let end = (start + len).min(content.len());
+        let out = content[start..end].to_vec();
+        self.stats.record_read(offset, out.len() as u64);
+        Ok(out)
+    }
+
+    /// Writes `data` at `offset`, zero-filling any gap; enforces the
+    /// per-file size cap.
+    pub fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let cap = self.config.max_file_size;
+        let end = offset + data.len() as u64;
+        if end > cap {
+            return Err(FsError::FileTooLarge);
+        }
+        match &mut self.inode_mut(ino)?.node {
+            Node::File { content } => {
+                if end as usize > content.len() {
+                    content.resize(end as usize, 0);
+                }
+                content[offset as usize..end as usize].copy_from_slice(data);
+            }
+            Node::Dir { .. } => return Err(FsError::IsADirectory),
+            Node::Symlink { .. } => return Err(FsError::Invalid),
+        }
+        self.stats.record_write(offset, data.len() as u64);
+        Ok(())
+    }
+
+    /// Sets the file's length, truncating or zero-extending.
+    pub fn truncate(&mut self, ino: Ino, size: u64) -> Result<(), FsError> {
+        if size > self.config.max_file_size {
+            return Err(FsError::FileTooLarge);
+        }
+        match &mut self.inode_mut(ino)?.node {
+            Node::File { content } => {
+                content.resize(size as usize, 0);
+                Ok(())
+            }
+            _ => Err(FsError::IsADirectory),
+        }
+    }
+
+    /// Direct read-only view of a file's bytes (for memory mapping).
+    pub fn file_bytes(&self, ino: Ino) -> Result<&[u8], FsError> {
+        match &self.inode(ino)?.node {
+            Node::File { content } => Ok(content),
+            _ => Err(FsError::IsADirectory),
+        }
+    }
+
+    /// Direct mutable view of a file's bytes (for mapped stores). The
+    /// length cannot be changed through this view.
+    pub fn file_bytes_mut(&mut self, ino: Ino) -> Result<&mut [u8], FsError> {
+        match &mut self.inode_mut(ino)?.node {
+            Node::File { content } => Ok(content),
+            _ => Err(FsError::IsADirectory),
+        }
+    }
+
+    // --- metadata / directory listing ---
+
+    /// `stat` by inode.
+    pub fn metadata(&self, ino: Ino) -> Result<Metadata, FsError> {
+        let inode = self.inode(ino)?;
+        let (kind, size) = match &inode.node {
+            Node::File { content } => (NodeKind::File, content.len() as u64),
+            Node::Dir { .. } => (NodeKind::Dir, 0),
+            Node::Symlink { target } => (NodeKind::Symlink, target.len() as u64),
+        };
+        Ok(Metadata {
+            ino,
+            kind,
+            size,
+            nlink: inode.nlink,
+            mode: inode.mode,
+            uid: inode.uid,
+        })
+    }
+
+    /// Lists a directory's entry names in sorted order.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<String>, FsError> {
+        let ino = self.resolve(path)?;
+        Ok(self.dir_entries(ino)?.keys().cloned().collect())
+    }
+
+    /// Changes permission bits.
+    pub fn chmod(&mut self, ino: Ino, mode: u16) -> Result<(), FsError> {
+        self.inode_mut(ino)?.mode = mode;
+        Ok(())
+    }
+
+    /// Permission check: may `uid` perform `write`-or-read on `ino`?
+    pub fn access(&self, ino: Ino, uid: u32, write: bool) -> Result<bool, FsError> {
+        let inode = self.inode(ino)?;
+        if uid == 0 {
+            return Ok(true);
+        }
+        let bit = if write { 0o2 } else { 0o4 };
+        let shift = if inode.uid == uid { 6 } else { 0 };
+        Ok(inode.mode >> shift & bit != 0)
+    }
+
+    // --- advisory locks ---
+
+    /// Attempts to acquire an advisory lock; fails with `WouldBlock` if
+    /// incompatible with current holders. Re-acquisition by the same
+    /// owner is idempotent (no upgrade/downgrade).
+    pub fn try_lock(&mut self, ino: Ino, kind: LockKind, owner: u64) -> Result<(), FsError> {
+        let inode = self.inode_mut(ino)?;
+        match (&mut inode.lock, kind) {
+            (LockState::Unlocked, LockKind::Exclusive) => {
+                inode.lock = LockState::Exclusive(owner);
+                Ok(())
+            }
+            (LockState::Unlocked, LockKind::Shared) => {
+                inode.lock = LockState::Shared(BTreeSet::from([owner]));
+                Ok(())
+            }
+            (LockState::Shared(holders), LockKind::Shared) => {
+                holders.insert(owner);
+                Ok(())
+            }
+            (LockState::Exclusive(cur), _) if *cur == owner => Ok(()),
+            (LockState::Shared(holders), LockKind::Exclusive)
+                if holders.len() == 1 && holders.contains(&owner) =>
+            {
+                inode.lock = LockState::Exclusive(owner);
+                Ok(())
+            }
+            _ => Err(FsError::WouldBlock),
+        }
+    }
+
+    /// Releases `owner`'s lock (idempotent).
+    pub fn unlock(&mut self, ino: Ino, owner: u64) -> Result<(), FsError> {
+        let inode = self.inode_mut(ino)?;
+        match &mut inode.lock {
+            LockState::Exclusive(cur) if *cur == owner => inode.lock = LockState::Unlocked,
+            LockState::Shared(holders) => {
+                holders.remove(&owner);
+                if holders.is_empty() {
+                    inode.lock = LockState::Unlocked;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Releases every lock held by `owner` (process exit cleanup).
+    pub fn unlock_all(&mut self, owner: u64) {
+        for slot in self.slots.iter_mut().flatten() {
+            match &mut slot.lock {
+                LockState::Exclusive(cur) if *cur == owner => slot.lock = LockState::Unlocked,
+                LockState::Shared(holders) => {
+                    holders.remove(&owner);
+                    if holders.is_empty() {
+                        slot.lock = LockState::Unlocked;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Visits every live inode (used by the shared layer's boot scan).
+    pub fn for_each_inode(&self, mut f: impl FnMut(Ino, &NodeKind)) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(inode) = slot {
+                let kind = match inode.node {
+                    Node::File { .. } => NodeKind::File,
+                    Node::Dir { .. } => NodeKind::Dir,
+                    Node::Symlink { .. } => NodeKind::Symlink,
+                };
+                f(i as Ino, &kind);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> FileSystem {
+        FileSystem::new(FsConfig::root())
+    }
+
+    #[test]
+    fn create_write_read() {
+        let mut f = fs();
+        let ino = f.create_file("/hello.txt", 0o644, 1).unwrap();
+        f.write_at(ino, 0, b"hello world").unwrap();
+        assert_eq!(f.read_at(ino, 0, 5).unwrap(), b"hello");
+        assert_eq!(f.read_at(ino, 6, 100).unwrap(), b"world");
+        assert_eq!(f.metadata(ino).unwrap().size, 11);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut f = fs();
+        let ino = f.create_file("/s", 0o644, 1).unwrap();
+        f.write_at(ino, 8, b"x").unwrap();
+        assert_eq!(f.read_at(ino, 0, 9).unwrap(), b"\0\0\0\0\0\0\0\0x");
+    }
+
+    #[test]
+    fn directories_and_listing() {
+        let mut f = fs();
+        f.mkdir("/a", 0o755, 0).unwrap();
+        f.mkdir("/a/b", 0o755, 0).unwrap();
+        f.create_file("/a/x", 0o644, 0).unwrap();
+        f.create_file("/a/y", 0o644, 0).unwrap();
+        assert_eq!(f.readdir("/a").unwrap(), vec!["b", "x", "y"]);
+        assert_eq!(f.readdir("/").unwrap(), vec!["a"]);
+        assert!(matches!(f.readdir("/a/x"), Err(FsError::NotADirectory)));
+    }
+
+    #[test]
+    fn mkdir_all_idempotent() {
+        let mut f = fs();
+        f.mkdir_all("/x/y/z", 0o755, 0).unwrap();
+        f.mkdir_all("/x/y/z", 0o755, 0).unwrap();
+        assert!(f.resolve("/x/y/z").is_ok());
+    }
+
+    #[test]
+    fn missing_parent_fails() {
+        let mut f = fs();
+        assert_eq!(f.create_file("/no/file", 0o644, 0), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn unlink_and_rmdir() {
+        let mut f = fs();
+        f.mkdir("/d", 0o755, 0).unwrap();
+        f.create_file("/d/f", 0o644, 0).unwrap();
+        assert_eq!(f.rmdir("/d"), Err(FsError::NotEmpty));
+        assert_eq!(f.unlink("/d"), Err(FsError::IsADirectory));
+        f.unlink("/d/f").unwrap();
+        f.rmdir("/d").unwrap();
+        assert_eq!(f.resolve("/d"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn inode_reuse_after_unlink() {
+        let mut f = FileSystem::new(FsConfig {
+            max_inodes: 3,
+            ..FsConfig::root()
+        });
+        let a = f.create_file("/a", 0o644, 0).unwrap();
+        let _b = f.create_file("/b", 0o644, 0).unwrap();
+        assert_eq!(f.create_file("/c", 0o644, 0), Err(FsError::NoSpace));
+        f.unlink("/a").unwrap();
+        let c = f.create_file("/c", 0o644, 0).unwrap();
+        assert_eq!(a, c, "slot should be reused");
+    }
+
+    #[test]
+    fn symlinks_follow_and_nofollow() {
+        let mut f = fs();
+        f.mkdir("/real", 0o755, 0).unwrap();
+        f.create_file("/real/data", 0o644, 0).unwrap();
+        f.symlink("/real", "/alias", 0).unwrap();
+        let via = f.resolve("/alias/data").unwrap();
+        let direct = f.resolve("/real/data").unwrap();
+        assert_eq!(via, direct);
+        assert_eq!(f.readlink("/alias").unwrap(), "/real");
+        let l = f.resolve_nofollow("/alias").unwrap();
+        assert_eq!(f.metadata(l).unwrap().kind, NodeKind::Symlink);
+    }
+
+    #[test]
+    fn relative_symlink() {
+        let mut f = fs();
+        f.mkdir_all("/a/b", 0o755, 0).unwrap();
+        f.create_file("/a/b/t", 0o644, 0).unwrap();
+        f.symlink("b/t", "/a/link", 0).unwrap();
+        assert_eq!(f.resolve("/a/link").unwrap(), f.resolve("/a/b/t").unwrap());
+    }
+
+    #[test]
+    fn symlink_loop_detected() {
+        let mut f = fs();
+        f.symlink("/b", "/a", 0).unwrap();
+        f.symlink("/a", "/b", 0).unwrap();
+        assert_eq!(f.resolve("/a"), Err(FsError::SymlinkLoop));
+    }
+
+    #[test]
+    fn hardlinks_when_allowed() {
+        let mut f = fs();
+        let ino = f.create_file("/orig", 0o644, 0).unwrap();
+        f.write_at(ino, 0, b"shared").unwrap();
+        f.hardlink("/orig", "/also").unwrap();
+        assert_eq!(f.metadata(ino).unwrap().nlink, 2);
+        f.unlink("/orig").unwrap();
+        let ino2 = f.resolve("/also").unwrap();
+        assert_eq!(f.read_at(ino2, 0, 6).unwrap(), b"shared");
+    }
+
+    #[test]
+    fn hardlinks_forbidden_by_config() {
+        let mut f = FileSystem::new(FsConfig::shared());
+        f.create_file("/x", 0o644, 0).unwrap();
+        assert_eq!(f.hardlink("/x", "/y"), Err(FsError::HardLinkForbidden));
+    }
+
+    #[test]
+    fn file_size_cap() {
+        let mut f = FileSystem::new(FsConfig::shared());
+        let ino = f.create_file("/big", 0o644, 0).unwrap();
+        assert_eq!(f.write_at(ino, 1 << 20, b"x"), Err(FsError::FileTooLarge));
+        f.write_at(ino, (1 << 20) - 1, b"x").unwrap();
+        assert_eq!(f.truncate(ino, (1 << 20) + 1), Err(FsError::FileTooLarge));
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut f = fs();
+        f.mkdir("/d", 0o755, 0).unwrap();
+        let a = f.create_file("/a", 0o644, 0).unwrap();
+        f.write_at(a, 0, b"A").unwrap();
+        f.create_file("/d/b", 0o644, 0).unwrap();
+        f.rename("/a", "/d/b").unwrap();
+        assert_eq!(f.resolve("/a"), Err(FsError::NotFound));
+        let b = f.resolve("/d/b").unwrap();
+        assert_eq!(f.read_at(b, 0, 1).unwrap(), b"A");
+        assert_eq!(f.path_of(b).unwrap(), "/d/b");
+    }
+
+    #[test]
+    fn path_of_reconstruction() {
+        let mut f = fs();
+        f.mkdir_all("/u/proj/lib", 0o755, 0).unwrap();
+        let ino = f.create_file("/u/proj/lib/mod.o", 0o644, 0).unwrap();
+        assert_eq!(f.path_of(ino).unwrap(), "/u/proj/lib/mod.o");
+        assert_eq!(f.path_of(ROOT_INO).unwrap(), "/");
+    }
+
+    #[test]
+    fn permissions() {
+        let mut f = fs();
+        let ino = f.create_file("/owned", 0o640, 7).unwrap();
+        assert!(f.access(ino, 7, true).unwrap());
+        assert!(!f.access(ino, 8, false).unwrap());
+        assert!(f.access(ino, 0, true).unwrap(), "root bypasses");
+        f.chmod(ino, 0o644).unwrap();
+        assert!(f.access(ino, 8, false).unwrap());
+        assert!(!f.access(ino, 8, true).unwrap());
+    }
+
+    #[test]
+    fn advisory_locks() {
+        let mut f = fs();
+        let ino = f.create_file("/l", 0o644, 0).unwrap();
+        f.try_lock(ino, LockKind::Shared, 1).unwrap();
+        f.try_lock(ino, LockKind::Shared, 2).unwrap();
+        assert_eq!(
+            f.try_lock(ino, LockKind::Exclusive, 3),
+            Err(FsError::WouldBlock)
+        );
+        f.unlock(ino, 1).unwrap();
+        f.unlock(ino, 2).unwrap();
+        f.try_lock(ino, LockKind::Exclusive, 3).unwrap();
+        assert_eq!(
+            f.try_lock(ino, LockKind::Shared, 1),
+            Err(FsError::WouldBlock)
+        );
+        // Idempotent re-acquisition by the holder.
+        f.try_lock(ino, LockKind::Exclusive, 3).unwrap();
+        // Upgrade when sole shared holder.
+        f.unlock(ino, 3).unwrap();
+        f.try_lock(ino, LockKind::Shared, 4).unwrap();
+        f.try_lock(ino, LockKind::Exclusive, 4).unwrap();
+        assert_eq!(
+            f.try_lock(ino, LockKind::Shared, 5),
+            Err(FsError::WouldBlock)
+        );
+    }
+
+    #[test]
+    fn unlock_all_releases_everything() {
+        let mut f = fs();
+        let a = f.create_file("/a", 0o644, 0).unwrap();
+        let b = f.create_file("/b", 0o644, 0).unwrap();
+        f.try_lock(a, LockKind::Exclusive, 9).unwrap();
+        f.try_lock(b, LockKind::Shared, 9).unwrap();
+        f.unlock_all(9);
+        f.try_lock(a, LockKind::Exclusive, 1).unwrap();
+        f.try_lock(b, LockKind::Exclusive, 1).unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fs();
+        let ino = f.create_file("/s", 0o644, 0).unwrap();
+        f.write_at(ino, 0, &[0u8; 5000]).unwrap();
+        f.read_at(ino, 0, 5000).unwrap();
+        assert_eq!(f.stats.creates, 1);
+        assert_eq!(f.stats.blocks_written, 2);
+        assert_eq!(f.stats.blocks_read, 2);
+    }
+
+    #[test]
+    fn read_dir_as_file_fails() {
+        let mut f = fs();
+        f.mkdir("/d", 0o755, 0).unwrap();
+        let ino = f.resolve("/d").unwrap();
+        assert_eq!(f.read_at(ino, 0, 1), Err(FsError::IsADirectory));
+        assert_eq!(f.write_at(ino, 0, b"x"), Err(FsError::IsADirectory));
+    }
+}

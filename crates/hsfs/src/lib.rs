@@ -1,0 +1,42 @@
+//! `hsfs` — simulated file systems for the Hemlock reproduction.
+//!
+//! Hemlock (§3, "Address Space and File System Organization") reserves a
+//! 1 GB region of every address space for a dedicated *shared file
+//! system*: a disk partition with exactly 1024 inodes, a 1 MB per-file
+//! size cap, hard links prohibited (so path names and inodes correspond
+//! one-to-one), and a kernel-maintained mapping between virtual addresses
+//! and files. "All of the normal Unix file operations work in the shared
+//! file system. The only thing that sets it apart is the association
+//! between file names and addresses."
+//!
+//! This crate supplies:
+//!
+//! * [`FileSystem`] — a general-purpose in-memory inode file system
+//!   (directories, symlinks, hard links, advisory locks, permissions,
+//!   I/O accounting);
+//! * [`SharedFs`] — the shared partition: the same file operations under
+//!   Hemlock's limits, plus the address↔inode table (both the paper's
+//!   linear table and the B-tree it plans for 64-bit systems);
+//! * [`Vfs`] — a two-mount namespace gluing a root file system and the
+//!   shared partition into one path space, the view the kernel gives
+//!   processes.
+
+pub mod error;
+pub mod fs;
+pub mod path;
+pub mod shared;
+pub mod stats;
+pub mod tools;
+pub mod vfs;
+
+pub use error::FsError;
+pub use fs::{FileSystem, FsConfig, Ino, LockKind, Metadata, NodeKind};
+pub use shared::{AddrLookup, SharedFs, SHARED_BASE, SHARED_END, SHARED_INODES, SLOT_SIZE};
+pub use stats::FsStats;
+pub use vfs::Vfs;
+
+/// Simulated page size (bytes); shared with the kernel crate.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Simulated disk block size for I/O accounting.
+pub const BLOCK_SIZE: u32 = 4096;

@@ -1,0 +1,145 @@
+//! Path manipulation for the simulated namespace.
+//!
+//! Paths are Unix-style strings. The kernel resolves a process's relative
+//! paths against its current directory with [`absolutize`]; file systems
+//! then operate on normalized absolute paths.
+
+use crate::error::FsError;
+
+/// Splits a normalized absolute path into components.
+pub fn components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty() && *c != ".")
+}
+
+/// Normalizes an absolute path: collapses `//`, `.` and resolves `..`
+/// lexically. Returns an error for relative input.
+pub fn normalize(path: &str) -> Result<String, FsError> {
+    if !path.starts_with('/') {
+        return Err(FsError::Invalid);
+    }
+    let mut stack: Vec<&str> = Vec::new();
+    for c in path.split('/') {
+        match c {
+            "" | "." => {}
+            ".." => {
+                stack.pop();
+            }
+            other => stack.push(other),
+        }
+    }
+    if stack.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", stack.join("/")))
+    }
+}
+
+/// Resolves `path` against `cwd` (used when `path` is relative), then
+/// normalizes. `cwd` must be absolute.
+pub fn absolutize(path: &str, cwd: &str) -> Result<String, FsError> {
+    if path.is_empty() {
+        return Err(FsError::Invalid);
+    }
+    if path.starts_with('/') {
+        normalize(path)
+    } else {
+        normalize(&format!("{cwd}/{path}"))
+    }
+}
+
+/// Splits a normalized absolute path into `(parent, name)`.
+///
+/// Returns `None` for the root itself.
+pub fn split_parent(path: &str) -> Option<(&str, &str)> {
+    if path == "/" {
+        return None;
+    }
+    let idx = path.rfind('/')?;
+    let name = &path[idx + 1..];
+    let parent = if idx == 0 { "/" } else { &path[..idx] };
+    Some((parent, name))
+}
+
+/// Joins a directory path and a child name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// True if `path` equals `prefix` or lies beneath it.
+pub fn starts_with_dir(path: &str, prefix: &str) -> bool {
+    if prefix == "/" {
+        return path.starts_with('/');
+    }
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// A legal file/directory name: nonempty, no `/`, not `.`/`..`.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty() && name != "." && name != ".." && !name.contains('/') && name.len() <= 255
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_cases() {
+        assert_eq!(normalize("/"), Ok("/".into()));
+        assert_eq!(normalize("//a///b/"), Ok("/a/b".into()));
+        assert_eq!(normalize("/a/./b/../c"), Ok("/a/c".into()));
+        assert_eq!(normalize("/../.."), Ok("/".into()));
+        assert_eq!(normalize("relative"), Err(FsError::Invalid));
+    }
+
+    #[test]
+    fn absolutize_cases() {
+        assert_eq!(absolutize("x/y", "/home/u"), Ok("/home/u/x/y".into()));
+        assert_eq!(absolutize("/abs", "/home/u"), Ok("/abs".into()));
+        assert_eq!(absolutize("../s", "/home/u"), Ok("/home/s".into()));
+        assert_eq!(absolutize("", "/"), Err(FsError::Invalid));
+    }
+
+    #[test]
+    fn split_parent_cases() {
+        assert_eq!(split_parent("/a/b"), Some(("/a", "b")));
+        assert_eq!(split_parent("/a"), Some(("/", "a")));
+        assert_eq!(split_parent("/"), None);
+    }
+
+    #[test]
+    fn join_cases() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+    }
+
+    #[test]
+    fn prefix_check() {
+        assert!(starts_with_dir("/shared/x", "/shared"));
+        assert!(starts_with_dir("/shared", "/shared"));
+        assert!(!starts_with_dir("/sharedx", "/shared"));
+        assert!(starts_with_dir("/anything", "/"));
+    }
+
+    #[test]
+    fn name_validity() {
+        assert!(valid_name("file.o"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("."));
+        assert!(!valid_name(".."));
+        assert!(!valid_name("a/b"));
+    }
+
+    #[test]
+    fn components_iteration() {
+        let v: Vec<_> = components("/a/b/c").collect();
+        assert_eq!(v, vec!["a", "b", "c"]);
+        assert_eq!(components("/").count(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! I/O accounting used by the simulation's cost model.
+//!
+//! The paper's measurements (e.g. the rwho comparison in §4) hinge on the
+//! relative cost of file-system reads/writes versus direct loads and
+//! stores. Every file-system layer tallies its traffic here; the cost
+//! model in the core crate converts tallies into simulated time.
+
+/// Cumulative file-system activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Path lookups (one per resolved component).
+    pub lookups: u64,
+    /// `open`-style operations.
+    pub opens: u64,
+    /// Read calls.
+    pub reads: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Write calls.
+    pub writes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Disk blocks touched by reads (block-granular).
+    pub blocks_read: u64,
+    /// Disk blocks touched by writes.
+    pub blocks_written: u64,
+    /// Files or directories created.
+    pub creates: u64,
+    /// Files or directories removed.
+    pub removes: u64,
+}
+
+impl FsStats {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &FsStats) {
+        self.lookups += other.lookups;
+        self.opens += other.opens;
+        self.reads += other.reads;
+        self.bytes_read += other.bytes_read;
+        self.writes += other.writes;
+        self.bytes_written += other.bytes_written;
+        self.blocks_read += other.blocks_read;
+        self.blocks_written += other.blocks_written;
+        self.creates += other.creates;
+        self.removes += other.removes;
+    }
+
+    /// Records a read of `bytes` starting at `offset`.
+    pub fn record_read(&mut self, offset: u64, bytes: u64) {
+        self.reads += 1;
+        self.bytes_read += bytes;
+        self.blocks_read += span_blocks(offset, bytes);
+    }
+
+    /// Records a write of `bytes` starting at `offset`.
+    pub fn record_write(&mut self, offset: u64, bytes: u64) {
+        self.writes += 1;
+        self.bytes_written += bytes;
+        self.blocks_written += span_blocks(offset, bytes);
+    }
+}
+
+/// Number of disk blocks a byte range touches.
+fn span_blocks(offset: u64, bytes: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let bs = crate::BLOCK_SIZE as u64;
+    let first = offset / bs;
+    let last = (offset + bytes - 1) / bs;
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_spans() {
+        assert_eq!(span_blocks(0, 0), 0);
+        assert_eq!(span_blocks(0, 1), 1);
+        assert_eq!(span_blocks(0, 4096), 1);
+        assert_eq!(span_blocks(0, 4097), 2);
+        assert_eq!(span_blocks(4095, 2), 2);
+        assert_eq!(span_blocks(8192, 4096), 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FsStats::default();
+        a.record_read(0, 100);
+        let mut b = FsStats::default();
+        b.record_write(4000, 200);
+        a.merge(&b);
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.writes, 1);
+        assert_eq!(a.bytes_written, 200);
+        assert_eq!(a.blocks_written, 2);
+    }
+}

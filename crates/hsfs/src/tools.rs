@@ -1,0 +1,207 @@
+//! Administrative tooling for the shared partition.
+//!
+//! §5 "Garbage Collection": "our shared file system provides a facility
+//! crucial for manual cleanup: the ability to peruse all of the segments
+//! in existence. Our hope is that the manual cleanup of general
+//! shared-memory segments will prove little harder than the manual
+//! cleanup of files." This module is that facility: `lsseg`-style
+//! enumeration, an `fsck`-style consistency check of the address table,
+//! and bulk cleanup helpers.
+
+use crate::error::FsError;
+use crate::fs::NodeKind;
+use crate::shared::{SharedFs, SHARED_INODES};
+use crate::Ino;
+
+/// One row of the segment listing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Inode (= slot) number.
+    pub ino: Ino,
+    /// Full path within the shared partition.
+    pub path: String,
+    /// The segment's global virtual address.
+    pub addr: u32,
+    /// Current size in bytes.
+    pub size: u64,
+    /// Permission bits.
+    pub mode: u16,
+    /// Owning user.
+    pub uid: u32,
+}
+
+/// Enumerates every segment (file) in the shared partition, in slot
+/// order — the "peruse all of the segments in existence" operation.
+pub fn list_segments(sfs: &mut SharedFs) -> Vec<SegmentInfo> {
+    let mut files = Vec::new();
+    sfs.fs.for_each_inode(|ino, kind| {
+        if *kind == NodeKind::File {
+            files.push(ino);
+        }
+    });
+    files
+        .into_iter()
+        .filter_map(|ino| {
+            let meta = sfs.fs.metadata(ino).ok()?;
+            let path = sfs.fs.path_of(ino).ok()?;
+            Some(SegmentInfo {
+                ino,
+                path,
+                addr: SharedFs::addr_of_ino(ino),
+                size: meta.size,
+                mode: meta.mode,
+                uid: meta.uid,
+            })
+        })
+        .collect()
+}
+
+/// Problems `fsck_shared` can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsckIssue {
+    /// A file exists but the address table has no entry for it (lost
+    /// after a crash — a boot scan repairs it).
+    MissingTableEntry { ino: Ino, path: String },
+    /// The table maps an address to an inode that no longer exists.
+    StaleTableEntry { ino: Ino },
+    /// A file exceeds its 1 MB slot (should be impossible).
+    Oversized { ino: Ino, size: u64 },
+}
+
+/// Checks the address table against the file system, returning every
+/// inconsistency found. A clean partition returns an empty list.
+pub fn fsck_shared(sfs: &mut SharedFs) -> Vec<FsckIssue> {
+    let mut issues = Vec::new();
+    let mut files = Vec::new();
+    sfs.fs.for_each_inode(|ino, kind| {
+        if *kind == NodeKind::File {
+            files.push(ino);
+        }
+    });
+    for &ino in &files {
+        let addr = SharedFs::addr_of_ino(ino);
+        if sfs.addr_to_ino(addr).is_err() {
+            let path = sfs.fs.path_of(ino).unwrap_or_default();
+            issues.push(FsckIssue::MissingTableEntry { ino, path });
+        }
+        if let Ok(meta) = sfs.fs.metadata(ino) {
+            if meta.size > crate::shared::SLOT_SIZE as u64 {
+                issues.push(FsckIssue::Oversized {
+                    ino,
+                    size: meta.size,
+                });
+            }
+        }
+    }
+    // Scan the whole slot space for table entries without a backing file.
+    for slot in 0..SHARED_INODES {
+        let addr = SharedFs::addr_of_ino(slot);
+        if let Ok((ino, _)) = sfs.addr_to_ino(addr) {
+            if sfs.fs.metadata(ino).is_err() || !files.contains(&ino) {
+                issues.push(FsckIssue::StaleTableEntry { ino });
+            }
+        }
+    }
+    issues
+}
+
+/// Removes every segment under `prefix` — the bulk manual-cleanup
+/// operation (e.g. deleting a finished parallel job's instances).
+/// Returns the number of segments removed.
+pub fn cleanup_prefix(sfs: &mut SharedFs, prefix: &str) -> Result<usize, FsError> {
+    let doomed: Vec<String> = list_segments(sfs)
+        .into_iter()
+        .filter(|s| crate::path::starts_with_dir(&s.path, prefix))
+        .map(|s| s.path)
+        .collect();
+    let n = doomed.len();
+    for path in doomed {
+        sfs.unlink(&path)?;
+    }
+    Ok(n)
+}
+
+/// Formats the listing like `ls -l` for segments.
+pub fn format_listing(segs: &[SegmentInfo]) -> String {
+    let mut out = String::new();
+    for s in segs {
+        out.push_str(&format!(
+            "{:04o} uid {:>3} {:>8} bytes @ {:#010x}  {}\n",
+            s.mode, s.uid, s.size, s.addr, s.path
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> SharedFs {
+        let mut s = SharedFs::new();
+        s.fs.mkdir_all("/jobs/a", 0o777, 0).unwrap();
+        s.create_file("/jobs/a/seg1", 0o666, 1).unwrap();
+        s.create_file("/jobs/a/seg2", 0o600, 2).unwrap();
+        s.create_file("/standalone", 0o666, 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn listing_enumerates_all_segments() {
+        let mut s = populated();
+        let segs = list_segments(&mut s);
+        assert_eq!(segs.len(), 3);
+        let paths: Vec<&str> = segs.iter().map(|x| x.path.as_str()).collect();
+        assert!(paths.contains(&"/jobs/a/seg1"));
+        assert!(paths.contains(&"/standalone"));
+        for seg in &segs {
+            assert_eq!(seg.addr, SharedFs::addr_of_ino(seg.ino));
+        }
+        let text = format_listing(&segs);
+        assert!(text.contains("/jobs/a/seg2"));
+        assert!(text.contains("0600"));
+    }
+
+    #[test]
+    fn fsck_clean_partition() {
+        let mut s = populated();
+        assert!(fsck_shared(&mut s).is_empty());
+    }
+
+    #[test]
+    fn fsck_detects_lost_table_and_boot_scan_repairs() {
+        let mut s = populated();
+        // Simulate a crash that loses the in-kernel table.
+        let before = list_segments(&mut s).len();
+        s.linear_table_clear_for_test();
+        let issues = fsck_shared(&mut s);
+        assert_eq!(
+            issues
+                .iter()
+                .filter(|i| matches!(i, FsckIssue::MissingTableEntry { .. }))
+                .count(),
+            before
+        );
+        s.boot_scan();
+        assert!(fsck_shared(&mut s).is_empty());
+    }
+
+    #[test]
+    fn cleanup_by_prefix() {
+        let mut s = populated();
+        let removed = cleanup_prefix(&mut s, "/jobs").unwrap();
+        assert_eq!(removed, 2);
+        let segs = list_segments(&mut s);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].path, "/standalone");
+        // Their address slots are retired.
+        assert!(fsck_shared(&mut s).is_empty());
+    }
+
+    #[test]
+    fn cleanup_whole_partition() {
+        let mut s = populated();
+        assert_eq!(cleanup_prefix(&mut s, "/").unwrap(), 3);
+        assert!(list_segments(&mut s).is_empty());
+    }
+}

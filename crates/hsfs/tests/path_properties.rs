@@ -1,0 +1,69 @@
+//! Property tests for path handling — the namespace layer every lookup,
+//! link, and fault translation flows through.
+
+use hsfs::path as fspath;
+use proptest::prelude::*;
+
+/// Arbitrary path-ish strings: components drawn from a small alphabet
+/// including the tricky ones (`.`, `..`, empty).
+fn path_strategy() -> impl Strategy<Value = String> {
+    let comp = prop_oneof![
+        Just(String::new()),
+        Just(".".to_string()),
+        Just("..".to_string()),
+        "[a-z]{1,6}".prop_map(|s| s),
+        Just("shared".to_string()),
+    ];
+    proptest::collection::vec(comp, 0..8).prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+proptest! {
+    /// normalize is idempotent and always yields an absolute path with
+    /// no `.`/`..`/empty components.
+    #[test]
+    fn normalize_idempotent_and_canonical(p in path_strategy()) {
+        let once = fspath::normalize(&p).unwrap();
+        prop_assert!(once.starts_with('/'));
+        prop_assert_eq!(fspath::normalize(&once).unwrap(), once.clone());
+        for comp in fspath::components(&once) {
+            prop_assert!(comp != "." && comp != ".." && !comp.is_empty());
+        }
+    }
+
+    /// absolutize against an absolute cwd always produces a normalized
+    /// absolute path, for both relative and absolute inputs.
+    #[test]
+    fn absolutize_always_absolute(p in "[a-z./]{1,20}", cwd in path_strategy()) {
+        let cwd = fspath::normalize(&cwd).unwrap();
+        if let Ok(out) = fspath::absolutize(&p, &cwd) {
+            prop_assert!(out.starts_with('/'));
+            prop_assert_eq!(fspath::normalize(&out).unwrap(), out);
+        }
+    }
+
+    /// split_parent/join are inverses on canonical non-root paths.
+    #[test]
+    fn split_join_round_trip(p in path_strategy()) {
+        let norm = fspath::normalize(&p).unwrap();
+        if norm != "/" {
+            let (parent, name) = fspath::split_parent(&norm).unwrap();
+            prop_assert_eq!(fspath::join(parent, name), norm);
+        }
+    }
+
+    /// starts_with_dir is consistent with actually joining a child onto
+    /// the prefix.
+    #[test]
+    fn prefix_consistency(base in path_strategy(), child in "[a-z]{1,6}") {
+        let base = fspath::normalize(&base).unwrap();
+        let sub = fspath::join(&base, &child);
+        prop_assert!(fspath::starts_with_dir(&sub, &base));
+        prop_assert!(fspath::starts_with_dir(&base, &base));
+        // A sibling with the prefix as a *string* prefix but not a path
+        // prefix must not match.
+        if base != "/" {
+            let sibling = format!("{base}x");
+            prop_assert!(!fspath::starts_with_dir(&sibling, &base));
+        }
+    }
+}

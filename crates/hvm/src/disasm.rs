@@ -1,0 +1,159 @@
+//! Textual disassembly of H32 instructions.
+//!
+//! Used by the object-file dumper and by linker diagnostics (trampoline
+//! verification, fault reports). The format round-trips through the
+//! `hasm` assembler for all non-pseudo instructions.
+
+use crate::isa::{branch_target, jump_target, sext16, Instr};
+
+/// Formats one instruction, given the address it would execute at
+/// (branch and jump targets print resolved).
+pub fn disasm(instr: Instr, pc: u32) -> String {
+    use Instr::*;
+    match instr {
+        Add { rd, rs, rt } => format!("add  {rd}, {rs}, {rt}"),
+        Sub { rd, rs, rt } => format!("sub  {rd}, {rs}, {rt}"),
+        And { rd, rs, rt } => format!("and  {rd}, {rs}, {rt}"),
+        Or { rd, rs, rt } => format!("or   {rd}, {rs}, {rt}"),
+        Xor { rd, rs, rt } => format!("xor  {rd}, {rs}, {rt}"),
+        Nor { rd, rs, rt } => format!("nor  {rd}, {rs}, {rt}"),
+        Slt { rd, rs, rt } => format!("slt  {rd}, {rs}, {rt}"),
+        Sltu { rd, rs, rt } => format!("sltu {rd}, {rs}, {rt}"),
+        Sll { rd, rt, shamt } => format!("sll  {rd}, {rt}, {shamt}"),
+        Srl { rd, rt, shamt } => format!("srl  {rd}, {rt}, {shamt}"),
+        Sra { rd, rt, shamt } => format!("sra  {rd}, {rt}, {shamt}"),
+        Sllv { rd, rt, rs } => format!("sllv {rd}, {rt}, {rs}"),
+        Srlv { rd, rt, rs } => format!("srlv {rd}, {rt}, {rs}"),
+        Srav { rd, rt, rs } => format!("srav {rd}, {rt}, {rs}"),
+        Mult { rs, rt } => format!("mult {rs}, {rt}"),
+        Multu { rs, rt } => format!("multu {rs}, {rt}"),
+        Div { rs, rt } => format!("div  {rs}, {rt}"),
+        Divu { rs, rt } => format!("divu {rs}, {rt}"),
+        Mfhi { rd } => format!("mfhi {rd}"),
+        Mflo { rd } => format!("mflo {rd}"),
+        Addi { rt, rs, imm } => format!("addi {rt}, {rs}, {}", sext16(imm) as i32),
+        Slti { rt, rs, imm } => format!("slti {rt}, {rs}, {}", sext16(imm) as i32),
+        Sltiu { rt, rs, imm } => format!("sltiu {rt}, {rs}, {}", sext16(imm) as i32),
+        Andi { rt, rs, imm } => format!("andi {rt}, {rs}, {imm:#x}"),
+        Ori { rt, rs, imm } => format!("ori  {rt}, {rs}, {imm:#x}"),
+        Xori { rt, rs, imm } => format!("xori {rt}, {rs}, {imm:#x}"),
+        Lui { rt, imm } => format!("lui  {rt}, {imm:#x}"),
+        Lb { rt, rs, imm } => format!("lb   {rt}, {}({rs})", sext16(imm) as i32),
+        Lbu { rt, rs, imm } => format!("lbu  {rt}, {}({rs})", sext16(imm) as i32),
+        Lh { rt, rs, imm } => format!("lh   {rt}, {}({rs})", sext16(imm) as i32),
+        Lhu { rt, rs, imm } => format!("lhu  {rt}, {}({rs})", sext16(imm) as i32),
+        Lw { rt, rs, imm } => format!("lw   {rt}, {}({rs})", sext16(imm) as i32),
+        Sb { rt, rs, imm } => format!("sb   {rt}, {}({rs})", sext16(imm) as i32),
+        Sh { rt, rs, imm } => format!("sh   {rt}, {}({rs})", sext16(imm) as i32),
+        Sw { rt, rs, imm } => format!("sw   {rt}, {}({rs})", sext16(imm) as i32),
+        Beq { rs, rt, imm } => format!("beq  {rs}, {rt}, {:#010x}", branch_target(pc, imm)),
+        Bne { rs, rt, imm } => format!("bne  {rs}, {rt}, {:#010x}", branch_target(pc, imm)),
+        Blez { rs, imm } => format!("blez {rs}, {:#010x}", branch_target(pc, imm)),
+        Bgtz { rs, imm } => format!("bgtz {rs}, {:#010x}", branch_target(pc, imm)),
+        Bltz { rs, imm } => format!("bltz {rs}, {:#010x}", branch_target(pc, imm)),
+        Bgez { rs, imm } => format!("bgez {rs}, {:#010x}", branch_target(pc, imm)),
+        J { target } => format!("j    {:#010x}", jump_target(pc, target)),
+        Jal { target } => format!("jal  {:#010x}", jump_target(pc, target)),
+        Jr { rs } => format!("jr   {rs}"),
+        Jalr { rd, rs } => format!("jalr {rd}, {rs}"),
+        Syscall => "syscall".to_string(),
+        Break { code } => format!("break {code}"),
+    }
+}
+
+/// Disassembles a word, or formats it as raw data when undecodable.
+pub fn disasm_word(word: u32, pc: u32) -> String {
+    match crate::decode(word) {
+        Ok(i) => disasm(i, pc),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+/// Disassembles a little-endian byte region starting at `base`, one line
+/// per word: `address:  raw-word   mnemonic`.
+pub fn disasm_region(bytes: &[u8], base: u32) -> String {
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let pc = base + 4 * i as u32;
+        out.push_str(&format!(
+            "{pc:#010x}:  {word:08x}  {}\n",
+            disasm_word(word, pc)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+    use crate::regs::Reg;
+    use Instr::*;
+
+    #[test]
+    fn representative_forms() {
+        assert_eq!(
+            disasm(
+                Add {
+                    rd: Reg::V0,
+                    rs: Reg::A0,
+                    rt: Reg::A1
+                },
+                0
+            ),
+            "add  $v0, $a0, $a1"
+        );
+        assert_eq!(
+            disasm(
+                Lw {
+                    rt: Reg(8),
+                    rs: Reg::SP,
+                    imm: 0xFFFC
+                },
+                0
+            ),
+            "lw   $t0, -4($sp)"
+        );
+        assert_eq!(
+            disasm(
+                Lui {
+                    rt: Reg(8),
+                    imm: 0x3000
+                },
+                0
+            ),
+            "lui  $t0, 0x3000"
+        );
+        assert_eq!(
+            disasm(
+                Beq {
+                    rs: Reg(8),
+                    rt: Reg::ZERO,
+                    imm: 3
+                },
+                0x1000
+            ),
+            "beq  $t0, $zero, 0x00001010"
+        );
+        assert_eq!(disasm(Jal { target: 0x40 }, 0x1000), "jal  0x00000100");
+        assert_eq!(disasm(Syscall, 0), "syscall");
+    }
+
+    #[test]
+    fn undecodable_prints_raw() {
+        assert_eq!(disasm_word(0xFFFF_FFFF, 0), ".word 0xffffffff");
+    }
+
+    #[test]
+    fn region_layout() {
+        let words = [encode(Syscall), encode(Jr { rs: Reg::RA })];
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let text = disasm_region(&bytes, 0x1000);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("0x00001000:"));
+        assert!(lines[0].ends_with("syscall"));
+        assert!(lines[1].contains("jr   $ra"));
+    }
+}

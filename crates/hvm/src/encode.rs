@@ -1,0 +1,162 @@
+//! Binary encoding of H32 instructions.
+//!
+//! The layout is MIPS-I: a 6-bit major opcode, R-type instructions under
+//! opcode 0 selected by a 6-bit function field, and a REGIMM group under
+//! opcode 1. Field numbers match MIPS where an equivalent exists so the
+//! encodings are easy to eyeball in a hex dump.
+
+use crate::isa::Instr;
+use crate::regs::Reg;
+
+pub(crate) const OP_SPECIAL: u32 = 0;
+pub(crate) const OP_REGIMM: u32 = 1;
+pub(crate) const OP_J: u32 = 2;
+pub(crate) const OP_JAL: u32 = 3;
+pub(crate) const OP_BEQ: u32 = 4;
+pub(crate) const OP_BNE: u32 = 5;
+pub(crate) const OP_BLEZ: u32 = 6;
+pub(crate) const OP_BGTZ: u32 = 7;
+pub(crate) const OP_ADDI: u32 = 8;
+pub(crate) const OP_SLTI: u32 = 10;
+pub(crate) const OP_SLTIU: u32 = 11;
+pub(crate) const OP_ANDI: u32 = 12;
+pub(crate) const OP_ORI: u32 = 13;
+pub(crate) const OP_XORI: u32 = 14;
+pub(crate) const OP_LUI: u32 = 15;
+pub(crate) const OP_LB: u32 = 32;
+pub(crate) const OP_LH: u32 = 33;
+pub(crate) const OP_LW: u32 = 35;
+pub(crate) const OP_LBU: u32 = 36;
+pub(crate) const OP_LHU: u32 = 37;
+pub(crate) const OP_SB: u32 = 40;
+pub(crate) const OP_SH: u32 = 41;
+pub(crate) const OP_SW: u32 = 43;
+
+pub(crate) const FN_SLL: u32 = 0;
+pub(crate) const FN_SRL: u32 = 2;
+pub(crate) const FN_SRA: u32 = 3;
+pub(crate) const FN_SLLV: u32 = 4;
+pub(crate) const FN_SRLV: u32 = 6;
+pub(crate) const FN_SRAV: u32 = 7;
+pub(crate) const FN_JR: u32 = 8;
+pub(crate) const FN_JALR: u32 = 9;
+pub(crate) const FN_SYSCALL: u32 = 12;
+pub(crate) const FN_BREAK: u32 = 13;
+pub(crate) const FN_MFHI: u32 = 16;
+pub(crate) const FN_MFLO: u32 = 18;
+pub(crate) const FN_MULT: u32 = 24;
+pub(crate) const FN_MULTU: u32 = 25;
+pub(crate) const FN_DIV: u32 = 26;
+pub(crate) const FN_DIVU: u32 = 27;
+pub(crate) const FN_ADD: u32 = 32;
+pub(crate) const FN_SUB: u32 = 34;
+pub(crate) const FN_AND: u32 = 36;
+pub(crate) const FN_OR: u32 = 37;
+pub(crate) const FN_XOR: u32 = 38;
+pub(crate) const FN_NOR: u32 = 39;
+pub(crate) const FN_SLT: u32 = 42;
+pub(crate) const FN_SLTU: u32 = 43;
+
+pub(crate) const RI_BLTZ: u32 = 0;
+pub(crate) const RI_BGEZ: u32 = 1;
+
+fn r(rs: Reg, rt: Reg, rd: Reg, shamt: u8, funct: u32) -> u32 {
+    ((rs.index() as u32) << 21)
+        | ((rt.index() as u32) << 16)
+        | ((rd.index() as u32) << 11)
+        | (((shamt & 31) as u32) << 6)
+        | funct
+}
+
+fn i(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | ((rs.index() as u32) << 21) | ((rt.index() as u32) << 16) | imm as u32
+}
+
+/// Encodes one instruction to its 32-bit word.
+pub fn encode(instr: Instr) -> u32 {
+    use Instr::*;
+    let z = Reg::ZERO;
+    match instr {
+        Add { rd, rs, rt } => r(rs, rt, rd, 0, FN_ADD),
+        Sub { rd, rs, rt } => r(rs, rt, rd, 0, FN_SUB),
+        And { rd, rs, rt } => r(rs, rt, rd, 0, FN_AND),
+        Or { rd, rs, rt } => r(rs, rt, rd, 0, FN_OR),
+        Xor { rd, rs, rt } => r(rs, rt, rd, 0, FN_XOR),
+        Nor { rd, rs, rt } => r(rs, rt, rd, 0, FN_NOR),
+        Slt { rd, rs, rt } => r(rs, rt, rd, 0, FN_SLT),
+        Sltu { rd, rs, rt } => r(rs, rt, rd, 0, FN_SLTU),
+        Sll { rd, rt, shamt } => r(z, rt, rd, shamt, FN_SLL),
+        Srl { rd, rt, shamt } => r(z, rt, rd, shamt, FN_SRL),
+        Sra { rd, rt, shamt } => r(z, rt, rd, shamt, FN_SRA),
+        Sllv { rd, rt, rs } => r(rs, rt, rd, 0, FN_SLLV),
+        Srlv { rd, rt, rs } => r(rs, rt, rd, 0, FN_SRLV),
+        Srav { rd, rt, rs } => r(rs, rt, rd, 0, FN_SRAV),
+        Mult { rs, rt } => r(rs, rt, z, 0, FN_MULT),
+        Multu { rs, rt } => r(rs, rt, z, 0, FN_MULTU),
+        Div { rs, rt } => r(rs, rt, z, 0, FN_DIV),
+        Divu { rs, rt } => r(rs, rt, z, 0, FN_DIVU),
+        Mfhi { rd } => r(z, z, rd, 0, FN_MFHI),
+        Mflo { rd } => r(z, z, rd, 0, FN_MFLO),
+        Addi { rt, rs, imm } => i(OP_ADDI, rs, rt, imm),
+        Slti { rt, rs, imm } => i(OP_SLTI, rs, rt, imm),
+        Sltiu { rt, rs, imm } => i(OP_SLTIU, rs, rt, imm),
+        Andi { rt, rs, imm } => i(OP_ANDI, rs, rt, imm),
+        Ori { rt, rs, imm } => i(OP_ORI, rs, rt, imm),
+        Xori { rt, rs, imm } => i(OP_XORI, rs, rt, imm),
+        Lui { rt, imm } => i(OP_LUI, z, rt, imm),
+        Lb { rt, rs, imm } => i(OP_LB, rs, rt, imm),
+        Lbu { rt, rs, imm } => i(OP_LBU, rs, rt, imm),
+        Lh { rt, rs, imm } => i(OP_LH, rs, rt, imm),
+        Lhu { rt, rs, imm } => i(OP_LHU, rs, rt, imm),
+        Lw { rt, rs, imm } => i(OP_LW, rs, rt, imm),
+        Sb { rt, rs, imm } => i(OP_SB, rs, rt, imm),
+        Sh { rt, rs, imm } => i(OP_SH, rs, rt, imm),
+        Sw { rt, rs, imm } => i(OP_SW, rs, rt, imm),
+        Beq { rs, rt, imm } => i(OP_BEQ, rs, rt, imm),
+        Bne { rs, rt, imm } => i(OP_BNE, rs, rt, imm),
+        Blez { rs, imm } => i(OP_BLEZ, rs, z, imm),
+        Bgtz { rs, imm } => i(OP_BGTZ, rs, z, imm),
+        Bltz { rs, imm } => i(OP_REGIMM, rs, Reg(RI_BLTZ as u8), imm),
+        Bgez { rs, imm } => i(OP_REGIMM, rs, Reg(RI_BGEZ as u8), imm),
+        J { target } => (OP_J << 26) | (target & 0x03FF_FFFF),
+        Jal { target } => (OP_JAL << 26) | (target & 0x03FF_FFFF),
+        Jr { rs } => r(rs, z, z, 0, FN_JR),
+        Jalr { rd, rs } => r(rs, z, rd, 0, FN_JALR),
+        Syscall => FN_SYSCALL,
+        Break { code } => ((code & 0xF_FFFF) << 6) | FN_BREAK,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // add $v0, $a0, $a1 == 0x00851020 on MIPS.
+        let w = encode(Instr::Add {
+            rd: Reg::V0,
+            rs: Reg::A0,
+            rt: Reg::A1,
+        });
+        assert_eq!(w, 0x0085_1020);
+        // lw $t0, 8($sp) == 0x8FA80008.
+        let w = encode(Instr::Lw {
+            rt: Reg(8),
+            rs: Reg::SP,
+            imm: 8,
+        });
+        assert_eq!(w, 0x8FA8_0008);
+        // syscall == 0x0000000C.
+        assert_eq!(encode(Instr::Syscall), 0x0000_000C);
+    }
+
+    #[test]
+    fn jump_field_masked() {
+        let w = encode(Instr::J {
+            target: 0xFFFF_FFFF,
+        });
+        assert_eq!(w >> 26, OP_J);
+        assert_eq!(w & 0x03FF_FFFF, 0x03FF_FFFF);
+    }
+}

@@ -1,0 +1,125 @@
+//! Register names and calling conventions for H32.
+//!
+//! H32 follows the MIPS o32-style convention the paper's toolchain used.
+//! Register `r1` (`at`) is reserved for the linkers: `lds` and `ldl` use it
+//! in the trampolines they synthesize for over-long jumps, so compilers
+//! (and our assembler's pseudo-instructions) must not keep live values
+//! there across a call.
+
+use std::fmt;
+
+/// A general-purpose register index (0..=31).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler/linker temporary — clobbered by linker trampolines.
+    pub const AT: Reg = Reg(1);
+    /// First return value / syscall number.
+    pub const V0: Reg = Reg(2);
+    /// Second return value.
+    pub const V1: Reg = Reg(3);
+    /// First argument register.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// Global pointer — the addressing mode Hemlock must disable.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address, written by `jal`/`jalr`.
+    pub const RA: Reg = Reg(31);
+
+    /// Constructs a register from a raw 5-bit field.
+    ///
+    /// Values above 31 are masked, matching hardware decode.
+    pub fn from_field(bits: u32) -> Reg {
+        Reg((bits & 31) as u8)
+    }
+
+    /// The register's index as a usize, guaranteed `< 32`.
+    pub fn index(self) -> usize {
+        (self.0 & 31) as usize
+    }
+
+    /// The conventional assembly name (`zero`, `at`, `v0`, ... `ra`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Parses either a numeric (`r4`) or conventional (`a0`) register name.
+    pub fn parse(s: &str) -> Option<Reg> {
+        let s = s.strip_prefix('$').unwrap_or(s);
+        if let Some(num) = s.strip_prefix('r') {
+            if let Ok(n) = num.parse::<u8>() {
+                if n < 32 {
+                    return Some(Reg(n));
+                }
+            }
+        }
+        (0..32u8).map(Reg).find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_match_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::AT.index(), 1);
+        assert_eq!(Reg::GP.index(), 28);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+
+    #[test]
+    fn parse_numeric_and_symbolic() {
+        assert_eq!(Reg::parse("r0"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("r31"), Some(Reg::RA));
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("$a0"), Some(Reg::A0));
+        assert_eq!(Reg::parse("t9"), Some(Reg(25)));
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("bogus"), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for i in 0..32u8 {
+            let r = Reg(i);
+            assert_eq!(Reg::parse(r.name()), Some(r));
+        }
+    }
+
+    #[test]
+    fn from_field_masks() {
+        assert_eq!(Reg::from_field(33).index(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! E5 — the Presto case study (§4, "Parallel Applications").
+//!
+//! Porting Presto to IRIX originally required "editing the assembly
+//! code" to place shared variables — automated by a 432-line
+//! post-processor that consumed "roughly one quarter to one third of
+//! total compilation time" and broke with each compiler release. With
+//! Hemlock, "selective sharing can be specified with ease": shared
+//! variables go in a separate file linked as a **dynamic public module**,
+//! and the launcher steers the children to a per-job instance with
+//! nothing but a temporary directory, a symlink, and `LD_LIBRARY_PATH`:
+//!
+//! "The parent process ... creates a temporary directory, puts a symbolic
+//! link to the shared data template into this directory, and then adds
+//! the name of the directory to the LD_LIBRARY_PATH environment variable.
+//! ... The first one to call ldl creates and initializes the shared data
+//! from the template, and all of them link it in."
+//!
+//! Run with: `cargo run --example parallel`
+
+use hemlock::{ShareClass, World, WorldExit};
+
+const WORKERS: usize = 4;
+const N: u32 = 1000; // each worker sums i in its stripe of 1..=N
+
+/// The shared data file of the parallel application: a results array and
+/// a completion counter. Note: plain globals, no shm calls anywhere.
+const SHARED_DATA: &str = r#"
+.module shared_data
+.data
+.globl results
+results: .space 64        ; one slot per worker
+.globl done_count
+done_count: .word 0
+"#;
+
+/// The worker: sums its stripe, stores into `results[id]`, bumps
+/// `done_count` under a test-and-set spin lock.
+const WORKER: &str = r#"
+.module worker
+.text
+.globl main
+; a0-equivalent: worker id arrives in the `wid` private word, patched by
+; the launcher before spawn (each child gets its own private copy).
+main:   la   r8, wid
+        lw   r16, 0(r8)        ; id
+        ; sum my stripe: i = id+1, step WORKERS, while i <= N
+        li   r17, 0            ; sum
+        addi r9, r16, 1        ; i
+        li   r10, 1000         ; N
+        li   r11, 4            ; stride
+sum:    slt  r12, r10, r9      ; N < i ?
+        bne  r12, r0, store
+        add  r17, r17, r9
+        add  r9, r9, r11
+        b    sum
+store:  la   r8, results
+        sll  r12, r16, 2
+        add  r8, r8, r12
+        sw   r17, 0(r8)
+        ; lock(done_lock) via test-and-set service
+acq:    la   a0, done_lock
+        li   a1, 1
+        li   v0, 102           ; SVC_TAS
+        syscall
+        bne  v0, r0, acq       ; spin while old value was 1
+        ; critical section: done_count += 1
+        la   r8, done_count
+        lw   r9, 0(r8)
+        addi r9, r9, 1
+        sw   r9, 0(r8)
+        ; unlock
+        la   r8, done_lock
+        sw   r0, 0(r8)
+        li   v0, 0
+        jr   ra
+.data
+.globl wid
+wid:    .word 0
+.globl done_lock
+done_lock: .word 0
+"#;
+
+fn main() {
+    let mut world = World::new();
+
+    // The shared-data *template* lives with the application's sources on
+    // the shared partition.
+    world
+        .install_template("/shared/templates/shared_data.o", SHARED_DATA)
+        .unwrap();
+    world.install_template("/src/worker.o", WORKER).unwrap();
+
+    // Children link the shared data as a dynamic public module by bare
+    // name; at link time it does not even need to exist on the path yet
+    // (lds just warns).
+    let exe = world
+        .link(
+            "/bin/worker",
+            &[
+                ("/src/worker.o", ShareClass::StaticPrivate),
+                ("shared_data", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    println!("linker warnings (expected — module located at run time):");
+    for w in &world.log {
+        println!("  {w}");
+    }
+
+    // --- the launcher (the parent process of the paper) ---
+    // 1. temporary directory; 2. symlink to the template; 3. point the
+    // children there via LD_LIBRARY_PATH.
+    let job_dir = "/shared/tmp/job1";
+    world.kernel.vfs.mkdir_all(job_dir, 0o777, 1).unwrap();
+    world
+        .kernel
+        .vfs
+        .symlink(
+            "/templates/shared_data.o",
+            &format!("{job_dir}/shared_data.o"),
+            1,
+        )
+        .unwrap();
+
+    let mut pids = Vec::new();
+    for id in 0..WORKERS {
+        let pid = world
+            .spawn_with(&exe, "/", 1, &[("LD_LIBRARY_PATH", job_dir)])
+            .unwrap();
+        // Give each child its private worker id (patching its private
+        // data — each child has its own copy of `wid`).
+        let image_wid = {
+            let bytes = world.kernel.vfs.read_all("/bin/worker").unwrap();
+            hobj::binfmt::decode_image(&bytes)
+                .unwrap()
+                .find_export("wid")
+                .unwrap()
+        };
+        let proc = world.kernel.procs.get_mut(&pid).unwrap();
+        proc.aspace
+            .write_bytes(
+                &mut world.kernel.vfs.shared,
+                image_wid,
+                &(id as u32).to_le_bytes(),
+            )
+            .unwrap();
+        pids.push(pid);
+    }
+
+    world.quantum = 50; // force interleaving
+    assert_eq!(
+        world.run_to_completion(),
+        WorldExit::AllExited,
+        "{:?}",
+        world.log
+    );
+    for pid in &pids {
+        assert_eq!(world.exit_code(*pid), Some(0), "{:?}", world.log);
+    }
+
+    // The job's shared instance was created beside the real template.
+    let inst = "/shared/templates/shared_data";
+    let done = world.peek_shared_word(inst, "done_count").unwrap();
+    println!("\nall {WORKERS} workers finished (done_count = {done})");
+    let mut total = 0u32;
+    for id in 0..WORKERS {
+        let base = world.peek_shared_word(inst, "results").unwrap();
+        let _ = base;
+        // results[id] — read the slot through the registry meta.
+        let v = {
+            let vfs = &mut world.kernel.vfs;
+            let vnode = vfs.resolve(inst).unwrap();
+            let meta = world.registry.get(vfs, vnode.ino).unwrap();
+            let addr = meta.find_export("results").unwrap() + 4 * id as u32;
+            let off = (addr - meta.base) as usize;
+            let bytes = vfs.shared.fs.file_bytes(vnode.ino).unwrap();
+            u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+        };
+        println!("  worker {id}: partial sum = {v}");
+        total += v;
+    }
+    assert_eq!(total, N * (N + 1) / 2, "Σ1..N");
+    println!("total = {total} (= {N}·({N}+1)/2 ✓)");
+    println!(
+        "\n==> shared variables placed by the *linker*: no assembly post-processor\n\
+         (the paper's was 432 lines and ate 25-33% of compile time), no shm\n\
+         calls, and per-job instances chosen purely with LD_LIBRARY_PATH."
+    );
+}

@@ -1,0 +1,130 @@
+//! Quickstart: share a variable between two programs by *linking* it.
+//!
+//! This is the paper's core pitch in one file: a counter lives in a
+//! shared segment; two separately linked programs access it "with the
+//! same syntax employed for private code and data" — the only difference
+//! is one linker argument (the sharing class). No set-up calls, no
+//! `shmget`, no agreed-upon keys, and the value *persists* between runs
+//! like a file.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hemlock::{ShareClass, World, WorldExit};
+
+fn main() {
+    let mut world = World::new();
+
+    // A shared module: one exported function, one exported variable.
+    // Note there is nothing "shared-memory-ish" in the source.
+    world
+        .install_template(
+            "/shared/lib/counter.o",
+            r#"
+            .module counter
+            .text
+            .globl bump
+            bump:   la   r8, count
+                    lw   r9, 0(r8)
+                    addi r9, r9, 1
+                    sw   r9, 0(r8)
+                    or   v0, r9, r0
+                    jr   ra
+            .data
+            .globl count
+            count:  .word 0
+            "#,
+        )
+        .expect("assemble counter");
+
+    // Two different programs use `bump` like any external function.
+    world
+        .install_template(
+            "/src/writer.o",
+            r#"
+            .module writer
+            .text
+            .globl main
+            main:   addi sp, sp, -8
+                    sw   ra, 0(sp)
+                    jal  bump
+                    jal  bump
+                    jal  bump
+                    or   a0, v0, r0
+                    li   v0, 106        ; print_int(count)
+                    syscall
+                    lw   ra, 0(sp)
+                    addi sp, sp, 8
+                    li   v0, 0
+                    jr   ra
+            "#,
+        )
+        .expect("assemble writer");
+    world
+        .install_template(
+            "/src/reader.o",
+            r#"
+            .module reader
+            .text
+            .globl main
+            main:   la   r8, count      ; read the *same* variable
+                    lw   a0, 0(r8)
+                    li   v0, 106        ; print_int(count)
+                    syscall
+                    li   v0, 0
+                    jr   ra
+            "#,
+        )
+        .expect("assemble reader");
+
+    // Link both against the same dynamic-public module.
+    let writer = world
+        .link(
+            "/bin/writer",
+            &[
+                ("/src/writer.o", ShareClass::StaticPrivate),
+                ("/shared/lib/counter.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .expect("link writer");
+    let reader = world
+        .link(
+            "/bin/reader",
+            &[
+                ("/src/reader.o", ShareClass::StaticPrivate),
+                ("/shared/lib/counter.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .expect("link reader");
+
+    println!("== writer bumps the shared counter three times ==");
+    let pid = world.spawn(&writer).expect("spawn writer");
+    assert_eq!(world.run_to_completion(), WorldExit::AllExited);
+    print!("{}", world.console(pid));
+
+    println!("== a separate program reads it (no IPC set-up at all) ==");
+    let pid = world.spawn(&reader).expect("spawn reader");
+    assert_eq!(world.run_to_completion(), WorldExit::AllExited);
+    print!("{}", world.console(pid));
+
+    println!("== the segment is also an ordinary file ==");
+    let addr = world
+        .kernel
+        .vfs
+        .path_to_addr("/shared/lib/counter")
+        .expect("segment address");
+    let value = world
+        .peek_shared_word("/shared/lib/counter", "count")
+        .expect("peek");
+    println!("/shared/lib/counter lives at {addr:#010x}; count = {value}");
+
+    println!("== run the writer again: the value persists like a file ==");
+    let pid = world.spawn(&writer).expect("spawn writer again");
+    assert_eq!(world.run_to_completion(), WorldExit::AllExited);
+    print!("{}", world.console(pid));
+
+    let stats = world.stats();
+    println!(
+        "\n[{} instructions, {} faults handled by the lazy linker, {} symbols resolved]",
+        stats.kernel.instructions, stats.ldl.faults_resolved, stats.ldl.symbols_resolved
+    );
+}

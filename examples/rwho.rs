@@ -1,0 +1,213 @@
+//! E1 — the rwho case study (§4, "Administrative Files").
+//!
+//! "Using the early prototype of our tools under SunOS, we re-implemented
+//! rwhod to keep its database in shared memory, rather than in files, and
+//! modified the various lookup utilities to access this database
+//! directly. The result was both simpler and faster. On our local network
+//! of 65 rwhod-equipped machines, the new version of rwho saves a little
+//! over a second each time it is called."
+//!
+//! Two complete implementations run here:
+//!
+//! * **file-based** (the original design): the daemon rewrites one ASCII
+//!   file per machine; every `rwho` invocation opens, reads, and parses
+//!   all 65 of them;
+//! * **Hemlock** (the paper's design): the daemon stores records
+//!   directly into a shared-memory database module; `rwho` is a program
+//!   that just *reads memory* — it links the database like any other
+//!   external variable.
+//!
+//! Run with: `cargo run --example rwho`
+
+use baseline::rwho_files::{HostStatus, RwhoFilesBaseline};
+use hemlock::{CostModel, ShareClass, World, WorldExit};
+
+const MACHINES: u32 = 65;
+
+/// The shared database module: a host count plus fixed-size records
+/// (8 words each: uptime, load×3, nusers, last_update, 2 spare).
+const DB_MODULE: &str = r#"
+.module rwho_db
+.data
+.globl nhosts
+nhosts: .word 0
+.globl hosts
+hosts:  .space 2080        ; 65 records x 32 bytes
+"#;
+
+/// The daemon: on each "broadcast" writes one record — a handful of
+/// stores, no files, no linearization.
+const DAEMON: &str = r#"
+.module rwhod
+.text
+.globl main
+main:   la   r8, hosts
+        la   r10, nhosts
+        li   r16, 0            ; machine index
+loop:   li   r9, 65
+        slt  r9, r16, r9
+        beq  r9, r0, done
+        ; record = hosts + i*32
+        sll  r11, r16, 5
+        add  r11, r8, r11
+        ; uptime = 86400 * (i % 30 + 1)  (approximate with i*2880+86400)
+        li   r12, 2880
+        mult r16, r12
+        mflo r12
+        li   r13, 86400
+        add  r12, r12, r13
+        sw   r12, 0(r11)
+        ; load[0..3] = (i*7)%300, (i*5)%300, (i*3)%300
+        li   r12, 7
+        mult r16, r12
+        mflo r12
+        li   r13, 300
+        divu r12, r13
+        mfhi r12
+        sw   r12, 4(r11)
+        li   r12, 5
+        mult r16, r12
+        mflo r12
+        divu r12, r13
+        mfhi r12
+        sw   r12, 8(r11)
+        li   r12, 3
+        mult r16, r12
+        mflo r12
+        divu r12, r13
+        mfhi r12
+        sw   r12, 12(r11)
+        ; nusers = i % 5 + 1
+        li   r13, 5
+        divu r16, r13
+        mfhi r12
+        addi r12, r12, 1
+        sw   r12, 16(r11)
+        ; last_update = 42
+        li   r12, 42
+        sw   r12, 20(r11)
+        addi r16, r16, 1
+        sw   r16, 0(r10)       ; nhosts = i+1
+        b    loop
+done:   li   v0, 0
+        jr   ra
+"#;
+
+/// The rwho utility: sum logged-in users across all machines — pure
+/// loads from the shared database.
+const RWHO: &str = r#"
+.module rwho
+.text
+.globl main
+main:   la   r8, hosts
+        la   r10, nhosts
+        lw   r10, 0(r10)
+        li   r16, 0            ; index
+        li   r17, 0            ; user total
+loop:   slt  r9, r16, r10
+        beq  r9, r0, done
+        sll  r11, r16, 5
+        add  r11, r8, r11
+        lw   r12, 16(r11)      ; nusers
+        add  r17, r17, r12
+        addi r16, r16, 1
+        b    loop
+done:   or   a0, r17, r0
+        li   v0, 106           ; print_int(total users)
+        syscall
+        or   v0, r17, r0
+        jr   ra
+"#;
+
+fn main() {
+    let model = CostModel::default();
+
+    // ---------------- file-based (original) ----------------
+    let mut world_files = World::new();
+    let b = RwhoFilesBaseline::default();
+    b.setup(&mut world_files.kernel.vfs).unwrap();
+    for i in 0..MACHINES {
+        b.daemon_receive(&mut world_files.kernel.vfs, &HostStatus::synthetic(i, 42))
+            .unwrap();
+    }
+    // Measure one rwho invocation's file-system work.
+    world_files.kernel.vfs.root.stats = Default::default();
+    let (users_files, hosts) = b.rwho(&mut world_files.kernel.vfs).unwrap();
+    let file_stats = world_files.stats();
+    let file_time = model.time(&file_stats);
+    println!("file-based rwho: {users_files} users on {hosts} hosts");
+    println!(
+        "  {} reads, {} blocks, {} path lookups",
+        file_stats.root_fs.reads,
+        file_stats.root_fs.blocks_read,
+        file_stats.root_fs.lookups
+    );
+    println!("  simulated cost per invocation: {file_time}");
+
+    // ---------------- Hemlock (shared database) ----------------
+    let mut world = World::new();
+    world
+        .install_template("/shared/lib/rwho_db.o", DB_MODULE)
+        .unwrap();
+    world.install_template("/src/rwhod.o", DAEMON).unwrap();
+    world.install_template("/src/rwho.o", RWHO).unwrap();
+    let daemon = world
+        .link(
+            "/bin/rwhod",
+            &[
+                ("/src/rwhod.o", ShareClass::StaticPrivate),
+                ("/shared/lib/rwho_db.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    let rwho = world
+        .link(
+            "/bin/rwho",
+            &[
+                ("/src/rwho.o", ShareClass::StaticPrivate),
+                ("/shared/lib/rwho_db.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+
+    // The daemon populates the shared database once.
+    let pid = world.spawn(&daemon).unwrap();
+    assert_eq!(
+        world.run_to_completion(),
+        WorldExit::AllExited,
+        "{:?}",
+        world.log
+    );
+    assert_eq!(world.exit_code(pid), Some(0));
+
+    // Measure one rwho invocation.
+    let before = world.stats();
+    let pid = world.spawn(&rwho).unwrap();
+    assert_eq!(
+        world.run_to_completion(),
+        WorldExit::AllExited,
+        "{:?}",
+        world.log
+    );
+    let users_shared = world.exit_code(pid).unwrap() as usize;
+    let after = world.stats();
+    println!("\nhemlock rwho:    {users_shared} users on {hosts} hosts");
+    println!("  output: {}", world.console(pid).trim());
+    let delta_blocks = (after.root_fs.blocks_read + after.shared_fs.blocks_read)
+        - (before.root_fs.blocks_read + before.shared_fs.blocks_read);
+    println!(
+        "  {} file blocks read (vs {} for files), {} instructions",
+        delta_blocks,
+        file_stats.root_fs.blocks_read,
+        after.kernel.instructions - before.kernel.instructions
+    );
+    let shared_time = hemlock::SimTime(model.time(&after).0.saturating_sub(model.time(&before).0));
+    println!("  simulated cost per invocation: {shared_time}");
+
+    assert_eq!(users_files, users_shared, "both versions must agree");
+    let speedup = file_time.0 as f64 / shared_time.0.max(1) as f64;
+    println!(
+        "\n==> shared-memory rwho is {speedup:.1}x cheaper per invocation on {MACHINES} machines"
+    );
+    println!("    (the paper reports \"a little over a second\" saved per call)");
+}

@@ -1,0 +1,24 @@
+//! `hemlock-repro` — the umbrella crate of the *Linking Shared Segments*
+//! reproduction.
+//!
+//! This crate re-exports every layer of the stack so the repository-level
+//! integration tests (`tests/`) and examples (`examples/`) can reach all
+//! of them through one dependency. The interesting code lives in the
+//! member crates:
+//!
+//! * [`hvm`] — the H32 CPU;
+//! * [`hobj`] — object files, load images, and the `hasm` assembler;
+//! * [`hsfs`] — the file systems, including the address-mapped shared
+//!   partition;
+//! * [`hkernel`] — the simulated Unix kernel;
+//! * [`hlink`] — the `lds`/`ldl` linkers and scoped linking;
+//! * [`hemlock`] — the run-time library and the [`hemlock::World`] façade;
+//! * [`baseline`] — the comparison systems for the benchmarks.
+
+pub use baseline;
+pub use hemlock;
+pub use hkernel;
+pub use hlink;
+pub use hobj;
+pub use hsfs;
+pub use hvm;

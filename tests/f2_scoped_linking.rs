@@ -1,0 +1,383 @@
+//! F2 — Figure 2: scoped linking and hierarchical module inclusion.
+//!
+//! "Linking a single module may therefore cause a chain reaction that
+//! ends up incorporating modules that the original programmer knew
+//! nothing about. ... Scoped linking provides ... freedom from ambiguity,
+//! in a language-independent way."
+
+use hemlock::{ShareClass, World, WorldExit};
+
+/// The program's own `helper` returns 1.
+const MAIN: &str = r#"
+.module main
+.text
+.globl main
+.globl helper
+main:   addi sp, sp, -8
+        sw   ra, 0(sp)
+        jal  subsystem_entry
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        jr   ra
+helper: li   v0, 1
+        jr   ra
+"#;
+
+/// A subsystem whose entry calls `helper` — intending *its own* helper
+/// (returns 2), found via its scoped search path.
+const SUBSYSTEM: &str = r#"
+.module subsystem
+.search /shared/subsys
+.text
+.globl subsystem_entry
+subsystem_entry:
+        addi sp, sp, -8
+        sw   ra, 0(sp)
+        jal  helper
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        jr   ra
+"#;
+
+/// The subsystem's private helper, living on the subsystem's search path.
+const SUB_HELPER: &str = r#"
+.module subhelper
+.text
+.globl helper
+helper: li   v0, 2
+        jr   ra
+"#;
+
+fn world_with(subsystem_src: &str) -> World {
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .mkdir_all("/shared/subsys", 0o777, 0)
+        .unwrap();
+    world.install_template("/src/main.o", MAIN).unwrap();
+    world
+        .install_template("/shared/lib/subsystem.o", subsystem_src)
+        .unwrap();
+    world
+        .install_template("/shared/subsys/subhelper.o", SUB_HELPER)
+        .unwrap();
+    world
+}
+
+fn run(world: &mut World) -> i32 {
+    let exe = world
+        .link(
+            "/bin/a.out",
+            &[
+                ("/src/main.o", ShareClass::StaticPrivate),
+                ("/shared/lib/subsystem.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    let pid = world.spawn(&exe).unwrap();
+    assert_eq!(
+        world.run(200_000),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+    world.exit_code(pid).unwrap()
+}
+
+#[test]
+fn subsystem_symbols_resolve_in_subsystem_scope_first() {
+    // Both the program and the subsystem's search path define `helper`.
+    // Scoped linking must pick the subsystem's own (2), not the
+    // program's (1) — "preserves abstraction by allowing a process to
+    // link in a large subsystem ... without worrying that symbols in
+    // that subsystem will cause naming conflicts."
+    let mut world = world_with(SUBSYSTEM);
+    assert_eq!(run(&mut world), 2, "log: {:?}", world.log);
+    // The chain reaction loaded subhelper even though the main program
+    // never named it.
+    assert!(world.kernel.vfs.resolve("/shared/subsys/subhelper").is_ok());
+}
+
+#[test]
+fn unscoped_reference_escalates_to_parent() {
+    // Without its own search path, the subsystem's `helper` reference
+    // climbs to the root and binds to the program's helper (1) —
+    // "Modules wishing to rely on a symbol being resolved by the parent
+    // can simply neglect to provide this information."
+    let unscoped = SUBSYSTEM.replace(".search /shared/subsys\n", "");
+    let mut world = world_with(&unscoped);
+    assert_eq!(run(&mut world), 1, "log: {:?}", world.log);
+    // The shared instance was patched with a *private* address — the §5
+    // safety hazard the paper accepts; the runtime counts it.
+    assert!(
+        world.stats().ldl.cross_domain_resolutions >= 1,
+        "{:?}",
+        world.stats().ldl
+    );
+}
+
+#[test]
+fn uses_list_loads_named_modules() {
+    // A `.uses` module list (rather than a directory path) triggers the
+    // recursive inclusion of Figure 2.
+    let with_uses = SUBSYSTEM.replace(
+        ".search /shared/subsys\n",
+        ".uses subhelper\n.search /shared/subsys\n",
+    );
+    let mut world = world_with(&with_uses);
+    assert_eq!(run(&mut world), 2, "log: {:?}", world.log);
+}
+
+#[test]
+fn grandchild_resolution_climbs_two_levels() {
+    // main → mid → leaf; leaf's reference to `shared_val_fn` is defined
+    // only at the root. The escalation must climb leaf → mid → root.
+    let mut world = World::new();
+    world.kernel.vfs.mkdir_all("/shared/l1", 0o777, 0).unwrap();
+    world.kernel.vfs.mkdir_all("/shared/l2", 0o777, 0).unwrap();
+    world
+        .install_template(
+            "/src/main.o",
+            r#"
+            .module main
+            .text
+            .globl main
+            .globl root_fn
+            main:   addi sp, sp, -8
+                    sw   ra, 0(sp)
+                    jal  mid_fn
+                    lw   ra, 0(sp)
+                    addi sp, sp, 8
+                    jr   ra
+            root_fn:
+                    li   v0, 9
+                    jr   ra
+            "#,
+        )
+        .unwrap();
+    world
+        .install_template(
+            "/shared/l1/mid.o",
+            r#"
+            .module mid
+            .search /shared/l2
+            .text
+            .globl mid_fn
+            mid_fn: addi sp, sp, -8
+                    sw   ra, 0(sp)
+                    jal  leaf_fn
+                    lw   ra, 0(sp)
+                    addi sp, sp, 8
+                    jr   ra
+            "#,
+        )
+        .unwrap();
+    world
+        .install_template(
+            "/shared/l2/leaf.o",
+            r#"
+            .module leaf
+            .text
+            .globl leaf_fn
+            leaf_fn:
+                    addi sp, sp, -8
+                    sw   ra, 0(sp)
+                    jal  root_fn      ; defined only at the root
+                    addi v0, v0, 20
+                    lw   ra, 0(sp)
+                    addi sp, sp, 8
+                    jr   ra
+            "#,
+        )
+        .unwrap();
+    let exe = world
+        .link(
+            "/bin/a.out",
+            &[
+                ("/src/main.o", ShareClass::StaticPrivate),
+                ("/shared/l1/mid.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    let pid = world.spawn(&exe).unwrap();
+    assert_eq!(
+        world.run(300_000),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+    assert_eq!(world.exit_code(pid), Some(29), "log: {:?}", world.log);
+    // leaf was loaded as a child of mid, and both ended up linked.
+    let stats = world.stats();
+    assert!(stats.ldl.lazy_links >= 2, "{:?}", stats.ldl);
+}
+
+#[test]
+fn root_unresolved_reference_faults_at_use_not_at_link() {
+    // "References that remain undefined at the root of the DAG are left
+    // unresolved in the running program. If encountered during execution
+    // they result in segmentation faults."
+    let mut world = World::new();
+    world
+        .install_template(
+            "/shared/lib/broken.o",
+            r#"
+            .module broken
+            .text
+            .globl broken_entry
+            .globl broken_ok
+            broken_entry:
+                    jal  nowhere_to_be_found
+                    jr   ra
+            broken_ok:
+                    li   v0, 3
+                    jr   ra
+            "#,
+        )
+        .unwrap();
+    world
+        .install_template(
+            "/src/main.o",
+            r#"
+            .module main
+            .text
+            .globl main
+            main:   addi sp, sp, -8
+                    sw   ra, 0(sp)
+                    jal  broken_ok    ; uses only the *good* entry
+                    lw   ra, 0(sp)
+                    addi sp, sp, 8
+                    jr   ra
+            "#,
+        )
+        .unwrap();
+    let exe = world
+        .link(
+            "/bin/a.out",
+            &[
+                ("/src/main.o", ShareClass::StaticPrivate),
+                ("/shared/lib/broken.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    // The program runs fine as long as the unresolved path is not taken.
+    let pid = world.spawn(&exe).unwrap();
+    assert_eq!(
+        world.run(200_000),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+    assert_eq!(world.exit_code(pid), Some(3), "log: {:?}", world.log);
+    let stats = world.stats();
+    assert!(stats.ldl.symbols_unresolved >= 1, "{:?}", stats.ldl);
+
+    // A program that *does* take the broken path dies at use.
+    let mut world2 = World::new();
+    world2
+        .install_template("/shared/lib/broken.o", &world_broken_src())
+        .unwrap();
+    world2
+        .install_template(
+            "/src/main.o",
+            ".module main\n.text\n.globl main\nmain: addi sp, sp, -8\nsw ra, 0(sp)\njal broken_entry\nlw ra, 0(sp)\naddi sp, sp, 8\njr ra\n",
+        )
+        .unwrap();
+    let exe2 = world2
+        .link(
+            "/bin/b.out",
+            &[
+                ("/src/main.o", ShareClass::StaticPrivate),
+                ("/shared/lib/broken.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    let pid2 = world2.spawn(&exe2).unwrap();
+    assert_eq!(world2.run(200_000), WorldExit::AllExited);
+    assert_eq!(world2.exit_code(pid2), Some(139), "log: {:?}", world2.log);
+}
+
+fn world_broken_src() -> String {
+    r#"
+    .module broken
+    .text
+    .globl broken_entry
+    .globl broken_ok
+    broken_entry:
+            jal  nowhere_to_be_found
+            jr   ra
+    broken_ok:
+            li   v0, 3
+            jr   ra
+    "#
+    .to_string()
+}
+
+#[test]
+fn sibling_subsystems_with_same_symbol_do_not_collide() {
+    // Two subsystems each bundle their own `impl_fn`; each must see its
+    // own, and the program calls both.
+    let mut world = World::new();
+    for (dir, val) in [("alpha", 10), ("beta", 20)] {
+        world
+            .kernel
+            .vfs
+            .mkdir_all(&format!("/shared/{dir}"), 0o777, 0)
+            .unwrap();
+        world
+            .install_template(
+                &format!("/shared/{dir}/{dir}impl.o"),
+                &format!(
+                    ".module {dir}impl\n.text\n.globl impl_fn\nimpl_fn: li v0, {val}\njr ra\n"
+                ),
+            )
+            .unwrap();
+        world
+            .install_template(
+                &format!("/shared/lib/{dir}.o"),
+                &format!(
+                    ".module {dir}\n.search /shared/{dir}\n.text\n.globl {dir}_entry\n{dir}_entry: addi sp, sp, -8\nsw ra, 0(sp)\njal impl_fn\nlw ra, 0(sp)\naddi sp, sp, 8\njr ra\n"
+                ),
+            )
+            .unwrap();
+    }
+    world
+        .install_template(
+            "/src/main.o",
+            r#"
+            .module main
+            .text
+            .globl main
+            main:   addi sp, sp, -16
+                    sw   ra, 0(sp)
+                    jal  alpha_entry
+                    sw   v0, 4(sp)
+                    jal  beta_entry
+                    lw   r8, 4(sp)
+                    add  v0, v0, r8     ; 10 + 20
+                    lw   ra, 0(sp)
+                    addi sp, sp, 16
+                    jr   ra
+            "#,
+        )
+        .unwrap();
+    let exe = world
+        .link(
+            "/bin/a.out",
+            &[
+                ("/src/main.o", ShareClass::StaticPrivate),
+                ("/shared/lib/alpha.o", ShareClass::DynamicPublic),
+                ("/shared/lib/beta.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    let pid = world.spawn(&exe).unwrap();
+    assert_eq!(
+        world.run(300_000),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+    assert_eq!(world.exit_code(pid), Some(30), "log: {:?}", world.log);
+}

@@ -1,0 +1,222 @@
+//! F3 — Figure 3: the Hemlock address-space organization.
+//!
+//! "The public portion of the address space appears the same in every
+//! process, though which of its segments are actually accessible will
+//! vary from one protection domain to another. Addresses in the private
+//! portion of the address space are overloaded."
+
+use hemlock::{ShareClass, World, WorldExit};
+use hkernel::layout;
+use hsfs::{AddrLookup, SharedFs};
+
+#[test]
+fn public_addresses_identical_across_processes() {
+    // Two *different* programs mapping the same public module see it at
+    // the same virtual address — the invariant that makes cross-process
+    // pointers meaningful.
+    let mut world = World::new();
+    world
+        .install_template(
+            "/shared/lib/table.o",
+            ".module table\n.text\n.globl get_table\nget_table: la v0, tbl\njr ra\n.data\n.globl tbl\ntbl: .word 1, 2, 3\n",
+        )
+        .unwrap();
+    let main_src = ".module main\n.text\n.globl main\nmain: addi sp, sp, -8\nsw ra, 0(sp)\njal get_table\nlw ra, 0(sp)\naddi sp, sp, 8\njr ra\n";
+    world.install_template("/src/main.o", main_src).unwrap();
+    world.install_template("/src/other.o", main_src).unwrap();
+    let exe1 = world
+        .link(
+            "/bin/p1",
+            &[
+                ("/src/main.o", ShareClass::StaticPrivate),
+                ("/shared/lib/table.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    let exe2 = world
+        .link(
+            "/bin/p2",
+            &[
+                ("/src/other.o", ShareClass::StaticPrivate),
+                ("/shared/lib/table.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    let pid1 = world.spawn(&exe1).unwrap();
+    let pid2 = world.spawn(&exe2).unwrap();
+    assert_eq!(
+        world.run(300_000),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+    let a1 = world.exit_code(pid1).unwrap();
+    let a2 = world.exit_code(pid2).unwrap();
+    assert_eq!(a1, a2, "&tbl differs between processes");
+    assert!(layout::is_public(a1 as u32));
+}
+
+#[test]
+fn private_addresses_are_overloaded() {
+    // Two programs place *different* private data at the same private
+    // address — "they mean different things to different processes."
+    let mut world = World::new();
+    world
+        .install_template(
+            "/src/a.o",
+            ".module a\n.text\n.globl main\nmain: la r8, v\nlw v0, 0(r8)\njr ra\n.data\nv: .word 111\n",
+        )
+        .unwrap();
+    world
+        .install_template(
+            "/src/b.o",
+            ".module b\n.text\n.globl main\nmain: la r8, v\nlw v0, 0(r8)\njr ra\n.data\nv: .word 222\n",
+        )
+        .unwrap();
+    let exe_a = world
+        .link("/bin/a", &[("/src/a.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let exe_b = world
+        .link("/bin/b", &[("/src/b.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let pa = world.spawn(&exe_a).unwrap();
+    let pb = world.spawn(&exe_b).unwrap();
+    assert_eq!(world.run(200_000), WorldExit::AllExited);
+    // Identical layout ⇒ identical &v, but different contents.
+    assert_eq!(world.exit_code(pa), Some(111));
+    assert_eq!(world.exit_code(pb), Some(222));
+}
+
+#[test]
+fn region_boundaries_match_figure3() {
+    assert_eq!(layout::SHARED_BASE, 0x3000_0000);
+    assert_eq!(layout::SHARED_END, 0x7000_0000);
+    assert_eq!(layout::SHARED_END - layout::SHARED_BASE, 1 << 30); // 1 GB
+                                                                   // "only one quarter of the address space is public".
+    let public = (layout::SHARED_END - layout::SHARED_BASE) as u64;
+    assert_eq!(public * 4, 1 << 32);
+    const { assert!(layout::STACK_TOP <= 0x7FFF_0000) };
+    assert_eq!(layout::KERNEL_BASE, 0x8000_0000);
+}
+
+#[test]
+fn stat_exposes_segment_addresses() {
+    // "Mapping from file names to addresses is easy: the stat system
+    // call already returns an inode number."
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .create_file("/shared/seg", 0o666, 1)
+        .unwrap();
+    let meta = world.kernel.vfs.stat("/shared/seg").unwrap();
+    let addr = world.kernel.vfs.path_to_addr("/shared/seg").unwrap();
+    assert_eq!(addr, SharedFs::addr_of_ino(meta.ino));
+}
+
+#[test]
+fn addr_to_path_round_trip_via_syscalls() {
+    // The new kernel calls of §3 exercised from guest code: write the
+    // resolved path into guest memory and compare.
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .mkdir_all("/shared/deep/dir", 0o777, 0)
+        .unwrap();
+    world
+        .kernel
+        .vfs
+        .create_file("/shared/deep/dir/obj", 0o666, 1)
+        .unwrap();
+    let addr = world
+        .kernel
+        .vfs
+        .path_to_addr("/shared/deep/dir/obj")
+        .unwrap();
+    // Guest: len = addr_to_path(addr+5, buf, 64); v1 = offset; exit(v1).
+    world
+        .install_template(
+            "/src/main.o",
+            &format!(
+                r#"
+                .module main
+                .text
+                .globl main
+                main:   li   v0, 10          ; AddrToPath
+                        li   a0, {}
+                        la   a1, buf
+                        li   a2, 64
+                        syscall
+                        or   v0, v1, r0      ; return the offset
+                        jr   ra
+                .data
+                buf:    .space 64
+                "#,
+                addr + 5
+            ),
+        )
+        .unwrap();
+    let exe = world
+        .link("/bin/a.out", &[("/src/main.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let pid = world.spawn(&exe).unwrap();
+    assert_eq!(world.run(100_000), WorldExit::AllExited);
+    assert_eq!(world.exit_code(pid), Some(5), "offset within segment");
+}
+
+#[test]
+fn linear_and_btree_lookup_agree_and_survive_crash() {
+    let mut world = World::new();
+    for i in 0..20 {
+        world
+            .kernel
+            .vfs
+            .create_file(&format!("/shared/f{i}"), 0o666, 1)
+            .unwrap();
+    }
+    let addr = world.kernel.vfs.path_to_addr("/shared/f19").unwrap();
+    world.kernel.vfs.shared.lookup = AddrLookup::Linear;
+    let lin = world.kernel.vfs.addr_to_path(addr).unwrap();
+    world.kernel.vfs.shared.lookup = AddrLookup::BTree;
+    let bt = world.kernel.vfs.addr_to_path(addr).unwrap();
+    assert_eq!(lin, bt);
+    // Crash: rebuild by scanning, as at boot.
+    world.kernel.vfs.shared.boot_scan();
+    assert_eq!(
+        world.kernel.vfs.addr_to_path(addr).unwrap().0,
+        "/shared/f19"
+    );
+}
+
+#[test]
+fn shared_region_faults_resolve_only_for_permitted_users() {
+    // "access rights permitting, [the handler] maps the named segment" —
+    // a segment owned by uid 2 with mode 0o600 is invisible to uid 1.
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .create_file("/shared/secret", 0o600, 2)
+        .unwrap();
+    let addr = world.kernel.vfs.path_to_addr("/shared/secret").unwrap();
+    world
+        .install_template(
+            "/src/main.o",
+            &format!(
+                ".module main\n.text\n.globl main\nmain: li r8, {addr}\nlw v0, 0(r8)\njr ra\n"
+            ),
+        )
+        .unwrap();
+    let exe = world
+        .link("/bin/a.out", &[("/src/main.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let pid = world.spawn(&exe).unwrap(); // uid 1
+    assert_eq!(world.run(100_000), WorldExit::AllExited);
+    assert_eq!(world.exit_code(pid), Some(139), "must die: no access");
+    assert!(
+        world.log.iter().any(|l| l.contains("access denied")),
+        "log: {:?}",
+        world.log
+    );
+}
