@@ -65,8 +65,16 @@ fn simulated_table() {
         let pid = world.spawn(&exe).unwrap();
         run_ok(&mut world);
         assert_eq!(world.exit_code(pid).unwrap() as u32, touches);
+        // Warm-vs-cold breakdown: the first touch walks the page table
+        // (TLB miss); the rest of the loop translates via the TLB.
+        let s = world.stats();
         rows.push((
-            format!("fault-mapped segment, {touches} accesses"),
+            format!(
+                "fault-mapped segment, {touches} accesses \
+                 (TLB {:.1}% hit, {} misses)",
+                100.0 * s.tlb_hit_rate(),
+                s.tlb_misses
+            ),
             sim_delta(t0, sim_time(&world)),
         ));
     }
@@ -99,7 +107,10 @@ fn simulated_table() {
         let stats = world.stats();
         assert_eq!(stats.ldl.segments_mapped as u32, nsegs);
         rows.push((
-            format!("walk across {nsegs} segments (1 fault each)"),
+            format!(
+                "walk across {nsegs} segments (1 fault each, TLB {:.1}% hit)",
+                100.0 * stats.tlb_hit_rate()
+            ),
             sim_delta(t0, sim_time(&world)),
         ));
     }

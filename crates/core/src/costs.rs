@@ -66,6 +66,23 @@ pub struct WorldStats {
     pub ldl: LdlStats,
     /// Copy-on-write page copies.
     pub cow_copies: u64,
+    /// Software-TLB hits summed over live and reaped processes.
+    pub tlb_hits: u64,
+    /// Software-TLB misses summed over live and reaped processes.
+    pub tlb_misses: u64,
+}
+
+impl WorldStats {
+    /// Fraction of bus translations served by the software TLB
+    /// (0.0 when no accesses have happened yet).
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Per-event costs in simulated nanoseconds.

@@ -1,0 +1,251 @@
+//! `htrace` — a bounded ring buffer of structured fault-path events.
+//!
+//! The paper's central mechanism is invisible when it works: a program
+//! touches an unmapped shared segment, the kernel turns the SIGSEGV into
+//! a user-level fault, `ldl` translates the address to a file, maps the
+//! segment, resolves symbols, and the instruction restarts — all between
+//! two guest instructions. This module records that protocol as explicit
+//! events so tests can assert the sequence and humans can read it when
+//! an experiment (E6 in particular) misbehaves.
+//!
+//! Every record carries the simulated-time cost of its step, taken from
+//! the [`crate::CostModel`] constants, so a dump doubles as a cost
+//! breakdown of the fault path.
+
+use hkernel::Pid;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Default capacity of a [`TraceBuffer`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// One step of the fault→translate→map→resolve→restart protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A SIGSEGV-class fault reached the user-level handler.
+    FaultTaken {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The kernel's address→file translation named the segment.
+    AddrTranslated {
+        /// The translated address.
+        addr: u32,
+        /// The shared-partition path it names.
+        path: String,
+    },
+    /// A segment was mapped into the faulting process.
+    SegmentMapped {
+        /// Base virtual address of the mapping.
+        base: u32,
+        /// Module name for module segments, `None` for plain segments.
+        module: Option<String>,
+    },
+    /// The lazy linker resolved one symbol.
+    SymbolResolved {
+        /// The module whose reference was patched.
+        module: String,
+        /// The symbol name.
+        symbol: String,
+        /// The resolved address.
+        addr: u32,
+    },
+    /// The faulting instruction was restarted.
+    InstructionRestarted {
+        /// The address whose fault is now resolved.
+        addr: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Short tag for dumps and coarse assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::FaultTaken { .. } => "FaultTaken",
+            TraceEvent::AddrTranslated { .. } => "AddrTranslated",
+            TraceEvent::SegmentMapped { .. } => "SegmentMapped",
+            TraceEvent::SymbolResolved { .. } => "SymbolResolved",
+            TraceEvent::InstructionRestarted { .. } => "InstructionRestarted",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::FaultTaken { addr } => write!(f, "FaultTaken addr={addr:#010x}"),
+            TraceEvent::AddrTranslated { addr, path } => {
+                write!(f, "AddrTranslated addr={addr:#010x} path={path}")
+            }
+            TraceEvent::SegmentMapped { base, module } => match module {
+                Some(m) => write!(f, "SegmentMapped base={base:#010x} module={m}"),
+                None => write!(f, "SegmentMapped base={base:#010x} (plain segment)"),
+            },
+            TraceEvent::SymbolResolved {
+                module,
+                symbol,
+                addr,
+            } => {
+                write!(f, "SymbolResolved {module}::{symbol} -> {addr:#010x}")
+            }
+            TraceEvent::InstructionRestarted { addr } => {
+                write!(f, "InstructionRestarted addr={addr:#010x}")
+            }
+        }
+    }
+}
+
+/// A recorded event with its context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// The process the event belongs to.
+    pub pid: Pid,
+    /// Simulated-nanosecond cost of this step (cost-model units).
+    pub cost_ns: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded ring of [`TraceRecord`]s; the oldest records are evicted
+/// once the capacity is reached.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> TraceBuffer {
+        TraceBuffer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// An empty buffer holding at most `capacity` records.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(DEFAULT_TRACE_CAPACITY)),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn record(&mut self, pid: Pid, cost_ns: u64, event: TraceEvent) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(TraceRecord {
+            seq: self.next_seq,
+            pid,
+            cost_ns,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Retained records for one process, oldest first.
+    pub fn records_for(&self, pid: Pid) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.pid == pid)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The buffer's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted by the ring since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops all retained records (sequence numbers keep counting).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Renders the retained records as a text table for debugging.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.evicted > 0 {
+            out.push_str(&format!("... {} older records evicted ...\n", self.evicted));
+        }
+        for r in &self.records {
+            out.push_str(&format!(
+                "[{:>6}] pid {:<3} +{:>8} ns  {}\n",
+                r.seq, r.pid, r.cost_ns, r.event
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceBuffer::new(2);
+        t.record(1, 10, TraceEvent::FaultTaken { addr: 0x100 });
+        t.record(1, 20, TraceEvent::InstructionRestarted { addr: 0x100 });
+        t.record(1, 30, TraceEvent::FaultTaken { addr: 0x200 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 1);
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn per_pid_filter_and_dump() {
+        let mut t = TraceBuffer::new(8);
+        t.record(1, 120_000, TraceEvent::FaultTaken { addr: 0x3000_0000 });
+        t.record(
+            2,
+            5_000,
+            TraceEvent::AddrTranslated {
+                addr: 0x3000_0000,
+                path: "/shared/db".into(),
+            },
+        );
+        assert_eq!(t.records_for(1).count(), 1);
+        assert_eq!(t.records_for(2).count(), 1);
+        let dump = t.dump();
+        assert!(dump.contains("FaultTaken addr=0x30000000"));
+        assert!(dump.contains("/shared/db"));
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(TraceEvent::FaultTaken { addr: 0 }.kind(), "FaultTaken");
+        assert_eq!(
+            TraceEvent::SegmentMapped {
+                base: 0,
+                module: None
+            }
+            .kind(),
+            "SegmentMapped"
+        );
+    }
+}

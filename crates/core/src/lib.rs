@@ -81,10 +81,12 @@
 
 pub mod costs;
 pub mod crt0;
+pub mod htrace;
 pub mod segheap;
 pub mod services;
 pub mod world;
 
 pub use costs::{CostModel, SimTime, WorldStats};
 pub use hobj::ShareClass;
+pub use htrace::{TraceBuffer, TraceEvent, TraceRecord};
 pub use world::{ExitRecord, World, WorldError, WorldExit};

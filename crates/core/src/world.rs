@@ -7,13 +7,14 @@
 //! fault handler (`ldl`), service traps go to the run-time library, and
 //! everything else is ordinary execution.
 
-use crate::costs::WorldStats;
+use crate::costs::{CostModel, WorldStats};
 use crate::crt0::crt0_object;
+use crate::htrace::{TraceBuffer, TraceEvent};
 use crate::segheap::SegHeap;
 use crate::services::*;
 use hkernel::kernel::ExecImage;
 use hkernel::{Kernel, Pid, ProcState, RunEvent};
-use hlink::ldl::FaultDisposition;
+use hlink::ldl::{FaultDisposition, LinkEvent};
 use hlink::{Ldl, Lds, LdsInput, LinkError, LinkState, ModuleRegistry, ModuleSpec};
 use hobj::binfmt::{self, BinError};
 use hobj::hasm::{assemble, AsmError};
@@ -123,6 +124,10 @@ pub struct World {
     /// Accumulated stats from processes that have been reaped.
     reaped_cow: u64,
     reaped_ldl: hlink::ldl::LdlStats,
+    /// Fault-path trace ring (see [`crate::htrace`]).
+    trace: TraceBuffer,
+    /// Cost constants used to stamp trace records.
+    pub costs: CostModel,
 }
 
 impl Default for World {
@@ -168,6 +173,8 @@ impl World {
             eager: false,
             reaped_cow: 0,
             reaped_ldl: Default::default(),
+            trace: TraceBuffer::default(),
+            costs: CostModel::default(),
         }
     }
 
@@ -331,6 +338,22 @@ impl World {
         self.link.get(&pid)
     }
 
+    /// The fault-path trace ring (see [`crate::htrace`]).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable access to the trace ring (clearing between experiment
+    /// phases, resizing).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// The trace ring rendered as text, for debugging E6-style runs.
+    pub fn trace_dump(&self) -> String {
+        self.trace.dump()
+    }
+
     // --- event handlers ---
 
     /// Gives fork children a link state (cloned from the parent — the
@@ -342,7 +365,10 @@ impl World {
         for pid in &pids {
             if !self.link.contains_key(pid) {
                 let ppid = self.kernel.procs[pid].ppid;
-                let inherited = self.link.get(&ppid).cloned().unwrap_or_default();
+                let mut inherited = self.link.get(&ppid).cloned().unwrap_or_default();
+                // Journal entries belong to the process that generated
+                // them; a fork child starts with an empty journal.
+                inherited.journal.clear();
                 self.link.insert(*pid, inherited);
                 if let Some(img) = self.images.get(&ppid).cloned() {
                     self.images.insert(*pid, img);
@@ -364,6 +390,39 @@ impl World {
         }
     }
 
+    /// Drains the linker's event journal into the trace ring, stamping
+    /// each step with its cost-model price.
+    fn pump_trace(&mut self, pid: Pid) {
+        let Some(state) = self.link.get_mut(&pid) else {
+            return;
+        };
+        for ev in state.journal.drain(..) {
+            let (cost, event) = match ev {
+                LinkEvent::AddrTranslated { addr, path } => (
+                    self.costs.lookup_ns,
+                    TraceEvent::AddrTranslated { addr, path },
+                ),
+                LinkEvent::SegmentMapped { base, module } => (
+                    self.costs.map_ns,
+                    TraceEvent::SegmentMapped { base, module },
+                ),
+                LinkEvent::SymbolResolved {
+                    module,
+                    symbol,
+                    addr,
+                } => (
+                    self.costs.resolve_ns,
+                    TraceEvent::SymbolResolved {
+                        module,
+                        symbol,
+                        addr,
+                    },
+                ),
+            };
+            self.trace.record(pid, cost, event);
+        }
+    }
+
     fn merge_ldl(&mut self, s: &hlink::ldl::LdlStats) {
         let t = &mut self.reaped_ldl;
         t.faults_resolved += s.faults_resolved;
@@ -375,6 +434,7 @@ impl World {
         t.trampolines += s.trampolines;
         t.dir_scans += s.dir_scans;
         t.cross_domain_resolutions += s.cross_domain_resolutions;
+        t.resolve_cache_hits += s.resolve_cache_hits;
     }
 
     fn segv(&mut self, pid: Pid, addr: u32) {
@@ -391,13 +451,22 @@ impl World {
         } else {
             *guard = (addr, 0);
         }
+        self.trace
+            .record(pid, self.costs.fault_ns, TraceEvent::FaultTaken { addr });
         let result = {
             let state = self.link.entry(pid).or_default();
             let mut ldl = Ldl::new(&mut self.kernel, &mut self.registry, state, pid);
             ldl.handle_fault(addr)
         };
+        self.pump_trace(pid);
         match result {
-            Ok(FaultDisposition::Resolved) => {}
+            Ok(FaultDisposition::Resolved) => {
+                self.trace.record(
+                    pid,
+                    self.costs.instruction_ns,
+                    TraceEvent::InstructionRestarted { addr },
+                );
+            }
             Ok(FaultDisposition::DeliveredToGuest) => {}
             Ok(FaultDisposition::Fatal) => {
                 self.log.push(format!(
@@ -538,6 +607,8 @@ impl World {
                 -38
             }
         };
+        // Several services run the linker; publish whatever it journaled.
+        self.pump_trace(pid);
         self.kernel.set_reg(pid, Reg::V0, result as u32);
     }
 
@@ -739,8 +810,12 @@ impl World {
     /// Gathers all counters for the cost model.
     pub fn stats(&self) -> WorldStats {
         let mut cow = self.reaped_cow + self.kernel.stats.cow_copies;
+        let mut tlb_hits = self.kernel.stats.tlb_hits;
+        let mut tlb_misses = self.kernel.stats.tlb_misses;
         for p in self.kernel.procs.values() {
             cow += p.aspace.stats.cow_copies;
+            tlb_hits += p.aspace.stats.tlb_hits;
+            tlb_misses += p.aspace.stats.tlb_misses;
         }
         let mut ldl = self.reaped_ldl;
         for s in self.link.values() {
@@ -753,6 +828,7 @@ impl World {
             ldl.trampolines += s.stats.trampolines;
             ldl.dir_scans += s.stats.dir_scans;
             ldl.cross_domain_resolutions += s.stats.cross_domain_resolutions;
+            ldl.resolve_cache_hits += s.stats.resolve_cache_hits;
         }
         WorldStats {
             kernel: self.kernel.stats,
@@ -762,6 +838,8 @@ impl World {
             addr_probe_steps: self.kernel.vfs.shared.addr_probe_steps,
             ldl,
             cow_copies: cow,
+            tlb_hits,
+            tlb_misses,
         }
     }
 }

@@ -64,6 +64,25 @@ pub enum RunEvent {
     Deadlock,
 }
 
+/// Error from [`Kernel::run_to_settle`]: the system was still making
+/// scheduling progress when the slice bound ran out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unsettled {
+    /// The slice bound that was exhausted.
+    pub slices: u64,
+    /// Events collected before giving up, so callers can inspect how
+    /// far the system got.
+    pub events: Vec<RunEvent>,
+}
+
+impl std::fmt::Display for Unsettled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "system did not settle within {} slices", self.slices)
+    }
+}
+
+impl std::error::Error for Unsettled {}
+
 /// Kernel-level activity counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct KernelStats {
@@ -81,6 +100,10 @@ pub struct KernelStats {
     pub dispatches: u64,
     /// Copy-on-write page copies accumulated from reaped processes.
     pub cow_copies: u64,
+    /// Software-TLB hits accumulated from reaped processes.
+    pub tlb_hits: u64,
+    /// Software-TLB misses accumulated from reaped processes.
+    pub tlb_misses: u64,
 }
 
 struct Sem {
@@ -205,6 +228,40 @@ impl Kernel {
         };
         self.stats.dispatches += 1;
         self.run_slice(pid, quantum)
+    }
+
+    /// Drives [`Kernel::step_system`] until every process has exited or
+    /// the system deadlocks, for at most `max_slices` scheduling slices.
+    /// Faulting processes are terminated with exit code −1 (the
+    /// embedder-less policy; embedders that resolve faults — e.g. route
+    /// them to `ldl` — drive `step_system` themselves). If the bound is
+    /// exhausted first the system is declared unsettled and the events
+    /// collected so far are returned in the error, so callers can
+    /// degrade gracefully instead of hanging or panicking.
+    pub fn run_to_settle(
+        &mut self,
+        quantum: u64,
+        max_slices: u64,
+    ) -> Result<Vec<RunEvent>, Unsettled> {
+        let mut events = Vec::new();
+        for _ in 0..max_slices {
+            let ev = self.step_system(quantum);
+            match ev {
+                RunEvent::AllExited | RunEvent::Deadlock => {
+                    events.push(ev);
+                    return Ok(events);
+                }
+                RunEvent::Fatal { pid, .. } | RunEvent::Segv { pid, .. } => {
+                    events.push(ev);
+                    self.finalize_exit(pid, -1);
+                }
+                other => events.push(other),
+            }
+        }
+        Err(Unsettled {
+            slices: max_slices,
+            events,
+        })
     }
 
     /// Round-robin over runnable pids, continuing after the last choice.
@@ -891,6 +948,8 @@ impl Kernel {
             })?;
         if let Some(p) = self.procs.remove(&found.0) {
             self.stats.cow_copies += p.aspace.stats.cow_copies;
+            self.stats.tlb_hits += p.aspace.stats.tlb_hits;
+            self.stats.tlb_misses += p.aspace.stats.tlb_misses;
         }
         Some(found)
     }
@@ -995,30 +1054,32 @@ mod tests {
     }
 
     fn run_to_completion(k: &mut Kernel) -> Vec<RunEvent> {
-        let mut events = Vec::new();
-        for _ in 0..10_000 {
-            let ev = k.step_system(1000);
-            match ev {
-                RunEvent::AllExited | RunEvent::Deadlock => {
-                    events.push(ev);
-                    return events;
-                }
-                RunEvent::Fatal { .. } | RunEvent::Segv { .. } => {
-                    // Tests that expect faults handle them themselves.
-                    let pid = match ev {
-                        RunEvent::Fatal { pid, .. } | RunEvent::Segv { pid, .. } => pid,
-                        _ => unreachable!(),
-                    };
-                    events.push(ev);
-                    k.finalize_exit(pid, -1);
-                }
-                other => events.push(other),
-            }
-        }
-        panic!("system did not settle");
+        k.run_to_settle(1000, 10_000)
+            .expect("system did not settle")
     }
 
     use Instr::*;
+
+    #[test]
+    fn run_to_settle_bounds_a_spinning_system() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        // An infinite loop: j <self>.
+        let prog = vec![J {
+            target: layout::TEXT_BASE >> 2,
+        }];
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let err = k.run_to_settle(100, 8).unwrap_err();
+        assert_eq!(err.slices, 8);
+        assert_eq!(err.events.len(), 8);
+        assert!(err
+            .events
+            .iter()
+            .all(|e| matches!(e, RunEvent::Quantum(p) if *p == pid)));
+        assert!(err.to_string().contains("did not settle"));
+        // The system is intact: the process is still runnable.
+        assert!(matches!(k.procs[&pid].state, ProcState::Runnable));
+    }
 
     #[test]
     fn exit_syscall_terminates() {

@@ -27,7 +27,7 @@ pub mod mem;
 pub mod process;
 pub mod syscall;
 
-pub use kernel::{Kernel, KernelStats, RunEvent};
+pub use kernel::{Kernel, KernelStats, RunEvent, Unsettled};
 pub use layout::Region;
 pub use mem::{AddressSpace, MemBus, MemError, Prot};
 pub use process::{Pid, ProcState, Process};

@@ -133,12 +133,72 @@ pub struct MemStats {
     pub pages_mapped: u64,
     /// Pages unmapped.
     pub pages_unmapped: u64,
+    /// Bus accesses whose translation was served by the software TLB.
+    pub tlb_hits: u64,
+    /// Bus accesses that walked the page table (and refilled the TLB).
+    pub tlb_misses: u64,
+}
+
+/// Entries in the direct-mapped software TLB. Must be a power of two.
+pub const TLB_ENTRIES: usize = 64;
+
+/// Tag marking an invalid TLB entry. A virtual page number is
+/// `addr / PAGE_SIZE < 2^20`, so `u32::MAX` can never be a real tag.
+const TLB_INVALID: u32 = u32::MAX;
+
+/// A direct-mapped translation cache: vpn → slab slot. Consulted by the
+/// bus before the `BTreeMap` page walk, flushed whole on any structural
+/// change (map/unmap/mprotect/fork) — cheap, and trivially correct.
+#[derive(Clone, Debug)]
+struct Tlb {
+    tags: [u32; TLB_ENTRIES],
+    slots: [u32; TLB_ENTRIES],
+}
+
+impl Default for Tlb {
+    fn default() -> Tlb {
+        Tlb {
+            tags: [TLB_INVALID; TLB_ENTRIES],
+            slots: [0; TLB_ENTRIES],
+        }
+    }
+}
+
+impl Tlb {
+    #[inline]
+    fn lookup(&self, vpn: u32) -> Option<u32> {
+        let i = vpn as usize & (TLB_ENTRIES - 1);
+        if self.tags[i] == vpn {
+            Some(self.slots[i])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn fill(&mut self, vpn: u32, slot: u32) {
+        let i = vpn as usize & (TLB_ENTRIES - 1);
+        self.tags[i] = vpn;
+        self.slots[i] = slot;
+    }
+
+    fn flush(&mut self) {
+        self.tags = [TLB_INVALID; TLB_ENTRIES];
+    }
 }
 
 /// A per-process page table.
+///
+/// Page entries live in a slab (`entries` + `free`) so a slot index,
+/// once handed out, stays valid until that page is unmapped; the
+/// `pages` tree maps virtual page numbers to slots. The software TLB
+/// caches recent vpn→slot translations for the bus hot path.
 #[derive(Clone, Debug, Default)]
 pub struct AddressSpace {
-    pages: BTreeMap<u32, PageEntry>,
+    pages: BTreeMap<u32, u32>,
+    entries: Vec<Option<PageEntry>>,
+    free: Vec<u32>,
+    tlb: Tlb,
     /// Counters (cow copies count against the space that triggered them).
     pub stats: MemStats,
 }
@@ -160,7 +220,33 @@ impl AddressSpace {
 
     /// Looks up the entry covering `addr`.
     pub fn entry(&self, addr: u32) -> Option<&PageEntry> {
-        self.pages.get(&vpn(addr))
+        let slot = *self.pages.get(&vpn(addr))?;
+        self.entries[slot as usize].as_ref()
+    }
+
+    /// Stores `entry` in a free slab slot and returns the slot index.
+    fn alloc_slot(&mut self, entry: PageEntry) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                self.entries.push(Some(entry));
+                (self.entries.len() - 1) as u32
+            }
+        }
+    }
+
+    /// The slab entry for a mapped vpn (must exist).
+    fn entry_at_slot_mut(&mut self, slot: u32) -> &mut PageEntry {
+        self.entries[slot as usize].as_mut().expect("live slot")
+    }
+
+    /// True if `addr`'s translation is currently cached in the TLB
+    /// (probing does not touch the hit/miss counters).
+    pub fn tlb_cached(&self, addr: u32) -> bool {
+        self.tlb.lookup(vpn(addr)).is_some()
     }
 
     fn check_range(addr: u32, len: u32) -> Result<(u32, u32), MemError> {
@@ -182,15 +268,14 @@ impl AddressSpace {
             }
         }
         for p in first..first + pages {
-            self.pages.insert(
-                p,
-                PageEntry {
-                    kind: PageKind::Anon(zero_frame()),
-                    prot,
-                },
-            );
+            let slot = self.alloc_slot(PageEntry {
+                kind: PageKind::Anon(zero_frame()),
+                prot,
+            });
+            self.pages.insert(p, slot);
         }
         self.stats.pages_mapped += pages as u64;
+        self.tlb.flush();
         Ok(())
     }
 
@@ -213,18 +298,17 @@ impl AddressSpace {
             }
         }
         for (i, p) in (first..first + pages).enumerate() {
-            self.pages.insert(
-                p,
-                PageEntry {
-                    kind: PageKind::Shared {
-                        ino,
-                        page: file_page + i as u32,
-                    },
-                    prot,
+            let slot = self.alloc_slot(PageEntry {
+                kind: PageKind::Shared {
+                    ino,
+                    page: file_page + i as u32,
                 },
-            );
+                prot,
+            });
+            self.pages.insert(p, slot);
         }
         self.stats.pages_mapped += pages as u64;
+        self.tlb.flush();
         Ok(())
     }
 
@@ -239,9 +323,12 @@ impl AddressSpace {
             }
         }
         for p in first..first + pages {
-            self.pages.remove(&p);
+            let slot = self.pages.remove(&p).expect("checked");
+            self.entries[slot as usize] = None;
+            self.free.push(slot);
         }
         self.stats.pages_unmapped += pages as u64;
+        self.tlb.flush();
         Ok(())
     }
 
@@ -256,8 +343,10 @@ impl AddressSpace {
             }
         }
         for p in first..first + pages {
-            self.pages.get_mut(&p).expect("checked").prot = prot;
+            let slot = *self.pages.get(&p).expect("checked");
+            self.entry_at_slot_mut(slot).prot = prot;
         }
+        self.tlb.flush();
         Ok(())
     }
 
@@ -282,9 +371,16 @@ impl AddressSpace {
     /// The clone used by `fork`: anonymous frames become shared
     /// copy-on-write; shared-file pages are carried over (both processes
     /// see the single segment copy, per §5 of the paper).
-    pub fn fork_clone(&self) -> AddressSpace {
+    ///
+    /// Both TLBs start cold: the parent's is flushed (its cached
+    /// translations predate the COW sharing) and the child's is empty.
+    pub fn fork_clone(&mut self) -> AddressSpace {
+        self.tlb.flush();
         AddressSpace {
             pages: self.pages.clone(),
+            entries: self.entries.clone(),
+            free: self.free.clone(),
+            tlb: Tlb::default(),
             stats: MemStats::default(),
         }
     }
@@ -300,10 +396,7 @@ impl AddressSpace {
         let mut out = Vec::with_capacity(len);
         let mut a = addr;
         while out.len() < len {
-            let entry = self
-                .pages
-                .get(&vpn(a))
-                .ok_or(MemError::NotMapped { addr: a })?;
+            let entry = self.entry(a).ok_or(MemError::NotMapped { addr: a })?;
             let off = (a % PAGE_SIZE) as usize;
             let take = ((PAGE_SIZE as usize) - off).min(len - out.len());
             match &entry.kind {
@@ -332,10 +425,11 @@ impl AddressSpace {
         let mut written = 0usize;
         let mut a = addr;
         while written < data.len() {
-            let entry = self
+            let slot = *self
                 .pages
-                .get_mut(&vpn(a))
+                .get(&vpn(a))
                 .ok_or(MemError::NotMapped { addr: a })?;
+            let entry = self.entries[slot as usize].as_mut().expect("live slot");
             let off = (a % PAGE_SIZE) as usize;
             let take = ((PAGE_SIZE as usize) - off).min(data.len() - written);
             match &mut entry.kind {
@@ -393,52 +487,101 @@ pub struct MemBus<'a> {
 }
 
 impl MemBus<'_> {
-    fn access(
-        &mut self,
-        addr: u32,
-        len: usize,
-        access: Access,
-    ) -> Result<(&mut [u8], usize), Fault> {
-        let entry = self
-            .aspace
-            .pages
-            .get_mut(&vpn(addr))
-            .ok_or(Fault::Unmapped { addr, access })?;
+    /// Translates `addr` — TLB first, page walk + refill on miss — and
+    /// checks protection. Returns the slab slot of the page entry.
+    #[inline]
+    fn translate(&mut self, addr: u32, access: Access) -> Result<u32, Fault> {
+        let vp = vpn(addr);
+        let slot = match self.aspace.tlb.lookup(vp) {
+            Some(slot) => {
+                self.aspace.stats.tlb_hits += 1;
+                slot
+            }
+            None => {
+                self.aspace.stats.tlb_misses += 1;
+                let slot = *self
+                    .aspace
+                    .pages
+                    .get(&vp)
+                    .ok_or(Fault::Unmapped { addr, access })?;
+                self.aspace.tlb.fill(vp, slot);
+                slot
+            }
+        };
+        let entry = self.aspace.entries[slot as usize]
+            .as_ref()
+            .expect("TLB and page table agree on live slots");
         if !entry.prot.allows(access) {
             return Err(Fault::Protection { addr, access });
         }
+        Ok(slot)
+    }
+
+    /// Read path. Never calls `Arc::make_mut`, so a post-fork read leaves
+    /// the copy-on-write sharing (and the cow counters) untouched.
+    fn load(&mut self, addr: u32, len: usize, access: Access) -> Result<u32, Fault> {
+        let slot = self.translate(addr, access)?;
+        let entry = self.aspace.entries[slot as usize]
+            .as_ref()
+            .expect("live slot");
         let off = (addr % PAGE_SIZE) as usize;
         debug_assert!(off + len <= PAGE_SIZE as usize, "CPU enforces alignment");
+        let bytes: &[u8] = match &entry.kind {
+            PageKind::Anon(frame) => &frame[off..off + len],
+            PageKind::Shared { ino, page } => {
+                let start = (*page * PAGE_SIZE) as usize + off;
+                let file = self
+                    .shared
+                    .fs
+                    .file_bytes(*ino)
+                    .map_err(|_| Fault::Unmapped { addr, access })?;
+                if start + len > file.len() {
+                    return Err(Fault::Unmapped { addr, access });
+                }
+                &file[start..start + len]
+            }
+        };
+        let mut v = 0u32;
+        for i in (0..len).rev() {
+            v = (v << 8) | bytes[i] as u32;
+        }
+        Ok(v)
+    }
+
+    /// Write path: copy-on-write for shared anonymous frames, direct
+    /// file-byte stores for shared mappings.
+    fn store(&mut self, addr: u32, data: &[u8]) -> Result<(), Fault> {
+        let access = Access::Write;
+        let slot = self.translate(addr, access)?;
+        let entry = self.aspace.entries[slot as usize]
+            .as_mut()
+            .expect("live slot");
+        let off = (addr % PAGE_SIZE) as usize;
+        debug_assert!(
+            off + data.len() <= PAGE_SIZE as usize,
+            "CPU enforces alignment"
+        );
         match &mut entry.kind {
             PageKind::Anon(frame) => {
-                if access == Access::Write && Arc::strong_count(frame) > 1 {
+                if Arc::strong_count(frame) > 1 {
                     self.aspace.stats.cow_copies += 1;
                 }
-                let frame: &mut Frame = Arc::make_mut(frame);
-                Ok((&mut frame[..], off))
+                Arc::make_mut(frame)[off..off + data.len()].copy_from_slice(data);
             }
             PageKind::Shared { ino, page } => {
-                let start = (*page * PAGE_SIZE) as usize;
-                let bytes = self
+                let start = (*page * PAGE_SIZE) as usize + off;
+                let file = self
                     .shared
                     .fs
                     .file_bytes_mut(*ino)
                     .map_err(|_| Fault::Unmapped { addr, access })?;
-                if start + PAGE_SIZE as usize > bytes.len() {
+                if start + data.len() > file.len() {
                     return Err(Fault::Unmapped { addr, access });
                 }
-                Ok((&mut bytes[start..start + PAGE_SIZE as usize], off))
+                file[start..start + data.len()].copy_from_slice(data);
             }
         }
-    }
-
-    fn load(&mut self, addr: u32, len: usize, access: Access) -> Result<u32, Fault> {
-        let (page, off) = self.access(addr, len, access)?;
-        let mut v = 0u32;
-        for i in (0..len).rev() {
-            v = (v << 8) | page[off + i] as u32;
-        }
-        Ok(v)
+        Ok(())
     }
 }
 
@@ -456,19 +599,13 @@ impl Bus for MemBus<'_> {
         self.load(addr, 4, Access::Read)
     }
     fn store8(&mut self, addr: u32, val: u8) -> Result<(), Fault> {
-        let (page, off) = self.access(addr, 1, Access::Write)?;
-        page[off] = val;
-        Ok(())
+        self.store(addr, &[val])
     }
     fn store16(&mut self, addr: u32, val: u16) -> Result<(), Fault> {
-        let (page, off) = self.access(addr, 2, Access::Write)?;
-        page[off..off + 2].copy_from_slice(&val.to_le_bytes());
-        Ok(())
+        self.store(addr, &val.to_le_bytes())
     }
     fn store32(&mut self, addr: u32, val: u32) -> Result<(), Fault> {
-        let (page, off) = self.access(addr, 4, Access::Write)?;
-        page[off..off + 4].copy_from_slice(&val.to_le_bytes());
-        Ok(())
+        self.store(addr, &val.to_le_bytes())
     }
 }
 
@@ -682,6 +819,139 @@ mod tests {
         a.write_bytes(&mut s, 0x1000, b"/shared/db\0").unwrap();
         assert_eq!(a.read_cstr(&s, 0x1000).unwrap(), "/shared/db");
         assert!(a.read_cstr(&s, 0x9000).is_err());
+    }
+
+    #[test]
+    fn tlb_warm_second_access_hits() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, P, Prot::RW).unwrap();
+        assert!(!a.tlb_cached(0x1000));
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        bus.load32(0x1000).unwrap(); // cold: page walk + fill
+        bus.load32(0x1004).unwrap(); // warm: same page, served by TLB
+        assert_eq!(a.stats.tlb_misses, 1);
+        assert_eq!(a.stats.tlb_hits, 1);
+        assert!(a.tlb_cached(0x1000));
+    }
+
+    #[test]
+    fn tlb_invalidated_by_unmap() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, P, Prot::RW).unwrap();
+        {
+            let mut bus = MemBus {
+                aspace: &mut a,
+                shared: &mut s,
+            };
+            bus.load32(0x1000).unwrap();
+        }
+        assert!(a.tlb_cached(0x1000));
+        a.unmap(0x1000, P).unwrap();
+        assert!(!a.tlb_cached(0x1000));
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        assert_eq!(
+            bus.load32(0x1000),
+            Err(Fault::Unmapped {
+                addr: 0x1000,
+                access: Access::Read
+            })
+        );
+    }
+
+    #[test]
+    fn tlb_invalidated_by_set_prot() {
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, P, Prot::RW).unwrap();
+        {
+            let mut bus = MemBus {
+                aspace: &mut a,
+                shared: &mut s,
+            };
+            bus.load32(0x1000).unwrap();
+        }
+        assert!(a.tlb_cached(0x1000));
+        a.set_prot(0x1000, P, Prot::NONE).unwrap();
+        assert!(!a.tlb_cached(0x1000));
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        // The new protection takes effect immediately — no stale grant.
+        assert_eq!(
+            bus.load32(0x1000),
+            Err(Fault::Protection {
+                addr: 0x1000,
+                access: Access::Read
+            })
+        );
+    }
+
+    #[test]
+    fn tlb_cold_on_both_sides_of_fork() {
+        let mut parent = AddressSpace::new();
+        let mut s = SharedFs::new();
+        parent.map_anon(0x1000, P, Prot::RW).unwrap();
+        {
+            let mut bus = MemBus {
+                aspace: &mut parent,
+                shared: &mut s,
+            };
+            bus.store32(0x1000, 0xAA55).unwrap();
+        }
+        assert!(parent.tlb_cached(0x1000));
+        let mut child = parent.fork_clone();
+        // COW invalidation: neither side may reuse pre-fork translations.
+        assert!(!parent.tlb_cached(0x1000));
+        assert!(!child.tlb_cached(0x1000));
+        // A warm-TLB child write still copies, leaving the parent intact.
+        {
+            let mut bus = MemBus {
+                aspace: &mut child,
+                shared: &mut s,
+            };
+            bus.load32(0x1000).unwrap();
+            bus.store32(0x1000, 0x1234).unwrap();
+        }
+        assert_eq!(child.stats.cow_copies, 1);
+        let mut bus = MemBus {
+            aspace: &mut parent,
+            shared: &mut s,
+        };
+        assert_eq!(bus.load32(0x1000).unwrap(), 0xAA55);
+    }
+
+    #[test]
+    fn tlb_slot_reuse_after_remap_translates_correctly() {
+        // Unmap frees a slab slot; a new mapping reuses it. The flush on
+        // both operations must keep the old vpn from reaching the new
+        // page's entry.
+        let mut a = AddressSpace::new();
+        let mut s = SharedFs::new();
+        a.map_anon(0x1000, P, Prot::RW).unwrap();
+        {
+            let mut bus = MemBus {
+                aspace: &mut a,
+                shared: &mut s,
+            };
+            bus.store32(0x1000, 7).unwrap();
+        }
+        a.unmap(0x1000, P).unwrap();
+        a.map_anon(0x2000, P, Prot::RW).unwrap();
+        let mut bus = MemBus {
+            aspace: &mut a,
+            shared: &mut s,
+        };
+        assert_eq!(bus.load32(0x2000).unwrap(), 0); // fresh zero frame
+        assert!(bus.load32(0x1000).is_err());
     }
 
     #[test]

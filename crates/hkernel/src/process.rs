@@ -119,7 +119,7 @@ impl Process {
     /// The fork copy: same CPU context (so parent and child "come out of
     /// the fork with identical program counters", §5), copy-on-write
     /// private pages, shared public pages, duplicated descriptors.
-    pub fn fork_into(&self, pid: Pid) -> Process {
+    pub fn fork_into(&mut self, pid: Pid) -> Process {
         Process {
             pid,
             ppid: self.pid,

@@ -51,6 +51,9 @@ pub enum LinkError {
     OutOfPrivateSpace { name: String },
     /// Fault address does not correspond to any segment or module.
     Unresolvable { addr: u32 },
+    /// A module is not on another module's upward escalation chain
+    /// (scoped search goes up the DAG, "never down").
+    NotInScope { module: String, from: String },
     /// Access rights forbid mapping the segment ("access rights
     /// permitting, [the handler] maps the named segment").
     AccessDenied { path: String },
@@ -106,6 +109,13 @@ impl fmt::Display for LinkError {
             }
             LinkError::Unresolvable { addr } => {
                 write!(f, "no segment or module at address {addr:#010x}")
+            }
+            LinkError::NotInScope { module, from } => {
+                write!(
+                    f,
+                    "module `{module}` is not on the escalation chain of `{from}` \
+                     (scoped search never descends)"
+                )
             }
             LinkError::AccessDenied { path } => write!(f, "access denied: {path}"),
         }

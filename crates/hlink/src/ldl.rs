@@ -38,8 +38,11 @@ pub struct ModuleInst {
     pub base: u32,
     /// Mapped length.
     pub total_len: u32,
-    /// Exported globals.
+    /// Exported globals (definition order, as recorded by the linker).
     pub exports: Vec<(String, u32)>,
+    /// Hashed index over `exports` for O(1) symbol lookup (first
+    /// definition wins, matching the historical linear scan).
+    export_index: HashMap<String, u32>,
     /// Unresolved relocations (nonempty ⇒ mapped without access).
     pub pending: Vec<ImageReloc>,
     /// The module's own scoped-linking search information.
@@ -57,6 +60,52 @@ impl ModuleInst {
     pub fn contains(&self, addr: u32) -> bool {
         addr >= self.base && addr < self.base + self.total_len
     }
+
+    /// O(1) export lookup through the hashed index.
+    pub fn export(&self, symbol: &str) -> Option<u32> {
+        self.export_index.get(symbol).copied()
+    }
+
+    /// Builds the hashed index for an export list. Duplicate names keep
+    /// the first address, exactly as the old `iter().find(..)` scan did.
+    pub fn index_exports(exports: &[(String, u32)]) -> HashMap<String, u32> {
+        let mut index = HashMap::with_capacity(exports.len());
+        for (name, addr) in exports {
+            index.entry(name.clone()).or_insert(*addr);
+        }
+        index
+    }
+}
+
+/// One observable step taken by the linker. `hlink` cannot depend on
+/// the runtime crate that owns the trace ring, so steps are journaled
+/// on [`LinkState`] as plain values; the embedder drains the journal
+/// into its trace facility after each linker operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The kernel's address→file translation named a segment.
+    AddrTranslated {
+        /// The translated address.
+        addr: u32,
+        /// The shared-partition path it names.
+        path: String,
+    },
+    /// A segment was mapped into the process.
+    SegmentMapped {
+        /// Base virtual address of the mapping.
+        base: u32,
+        /// Module name for module segments, `None` for plain segments.
+        module: Option<String>,
+    },
+    /// A pending reference was patched.
+    SymbolResolved {
+        /// The module whose reference was patched (ROOT for the image).
+        module: String,
+        /// The symbol name.
+        symbol: String,
+        /// The resolved address.
+        addr: u32,
+    },
 }
 
 /// What the fault handler did with a SIGSEGV.
@@ -94,6 +143,9 @@ pub struct LdlStats {
     /// §5 "Safety" hazard: the resolution is only meaningful in the
     /// resolving process's protection domain.
     pub cross_domain_resolutions: u64,
+    /// Scoped resolutions answered by the memoized (module, symbol)
+    /// cache without walking the escalation chain.
+    pub resolve_cache_hits: u64,
 }
 
 /// Per-process dynamic-linking state (lives in the Hemlock runtime).
@@ -113,6 +165,13 @@ pub struct LinkState {
     pub strategy: SearchStrategy,
     /// Cache of directory scans: dir → (symbol → template path).
     dir_cache: HashMap<String, HashMap<String, String>>,
+    /// Memoized successful scoped resolutions: (module, symbol) →
+    /// address. Only successes are cached — modules never unload and
+    /// exports never move, so a hit can never go stale, while a failure
+    /// may later succeed once more modules load.
+    resolve_cache: HashMap<(String, String), u32>,
+    /// Journal of observable linker steps, drained by the embedder.
+    pub journal: Vec<LinkEvent>,
     /// Statistics.
     pub stats: LdlStats,
 }
@@ -131,8 +190,8 @@ impl LinkState {
             return Some(a);
         }
         for m in self.modules.values() {
-            if let Some((_, a)) = m.exports.iter().find(|(n, _)| n == name) {
-                return Some(*a);
+            if let Some(a) = m.export(name) {
+                return Some(a);
             }
         }
         None
@@ -238,6 +297,11 @@ impl<'a> Ldl<'a> {
                 Some(addr) => {
                     self.patch_pending(&p, addr, None)?;
                     self.state.stats.symbols_resolved += 1;
+                    self.state.journal.push(LinkEvent::SymbolResolved {
+                        module: ROOT.to_string(),
+                        symbol: p.symbol.clone(),
+                        addr,
+                    });
                 }
                 None => still.push(p),
             }
@@ -299,6 +363,10 @@ impl<'a> Ldl<'a> {
         proc.aspace
             .map_shared(meta.base, meta.total_len, prot, ino, 0)
             .map_err(|_| LinkError::Fs(FsError::Busy))?;
+        self.state.journal.push(LinkEvent::SegmentMapped {
+            base: meta.base,
+            module: Some(name.clone()),
+        });
         self.state.modules.insert(
             name.clone(),
             ModuleInst {
@@ -306,6 +374,7 @@ impl<'a> Ldl<'a> {
                 class,
                 base: meta.base,
                 total_len: meta.total_len,
+                export_index: ModuleInst::index_exports(&meta.exports),
                 exports: meta.exports.clone(),
                 pending: meta.pending.clone(),
                 search: meta.search.clone(),
@@ -364,6 +433,7 @@ impl<'a> Ldl<'a> {
                 class: ShareClass::DynamicPrivate,
                 base,
                 total_len: layout.total_len,
+                export_index: ModuleInst::index_exports(&inst.meta.exports),
                 exports: inst.meta.exports.clone(),
                 pending: inst.meta.pending.clone(),
                 search: inst.meta.search.clone(),
@@ -420,6 +490,10 @@ impl<'a> Ldl<'a> {
                         let path = self.kernel.vfs.shared.fs.path_of(ino).unwrap_or_default();
                         return Err(LinkError::AccessDenied { path });
                     }
+                    let path = self.kernel.vfs.shared.fs.path_of(ino).unwrap_or_default();
+                    self.state
+                        .journal
+                        .push(LinkEvent::AddrTranslated { addr, path });
                     if self.registry.get(&mut self.kernel.vfs, ino).is_some() {
                         // The segment is a module: map it (possibly for
                         // lazy linking), attributing the DAG edge to the
@@ -467,6 +541,9 @@ impl<'a> Ldl<'a> {
         proc.aspace
             .map_shared(base, len, Prot::RW, ino, 0)
             .map_err(|_| LinkError::Fs(FsError::Busy))?;
+        self.state
+            .journal
+            .push(LinkEvent::SegmentMapped { base, module: None });
         Ok(())
     }
 
@@ -506,6 +583,11 @@ impl<'a> Ldl<'a> {
                     }
                     self.patch_pending(&p, addr, Some(name))?;
                     self.state.stats.symbols_resolved += 1;
+                    self.state.journal.push(LinkEvent::SymbolResolved {
+                        module: name.to_string(),
+                        symbol: p.symbol.clone(),
+                        addr,
+                    });
                 }
                 None => {
                     self.state.stats.symbols_unresolved += 1;
@@ -538,7 +620,28 @@ impl<'a> Ldl<'a> {
     /// Scoped symbol resolution (§3, Figure 2): first the module's own
     /// module list and search path, then its parents', grandparents', up
     /// to the root (the image and the modules `lds` knew about).
+    ///
+    /// Successful resolutions are memoized per (module, symbol); repeat
+    /// queries skip the escalation walk entirely.
     pub fn resolve_scoped(&mut self, module: &str, symbol: &str) -> Result<Option<u32>, LinkError> {
+        let key = (module.to_string(), symbol.to_string());
+        if let Some(&addr) = self.state.resolve_cache.get(&key) {
+            self.state.stats.resolve_cache_hits += 1;
+            return Ok(Some(addr));
+        }
+        let resolved = self.resolve_scoped_uncached(module, symbol)?;
+        if let Some(addr) = resolved {
+            self.state.resolve_cache.insert(key, addr);
+        }
+        Ok(resolved)
+    }
+
+    /// The uncached escalation walk behind [`Ldl::resolve_scoped`].
+    fn resolve_scoped_uncached(
+        &mut self,
+        module: &str,
+        symbol: &str,
+    ) -> Result<Option<u32>, LinkError> {
         let chain = self.state.dag.escalation_chain(module);
         for node in chain {
             if node == ROOT {
@@ -585,21 +688,15 @@ impl<'a> Ldl<'a> {
     }
 
     fn export_of(&self, module: &str, symbol: &str) -> Option<u32> {
-        self.state
-            .modules
-            .get(module)?
-            .exports
-            .iter()
-            .find(|(n, _)| n == symbol)
-            .map(|&(_, a)| a)
+        self.state.modules.get(module)?.export(symbol)
     }
 
     /// Exports of modules whose DAG parent includes `node`.
     fn exports_of_children(&self, node: &str, symbol: &str) -> Option<u32> {
         for m in self.state.modules.values() {
             if self.state.dag.parents_of(&m.name).iter().any(|p| p == node) {
-                if let Some((_, a)) = m.exports.iter().find(|(n, _)| n == symbol) {
-                    return Some(*a);
+                if let Some(a) = m.export(symbol) {
+                    return Some(a);
                 }
             }
         }
@@ -784,5 +881,41 @@ impl<'a> Ldl<'a> {
         let (ino, _) = self.kernel.vfs.shared.addr_to_ino(base)?;
         self.map_plain_segment(ino)?;
         Ok(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The pre-index lookup this module used everywhere.
+    fn linear_scan(exports: &[(String, u32)], symbol: &str) -> Option<u32> {
+        exports.iter().find(|(n, _)| n == symbol).map(|&(_, a)| a)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        #[test]
+        fn hashed_export_lookup_agrees_with_linear_scan(
+            exports in proptest::collection::vec(("[a-c]{1,3}", any::<u32>()), 0..24),
+            probe in "[a-c]{1,3}",
+        ) {
+            // Names drawn from a tiny alphabet so duplicates (where
+            // first-definition-wins matters) and missing probes both
+            // occur routinely.
+            let index = ModuleInst::index_exports(&exports);
+            for (name, _) in &exports {
+                prop_assert_eq!(index.get(name).copied(), linear_scan(&exports, name));
+            }
+            prop_assert_eq!(index.get(&probe).copied(), linear_scan(&exports, &probe));
+        }
+    }
+
+    #[test]
+    fn index_keeps_first_duplicate() {
+        let exports = vec![("f".to_string(), 0x10), ("f".to_string(), 0x20)];
+        let index = ModuleInst::index_exports(&exports);
+        assert_eq!(index.get("f"), Some(&0x10));
     }
 }

@@ -10,6 +10,7 @@
 //! program can be viewed as a DAG, in which children can search up from
 //! their current position to the root, but never down."
 
+use crate::error::LinkError;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The reserved node name for the main load image (the DAG root).
@@ -66,6 +67,20 @@ impl LinkDag {
         order.push(ROOT.to_string());
         order
     }
+
+    /// Where `module` sits on `start`'s upward escalation chain (0 is
+    /// `start` itself). A module that is not reachable upward — a
+    /// sibling, or a child — is out of scope and yields an error rather
+    /// than a panic: scoped search goes up, "never down".
+    pub fn escalation_position(&self, start: &str, module: &str) -> Result<usize, LinkError> {
+        self.escalation_chain(start)
+            .iter()
+            .position(|n| n == module)
+            .ok_or_else(|| LinkError::NotInScope {
+                module: module.to_string(),
+                from: start.to_string(),
+            })
+    }
 }
 
 #[cfg(test)]
@@ -102,10 +117,18 @@ mod tests {
         assert!(chain.contains(&"F".to_string()));
         assert!(chain.contains(&"A".to_string()));
         assert!(chain.contains(&"C".to_string()));
-        // Never down: B is not on G's chain.
+        // Never down: B is not on G's chain, and asking for its
+        // position is a LinkError, not a panic.
         assert!(!chain.contains(&"B".to_string()));
+        assert_eq!(
+            dag.escalation_position("G", "B"),
+            Err(LinkError::NotInScope {
+                module: "B".into(),
+                from: "G".into(),
+            })
+        );
         // D comes before A (breadth-first upward).
-        let pos = |n: &str| chain.iter().position(|x| x == n).unwrap();
+        let pos = |n: &str| dag.escalation_position("G", n).unwrap();
         assert!(pos("D") < pos("A"));
         assert!(pos("F") < pos("C"));
     }

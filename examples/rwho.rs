@@ -138,9 +138,7 @@ fn main() {
     println!("file-based rwho: {users_files} users on {hosts} hosts");
     println!(
         "  {} reads, {} blocks, {} path lookups",
-        file_stats.root_fs.reads,
-        file_stats.root_fs.blocks_read,
-        file_stats.root_fs.lookups
+        file_stats.root_fs.reads, file_stats.root_fs.blocks_read, file_stats.root_fs.lookups
     );
     println!("  simulated cost per invocation: {file_time}");
 

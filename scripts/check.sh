@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full offline gate: everything CI runs, runnable on a laptop with
+# no network (the workspace has no external dependencies by design —
+# see DESIGN.md §7).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "All checks passed."
