@@ -10,9 +10,14 @@
 //!    enough to iterate on).
 
 use hemlock::{CostModel, SimTime, World, WorldExit};
+use std::io::Write;
 
 /// Prints one experiment's simulated results in a stable format that
-/// EXPERIMENTS.md quotes.
+/// EXPERIMENTS.md quotes. When `BENCH_JSON_OUT` names a file, each row
+/// is also appended there as one JSON line (`{"bench":"<id>/<label>",
+/// "sim_ns":<n>}`) — `scripts/bench_compare.sh` collects these into the
+/// committed `BENCH_*.json` baselines. The values are cost-model
+/// simulated time, so they are exactly reproducible across machines.
 pub fn report(id: &str, title: &str, rows: &[(String, SimTime)]) {
     eprintln!("\n=== {id}: {title} ===");
     for (label, t) in rows {
@@ -23,6 +28,38 @@ pub fn report(id: &str, title: &str, rows: &[(String, SimTime)]) {
             eprintln!("  ratio (first/last): {:.2}x", a.0 as f64 / b.0 as f64);
         }
     }
+    if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
+        if !path.is_empty() {
+            append_json_rows(&path, id, rows).expect("BENCH_JSON_OUT must be writable");
+        }
+    }
+}
+
+fn append_json_rows(path: &str, id: &str, rows: &[(String, SimTime)]) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for (label, t) in rows {
+        writeln!(
+            f,
+            "{{\"bench\":\"{}/{}\",\"sim_ns\":{}}}",
+            json_escape(id),
+            json_escape(label),
+            t.0
+        )?;
+    }
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Runs a world to completion, asserting success.
@@ -53,5 +90,25 @@ mod tests {
     fn delta_saturates() {
         assert_eq!(sim_delta(SimTime(10), SimTime(4)), SimTime(0));
         assert_eq!(sim_delta(SimTime(4), SimTime(10)), SimTime(6));
+    }
+
+    #[test]
+    fn json_rows_append_as_one_line_each() {
+        let dir = std::env::temp_dir().join("hemlock-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rows = vec![
+            ("plain label".to_string(), SimTime(42)),
+            ("with \"quotes\"".to_string(), SimTime(7)),
+        ];
+        append_json_rows(path.to_str().unwrap(), "T0", &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"bench\":\"T0/plain label\",\"sim_ns\":42}\n\
+             {\"bench\":\"T0/with \\\"quotes\\\"\",\"sim_ns\":7}\n"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -70,6 +70,11 @@ pub struct WorldStats {
     pub tlb_hits: u64,
     /// Software-TLB misses summed over live and reaped processes.
     pub tlb_misses: u64,
+    /// Failures injected by an armed `hfault` plan (0 without chaos).
+    pub faults_injected: u64,
+    /// Recoveries the world took in response: victims killed cleanly,
+    /// `ldl` retries that succeeded, spawns refused with an error.
+    pub faults_recovered: u64,
 }
 
 impl WorldStats {

@@ -55,6 +55,20 @@ pub enum TraceEvent {
         /// The address whose fault is now resolved.
         addr: u32,
     },
+    /// The chaos layer injected a failure at a named site (see
+    /// `hfault::FaultSite` and DESIGN.md §8).
+    FaultInjected {
+        /// Stable site name (`FaultSite::name()`).
+        site: &'static str,
+    },
+    /// The world contained an injected (or injected-adjacent) failure:
+    /// the victim was killed, the operation was retried to success, or
+    /// the error was returned cleanly to the requester.
+    RecoveryTaken {
+        /// What recovery was taken (`killed-victim`, `ldl-retry`,
+        /// `spawn-refused`).
+        action: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -66,6 +80,8 @@ impl TraceEvent {
             TraceEvent::SegmentMapped { .. } => "SegmentMapped",
             TraceEvent::SymbolResolved { .. } => "SymbolResolved",
             TraceEvent::InstructionRestarted { .. } => "InstructionRestarted",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::RecoveryTaken { .. } => "RecoveryTaken",
         }
     }
 }
@@ -91,6 +107,8 @@ impl fmt::Display for TraceEvent {
             TraceEvent::InstructionRestarted { addr } => {
                 write!(f, "InstructionRestarted addr={addr:#010x}")
             }
+            TraceEvent::FaultInjected { site } => write!(f, "FaultInjected site={site}"),
+            TraceEvent::RecoveryTaken { action } => write!(f, "RecoveryTaken action={action}"),
         }
     }
 }
@@ -234,6 +252,84 @@ mod tests {
         let dump = t.dump();
         assert!(dump.contains("FaultTaken addr=0x30000000"));
         assert!(dump.contains("/shared/db"));
+    }
+
+    /// Exactly-capacity fill: nothing is evicted, ordering is oldest
+    /// first, and the dump carries no eviction banner.
+    #[test]
+    fn exactly_capacity_keeps_everything_in_order() {
+        let cap = 5;
+        let mut t = TraceBuffer::new(cap);
+        for i in 0..cap as u32 {
+            t.record(1, u64::from(i), TraceEvent::FaultTaken { addr: i * 16 });
+        }
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.evicted(), 0);
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..cap as u64).collect::<Vec<_>>());
+        let dump = t.dump();
+        assert!(!dump.contains("evicted"), "no banner at exact capacity");
+        // Rows appear oldest-first in the dump.
+        let first = dump.find("addr=0x00000000").unwrap();
+        let last = dump.find("addr=0x00000040").unwrap();
+        assert!(first < last);
+    }
+
+    /// Over-capacity: the ring wraps, seq numbers stay monotonic and
+    /// gap-free across the wrap, and the dump reports the eviction count.
+    #[test]
+    fn over_capacity_wraps_with_monotonic_seq_and_banner() {
+        let cap = 4;
+        let total = 11u64;
+        let mut t = TraceBuffer::new(cap);
+        for i in 0..total {
+            t.record(
+                (i % 3 + 1) as hkernel::Pid,
+                i,
+                TraceEvent::FaultTaken { addr: i as u32 },
+            );
+        }
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.evicted(), total - cap as u64);
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "newest `cap` records survive");
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        let dump = t.dump();
+        assert!(dump.contains("... 7 older records evicted ..."));
+        // The dump lists survivors oldest-first after the banner.
+        let banner = dump.find("evicted").unwrap();
+        let first_row = dump.find("[     7]").unwrap();
+        assert!(banner < first_row);
+    }
+
+    #[test]
+    fn chaos_event_pair_renders() {
+        let mut t = TraceBuffer::new(4);
+        t.record(
+            3,
+            0,
+            TraceEvent::FaultInjected {
+                site: "inode_alloc",
+            },
+        );
+        t.record(
+            3,
+            0,
+            TraceEvent::RecoveryTaken {
+                action: "killed-victim",
+            },
+        );
+        let dump = t.dump();
+        assert!(dump.contains("FaultInjected site=inode_alloc"));
+        assert!(dump.contains("RecoveryTaken action=killed-victim"));
+        assert_eq!(
+            TraceEvent::FaultInjected { site: "x" }.kind(),
+            "FaultInjected"
+        );
+        assert_eq!(
+            TraceEvent::RecoveryTaken { action: "x" }.kind(),
+            "RecoveryTaken"
+        );
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub mod services;
 pub mod world;
 
 pub use costs::{CostModel, SimTime, WorldStats};
+pub use hfault::{FaultHandle, FaultPlan, FaultSite, ALL_SITES};
 pub use hobj::ShareClass;
 pub use htrace::{TraceBuffer, TraceEvent, TraceRecord};
-pub use world::{ExitRecord, World, WorldError, WorldExit};
+pub use world::{ExitRecord, Unsettled, World, WorldError, WorldExit};

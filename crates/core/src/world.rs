@@ -12,6 +12,7 @@ use crate::crt0::crt0_object;
 use crate::htrace::{TraceBuffer, TraceEvent};
 use crate::segheap::SegHeap;
 use crate::services::*;
+use hfault::{FaultHandle, FaultPlan};
 use hkernel::kernel::ExecImage;
 use hkernel::{Kernel, Pid, ProcState, RunEvent};
 use hlink::ldl::{FaultDisposition, LinkEvent};
@@ -35,6 +36,28 @@ pub enum WorldExit {
     /// The slice budget ran out.
     StepLimit,
 }
+
+/// Returned by [`World::run_to_settle`] when the slice budget ran out
+/// before the world reached a stable state (all exited or deadlocked).
+/// Under chaos testing this is the *bounded* failure mode: the caller
+/// knows exactly how many processes were still live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unsettled {
+    /// Live (non-zombie) processes remaining at the step limit.
+    pub live: usize,
+}
+
+impl std::fmt::Display for Unsettled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "world did not settle: {} process(es) still live",
+            self.live
+        )
+    }
+}
+
+impl std::error::Error for Unsettled {}
 
 /// A recorded process exit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,6 +151,12 @@ pub struct World {
     trace: TraceBuffer,
     /// Cost constants used to stamp trace records.
     pub costs: CostModel,
+    /// Chaos handle shared with the kernel, file systems, and linker
+    /// (unarmed — and free — unless [`World::arm_faults`] is called).
+    faults: FaultHandle,
+    /// Recoveries taken in response to injected faults (kills, retries,
+    /// refused spawns); mirrors the `RecoveryTaken` trace records.
+    recovered: u64,
 }
 
 impl Default for World {
@@ -175,7 +204,46 @@ impl World {
             reaped_ldl: Default::default(),
             trace: TraceBuffer::default(),
             costs: CostModel::default(),
+            faults: FaultHandle::unarmed(),
+            recovered: 0,
         }
+    }
+
+    // --- chaos ---
+
+    /// Arms a fault-injection plan across the whole stack (kernel,
+    /// address spaces, both file systems, and — via the kernel — the
+    /// dynamic linker). Returns a clone of the shared handle so callers
+    /// can inspect counters mid-run. Arm *after* building and installing
+    /// programs if setup should stay failure-free.
+    pub fn arm_faults(&mut self, plan: FaultPlan) -> FaultHandle {
+        let handle = FaultHandle::armed(plan);
+        self.kernel.arm_faults(handle.clone());
+        self.faults = handle.clone();
+        handle
+    }
+
+    /// The world's chaos handle (unarmed by default).
+    pub fn fault_handle(&self) -> &FaultHandle {
+        &self.faults
+    }
+
+    /// Moves injections journaled by the plan into the trace ring,
+    /// attributed to `pid` (0 for world-level work).
+    fn drain_injections(&mut self, pid: Pid) {
+        for site in self.faults.drain_journal() {
+            self.trace
+                .record(pid, 0, TraceEvent::FaultInjected { site: site.name() });
+        }
+    }
+
+    /// Records one recovery action, keeping the counter and the trace in
+    /// lock-step (`WorldStats::faults_recovered` == `RecoveryTaken`
+    /// records emitted).
+    fn record_recovery(&mut self, pid: Pid, cost_ns: u64, action: &'static str) {
+        self.recovered += 1;
+        self.trace
+            .record(pid, cost_ns, TraceEvent::RecoveryTaken { action });
     }
 
     // --- building programs ---
@@ -248,6 +316,7 @@ impl World {
     ) -> Result<Pid, WorldError> {
         let bytes = self.kernel.vfs.read_all(exe_path)?;
         let image = binfmt::decode_image(&bytes)?;
+        let injected_before = self.faults.injected();
         let pid = self.kernel.spawn(uid);
         let exec = ExecImage {
             name: image.name.clone(),
@@ -259,9 +328,16 @@ impl World {
                 .saturating_sub(image.data_base + image.data.len() as u32),
             entry: image.entry,
         };
-        self.kernel
-            .exec_image(pid, &exec)
-            .map_err(|_| WorldError::Fs(FsError::NoSpace))?;
+        if self.kernel.exec_image(pid, &exec).is_err() {
+            // The image never ran; reap the half-built process so the
+            // rest of the world can still settle, and tell the caller.
+            self.kernel.finalize_exit(pid, -1);
+            if self.faults.injected() > injected_before {
+                self.record_recovery(pid, self.costs.syscall_ns, "spawn-refused");
+            }
+            self.drain_injections(pid);
+            return Err(WorldError::Fs(FsError::NoSpace));
+        }
         {
             let proc = self.kernel.procs.get_mut(&pid).expect("just spawned");
             proc.cwd = cwd.to_string();
@@ -279,13 +355,27 @@ impl World {
         for _ in 0..max_slices {
             self.sync_processes();
             let ev = self.kernel.step_system(self.quantum);
+            let ev_pid = match &ev {
+                RunEvent::Quantum(pid) | RunEvent::Blocked(pid) | RunEvent::Exited(pid, _) => *pid,
+                RunEvent::AllExited | RunEvent::Deadlock => 0,
+                RunEvent::Break { pid, .. }
+                | RunEvent::Fatal { pid, .. }
+                | RunEvent::Service { pid, .. }
+                | RunEvent::Segv { pid, .. } => *pid,
+            };
             match ev {
                 RunEvent::Quantum(_) | RunEvent::Blocked(_) => {}
                 RunEvent::Exited(pid, code) => {
                     self.exits.insert(pid, code);
                 }
-                RunEvent::AllExited => return WorldExit::AllExited,
-                RunEvent::Deadlock => return WorldExit::Deadlock,
+                RunEvent::AllExited => {
+                    self.drain_injections(0);
+                    return WorldExit::AllExited;
+                }
+                RunEvent::Deadlock => {
+                    self.drain_injections(0);
+                    return WorldExit::Deadlock;
+                }
                 RunEvent::Break { pid, code } => {
                     self.log.push(format!("pid {pid}: break {code}; killed"));
                     self.kill(pid, 128 + code as i32);
@@ -297,13 +387,35 @@ impl World {
                 RunEvent::Service { pid, num } => self.service(pid, num),
                 RunEvent::Segv { pid, fault } => self.segv(pid, fault.addr()),
             }
+            // Publish injections decided during this slice (kernel
+            // syscalls inject outside the linker's journal).
+            self.drain_injections(ev_pid);
         }
+        self.drain_injections(0);
         WorldExit::StepLimit
     }
 
     /// Runs until everything exits (or a generous slice cap).
     pub fn run_to_completion(&mut self) -> WorldExit {
         self.run(2_000_000)
+    }
+
+    /// Runs until the world reaches a *stable* state — every process has
+    /// exited, or the survivors are deadlocked and can make no further
+    /// progress. [`Err(Unsettled)`](Unsettled) is the bounded failure
+    /// mode: the slice budget ran out with processes still live.
+    pub fn run_to_settle(&mut self, max_slices: u64) -> Result<WorldExit, Unsettled> {
+        match self.run(max_slices) {
+            WorldExit::StepLimit => Err(Unsettled {
+                live: self
+                    .kernel
+                    .procs
+                    .values()
+                    .filter(|p| !matches!(p.state, ProcState::Zombie(_)))
+                    .count(),
+            }),
+            exit => Ok(exit),
+        }
     }
 
     /// Kills a process (recording a synthetic exit status).
@@ -418,6 +530,17 @@ impl World {
                         addr,
                     },
                 ),
+                LinkEvent::FaultRetried { what: _, attempts } => {
+                    // The linker absorbed a transient injected failure by
+                    // retrying; each attempt cost roughly one fault.
+                    self.recovered += 1;
+                    (
+                        self.costs.fault_ns * u64::from(attempts),
+                        TraceEvent::RecoveryTaken {
+                            action: "ldl-retry",
+                        },
+                    )
+                }
             };
             self.trace.record(pid, cost, event);
         }
@@ -435,6 +558,8 @@ impl World {
         t.dir_scans += s.dir_scans;
         t.cross_domain_resolutions += s.cross_domain_resolutions;
         t.resolve_cache_hits += s.resolve_cache_hits;
+        t.link_retries += s.link_retries;
+        t.retry_backoff_steps += s.retry_backoff_steps;
     }
 
     fn segv(&mut self, pid: Pid, addr: u32) {
@@ -453,12 +578,16 @@ impl World {
         }
         self.trace
             .record(pid, self.costs.fault_ns, TraceEvent::FaultTaken { addr });
+        let injected_before = self.faults.injected();
         let result = {
             let state = self.link.entry(pid).or_default();
             let mut ldl = Ldl::new(&mut self.kernel, &mut self.registry, state, pid);
             ldl.handle_fault(addr)
         };
         self.pump_trace(pid);
+        self.drain_injections(pid);
+        // Did the handler hit an injected failure on this fault?
+        let hit_injection = self.faults.injected() > injected_before;
         match result {
             Ok(FaultDisposition::Resolved) => {
                 self.trace.record(
@@ -472,12 +601,18 @@ impl World {
                 self.log.push(format!(
                     "pid {pid}: segmentation fault at {addr:#010x} (unresolvable)"
                 ));
+                if hit_injection {
+                    self.record_recovery(pid, self.costs.fault_ns, "killed-victim");
+                }
                 self.kill(pid, 139);
             }
             Err(e) => {
                 self.log
                     .push(format!("pid {pid}: fault at {addr:#010x}: {e}"));
                 if !self.kernel.deliver_segv(pid, addr) {
+                    if hit_injection {
+                        self.record_recovery(pid, self.costs.fault_ns, "killed-victim");
+                    }
                     self.kill(pid, 139);
                 }
             }
@@ -829,6 +964,8 @@ impl World {
             ldl.dir_scans += s.stats.dir_scans;
             ldl.cross_domain_resolutions += s.stats.cross_domain_resolutions;
             ldl.resolve_cache_hits += s.stats.resolve_cache_hits;
+            ldl.link_retries += s.stats.link_retries;
+            ldl.retry_backoff_steps += s.stats.retry_backoff_steps;
         }
         WorldStats {
             kernel: self.kernel.stats,
@@ -840,6 +977,8 @@ impl World {
             cow_copies: cow,
             tlb_hits,
             tlb_misses,
+            faults_injected: self.faults.injected(),
+            faults_recovered: self.recovered,
         }
     }
 }

@@ -150,9 +150,21 @@ impl Bencher {
     }
 }
 
+/// True when `BENCH_SIM_ONLY` asks to skip wall-clock measurement
+/// entirely (the deterministic simulated-time tables are printed by the
+/// bench binaries themselves; `scripts/bench_compare.sh` sets this so
+/// the regression gate is fast and machine-independent).
+fn sim_only() -> bool {
+    matches!(std::env::var("BENCH_SIM_ONLY"), Ok(v) if !v.is_empty() && v != "0")
+}
+
 /// Calibrates an iteration count, then runs `samples` timed samples and
 /// prints mean and min/max per-iteration times.
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    if sim_only() {
+        eprintln!("{label:<44} skipped (BENCH_SIM_ONLY)");
+        return;
+    }
     // One calibration pass: a single iteration, timed.
     let mut b = Bencher {
         iters: 1,

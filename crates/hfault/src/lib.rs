@@ -1,0 +1,338 @@
+//! Deterministic, seed-driven fault injection for the Hemlock stack.
+//!
+//! The paper's central claim is that a segmentation fault is a *normal*
+//! control-flow event: the handler either resolves it or cleanly refuses
+//! (PAPER.md §4). That claim is only worth anything if the surrounding
+//! machinery degrades a single process instead of the whole system when a
+//! resource runs out at the worst possible moment. This crate provides the
+//! "worst possible moment" on demand: a [`FaultPlan`] makes a reproducible
+//! pseudo-random decision at each named injection [`FaultSite`], with no
+//! wall-clock or global state involved, so any chaos failure replays
+//! exactly from its seed.
+//!
+//! The plan is shared through the stack as a [`FaultHandle`] — a cheap
+//! clonable handle that is inert (`None`, zero branches beyond one
+//! `Option` test) until a plan is armed. `hsfs`, `hkernel`, and `hlink`
+//! all consult the handle at their injection sites; `hemlock::World`
+//! arms it, drains the injection journal into the trace ring, and
+//! reconciles the counters (see DESIGN.md §8).
+
+use std::sync::{Arc, Mutex};
+
+/// A named point in the stack where the plan may inject a failure.
+///
+/// Each variant corresponds to one concrete `if plan.should_inject(site)`
+/// check in production code; DESIGN.md §8 documents the recovery path
+/// expected downstream of each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Frame allocation in `hkernel::mem` (`map_anon`/`map_shared`):
+    /// physical memory is exhausted.
+    FrameAlloc,
+    /// Inode allocation in `hsfs::fs::FileSystem::alloc`: the file
+    /// system is out of inodes.
+    InodeAlloc,
+    /// `hsfs::fs::FileSystem::write_at`: the write is torn — a prefix of
+    /// the data lands, then the device errors out.
+    TornWrite,
+    /// Segment-address assignment in `hsfs::shared::SharedFs`: the
+    /// 1 GB shared partition has no free slot *right now* (transient
+    /// contention, not permanent exhaustion).
+    SegmentAddr,
+    /// Symbol resolution in `hlink::ldl`: a lookup that would have
+    /// succeeded reports the symbol as unresolvable.
+    SymbolResolve,
+    /// Runtime trampoline allocation in `hlink::ldl`/`tramp`: the
+    /// reserved trampoline area is reported full.
+    Trampoline,
+}
+
+/// All sites, in a stable order (used for per-site counters).
+pub const ALL_SITES: [FaultSite; 6] = [
+    FaultSite::FrameAlloc,
+    FaultSite::InodeAlloc,
+    FaultSite::TornWrite,
+    FaultSite::SegmentAddr,
+    FaultSite::SymbolResolve,
+    FaultSite::Trampoline,
+];
+
+impl FaultSite {
+    /// Stable machine-readable name, used in trace records and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::FrameAlloc => "frame_alloc",
+            FaultSite::InodeAlloc => "inode_alloc",
+            FaultSite::TornWrite => "torn_write",
+            FaultSite::SegmentAddr => "segment_addr",
+            FaultSite::SymbolResolve => "symbol_resolve",
+            FaultSite::Trampoline => "trampoline",
+        }
+    }
+
+    /// Whether an injection at this site is *transient*: retrying the
+    /// whole operation may succeed (`ldl` retries these with bounded
+    /// backoff), as opposed to a permanent condition where retry is
+    /// pointless.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FaultSite::SegmentAddr | FaultSite::TornWrite)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::FrameAlloc => 0,
+            FaultSite::InodeAlloc => 1,
+            FaultSite::TornWrite => 2,
+            FaultSite::SegmentAddr => 3,
+            FaultSite::SymbolResolve => 4,
+            FaultSite::Trampoline => 5,
+        }
+    }
+}
+
+/// A reproducible schedule of injected failures.
+///
+/// Decisions come from an xorshift64* stream seeded at construction; the
+/// sequence of `should_inject` calls (site order included) fully
+/// determines the outcome — no wall clock, no thread identity, no global
+/// RNG. `rate_ppm` is the per-decision injection probability in parts
+/// per million, so `rate_ppm = 50_000` injects at ~5% of the sites each
+/// decision reaches.
+#[derive(Debug)]
+pub struct FaultPlan {
+    state: u64,
+    rate_ppm: u32,
+    /// Bitmask of enabled sites (bit = `FaultSite::index`).
+    enabled: u8,
+    injected: u64,
+    decisions: u64,
+    by_site: [u64; ALL_SITES.len()],
+    journal: Vec<FaultSite>,
+}
+
+impl FaultPlan {
+    /// A plan injecting at all sites with probability `rate_ppm / 1e6`.
+    pub fn new(seed: u64, rate_ppm: u32) -> FaultPlan {
+        FaultPlan {
+            // Avoid the xorshift fixed point at zero.
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+            rate_ppm: rate_ppm.min(1_000_000),
+            enabled: 0b11_1111,
+            injected: 0,
+            decisions: 0,
+            by_site: [0; ALL_SITES.len()],
+            journal: Vec::new(),
+        }
+    }
+
+    /// Restricts injection to the given sites only.
+    pub fn only(mut self, sites: &[FaultSite]) -> FaultPlan {
+        self.enabled = sites.iter().fold(0, |m, s| m | (1 << s.index()));
+        self
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna) — same generator as the proptest shim.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// One deterministic decision: should a failure be injected at
+    /// `site` now? Counts the injection and journals it when true.
+    pub fn should_inject(&mut self, site: FaultSite) -> bool {
+        self.decisions += 1;
+        if self.enabled & (1 << site.index()) == 0 || self.rate_ppm == 0 {
+            return false;
+        }
+        let draw = self.next_u64() % 1_000_000;
+        if draw < u64::from(self.rate_ppm) {
+            self.injected += 1;
+            self.by_site[site.index()] += 1;
+            self.journal.push(site);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total injections so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total decisions consulted (injected or not).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Injections at one site.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.by_site[site.index()]
+    }
+
+    /// Drains the journal of injections since the last drain, in order.
+    /// `World` pumps this into the trace ring as `FaultInjected` records.
+    pub fn drain_journal(&mut self) -> Vec<FaultSite> {
+        std::mem::take(&mut self.journal)
+    }
+}
+
+/// A clonable, thread-safe handle to an optional [`FaultPlan`].
+///
+/// The default handle is *unarmed*: every `should_inject` returns false
+/// without locking, so production code pays one `Option` test on the
+/// happy path. All clones of an armed handle share the same plan (and
+/// therefore the same decision stream and counters) — a forked address
+/// space and its parent draw from one sequence, which is what keeps the
+/// whole run reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct FaultHandle {
+    plan: Option<Arc<Mutex<FaultPlan>>>,
+}
+
+impl FaultHandle {
+    /// An armed handle around `plan`.
+    pub fn armed(plan: FaultPlan) -> FaultHandle {
+        FaultHandle {
+            plan: Some(Arc::new(Mutex::new(plan))),
+        }
+    }
+
+    /// An inert handle that never injects.
+    pub fn unarmed() -> FaultHandle {
+        FaultHandle::default()
+    }
+
+    /// Whether a plan is armed.
+    pub fn is_armed(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Deterministic injection decision at `site` (false when unarmed).
+    pub fn should_inject(&self, site: FaultSite) -> bool {
+        match &self.plan {
+            None => false,
+            Some(p) => p.lock().expect("fault plan lock").should_inject(site),
+        }
+    }
+
+    /// Total injections so far (0 when unarmed).
+    pub fn injected(&self) -> u64 {
+        self.plan
+            .as_ref()
+            .map(|p| p.lock().expect("fault plan lock").injected())
+            .unwrap_or(0)
+    }
+
+    /// Injections at one site (0 when unarmed).
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.plan
+            .as_ref()
+            .map(|p| p.lock().expect("fault plan lock").injected_at(site))
+            .unwrap_or(0)
+    }
+
+    /// Drains the shared plan's injection journal (empty when unarmed).
+    pub fn drain_journal(&self) -> Vec<FaultSite> {
+        self.plan
+            .as_ref()
+            .map(|p| p.lock().expect("fault plan lock").drain_journal())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultPlan::new(42, 100_000);
+        let mut b = FaultPlan::new(42, 100_000);
+        for _ in 0..10_000 {
+            assert_eq!(
+                a.should_inject(FaultSite::FrameAlloc),
+                b.should_inject(FaultSite::FrameAlloc)
+            );
+        }
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0, "10k draws at 10% must inject");
+    }
+
+    #[test]
+    fn zero_rate_never_injects_and_full_rate_always_does() {
+        let mut p = FaultPlan::new(7, 0);
+        let mut q = FaultPlan::new(7, 1_000_000);
+        for _ in 0..1000 {
+            assert!(!p.should_inject(FaultSite::InodeAlloc));
+            assert!(q.should_inject(FaultSite::InodeAlloc));
+        }
+        assert_eq!(p.injected(), 0);
+        assert_eq!(q.injected(), 1000);
+    }
+
+    #[test]
+    fn rate_is_roughly_honored() {
+        let mut p = FaultPlan::new(1234, 250_000); // 25%
+        for _ in 0..40_000 {
+            p.should_inject(FaultSite::TornWrite);
+        }
+        let rate = p.injected() as f64 / 40_000.0;
+        assert!((0.22..0.28).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn site_filter_masks_other_sites() {
+        let mut p = FaultPlan::new(9, 1_000_000).only(&[FaultSite::SymbolResolve]);
+        assert!(!p.should_inject(FaultSite::FrameAlloc));
+        assert!(p.should_inject(FaultSite::SymbolResolve));
+        assert_eq!(p.injected_at(FaultSite::FrameAlloc), 0);
+        assert_eq!(p.injected_at(FaultSite::SymbolResolve), 1);
+    }
+
+    #[test]
+    fn journal_matches_counters_and_drains() {
+        let mut p = FaultPlan::new(77, 500_000);
+        for _ in 0..100 {
+            p.should_inject(FaultSite::SegmentAddr);
+            p.should_inject(FaultSite::Trampoline);
+        }
+        let j = p.drain_journal();
+        assert_eq!(j.len() as u64, p.injected());
+        assert_eq!(
+            j.iter().filter(|s| **s == FaultSite::SegmentAddr).count() as u64,
+            p.injected_at(FaultSite::SegmentAddr)
+        );
+        assert!(p.drain_journal().is_empty(), "journal drains once");
+    }
+
+    #[test]
+    fn handle_clones_share_one_stream() {
+        let h = FaultHandle::armed(FaultPlan::new(5, 1_000_000));
+        let h2 = h.clone();
+        assert!(h.should_inject(FaultSite::FrameAlloc));
+        assert_eq!(h.injected(), 1);
+        assert_eq!(h2.injected(), 1, "clone sees the same plan");
+        assert!(!FaultHandle::unarmed().should_inject(FaultSite::FrameAlloc));
+        assert!(!FaultHandle::default().is_armed());
+    }
+
+    #[test]
+    fn transient_classification_is_stable() {
+        assert!(FaultSite::SegmentAddr.is_transient());
+        assert!(FaultSite::TornWrite.is_transient());
+        assert!(!FaultSite::SymbolResolve.is_transient());
+        assert!(!FaultSite::FrameAlloc.is_transient());
+        for s in ALL_SITES {
+            assert!(!s.name().is_empty());
+        }
+    }
+}

@@ -130,6 +130,8 @@ pub struct Kernel {
     rr_cursor: Pid,
     /// Activity counters.
     pub stats: KernelStats,
+    /// Chaos hook, propagated to the vfs and every address space.
+    faults: hfault::FaultHandle,
 }
 
 impl Default for Kernel {
@@ -159,14 +161,33 @@ impl Kernel {
             next_sem: 1,
             rr_cursor: 0,
             stats: KernelStats::default(),
+            faults: hfault::FaultHandle::unarmed(),
         }
+    }
+
+    /// Arms deterministic fault injection across the whole kernel: both
+    /// file systems and every present *and future* address space share
+    /// the one handle (and so one decision stream). See DESIGN.md §8.
+    pub fn arm_faults(&mut self, faults: hfault::FaultHandle) {
+        self.vfs.arm_faults(faults.clone());
+        for proc in self.procs.values_mut() {
+            proc.aspace.arm_faults(faults.clone());
+        }
+        self.faults = faults;
+    }
+
+    /// The kernel's fault handle (unarmed by default).
+    pub fn faults_handle(&self) -> &hfault::FaultHandle {
+        &self.faults
     }
 
     /// Creates an empty process (no mappings); the caller execs into it.
     pub fn spawn(&mut self, uid: u32) -> Pid {
         let pid = self.next_pid;
         self.next_pid += 1;
-        self.procs.insert(pid, Process::new(pid, 0, uid));
+        let mut proc = Process::new(pid, 0, uid);
+        proc.aspace.arm_faults(self.faults.clone());
+        self.procs.insert(pid, proc);
         pid
     }
 
@@ -177,6 +198,7 @@ impl Kernel {
         let round = |n: u32| n.div_ceil(page) * page;
         let proc = self.procs.get_mut(&pid).expect("exec of a live process");
         proc.aspace = AddressSpace::new();
+        proc.aspace.arm_faults(self.faults.clone());
         proc.cpu = Cpu::new();
         proc.image_name = image.name.clone();
         if !image.text.is_empty() {
@@ -195,14 +217,10 @@ impl Kernel {
         proc.brk = round(image.data_base + image.data.len() as u32 + image.bss_size);
         let aspace = &mut proc.aspace;
         if !image.text.is_empty() {
-            aspace
-                .write_bytes(&mut self.vfs.shared, image.text_base, &image.text)
-                .expect("text just mapped");
+            aspace.write_bytes(&mut self.vfs.shared, image.text_base, &image.text)?;
         }
         if !image.data.is_empty() {
-            aspace
-                .write_bytes(&mut self.vfs.shared, image.data_base, &image.data)
-                .expect("data just mapped");
+            aspace.write_bytes(&mut self.vfs.shared, image.data_base, &image.data)?;
         }
         proc.cpu.pc = image.entry;
         proc.cpu.set_reg(Reg::SP, layout::STACK_TOP - 64);
@@ -1635,5 +1653,44 @@ mod tests {
         k.exec_image(pid, &image(&prog, &data)).unwrap();
         let events = run_to_completion(&mut k);
         assert!(events.contains(&RunEvent::Exited(pid, 21)), "{events:?}");
+    }
+
+    /// Regression: a process killed while holding sfs locks must not
+    /// wedge `try_lock` for everyone else — `finalize_exit` releases the
+    /// dead holder's locks on both mounts.
+    #[test]
+    fn finalize_exit_releases_dead_holders_locks() {
+        use hsfs::LockKind;
+        let mut k = Kernel::new();
+        let shared_v = k.vfs.create_file("/shared/held.o", 0o666, 0).unwrap();
+        let root_v = k.vfs.create_file("/tmp_held", 0o666, 0).unwrap();
+        let victim = k.spawn(1);
+        let survivor = k.spawn(1);
+        k.vfs
+            .try_lock(shared_v, LockKind::Exclusive, victim as u64)
+            .unwrap();
+        k.vfs
+            .try_lock(root_v, LockKind::Exclusive, victim as u64)
+            .unwrap();
+        // While the holder lives, others spin on EWOULDBLOCK.
+        assert_eq!(
+            k.vfs
+                .try_lock(shared_v, LockKind::Exclusive, survivor as u64),
+            Err(FsError::WouldBlock)
+        );
+        // The holder crashes (embedder kill path — exactly what World
+        // does for a fault loop).
+        k.finalize_exit(victim, -1);
+        // The locks died with it: a crashed holder must not wedge
+        // try_lock forever.
+        assert_eq!(
+            k.vfs
+                .try_lock(shared_v, LockKind::Exclusive, survivor as u64),
+            Ok(())
+        );
+        assert_eq!(
+            k.vfs.try_lock(root_v, LockKind::Shared, survivor as u64),
+            Ok(())
+        );
     }
 }

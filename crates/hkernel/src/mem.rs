@@ -110,6 +110,10 @@ pub enum MemError {
     Fault(Fault),
     /// The backing shared file was missing or too small.
     BadBacking(FsError),
+    /// Physical frame allocation failed (only the chaos layer's
+    /// `FrameAlloc` injection produces this today — the simulator's
+    /// host heap otherwise never runs out).
+    NoFrames { addr: u32 },
 }
 
 impl fmt::Display for MemError {
@@ -120,6 +124,9 @@ impl fmt::Display for MemError {
             MemError::Unaligned { addr } => write!(f, "unaligned mapping at {addr:#010x}"),
             MemError::Fault(fault) => write!(f, "guest fault: {fault}"),
             MemError::BadBacking(e) => write!(f, "bad backing file: {e}"),
+            MemError::NoFrames { addr } => {
+                write!(f, "out of physical frames mapping {addr:#010x}")
+            }
         }
     }
 }
@@ -201,6 +208,8 @@ pub struct AddressSpace {
     tlb: Tlb,
     /// Counters (cow copies count against the space that triggered them).
     pub stats: MemStats,
+    /// Chaos hook: unarmed (inert) unless a fault plan is installed.
+    faults: hfault::FaultHandle,
 }
 
 fn vpn(addr: u32) -> u32 {
@@ -211,6 +220,11 @@ impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> AddressSpace {
         AddressSpace::default()
+    }
+
+    /// Installs a fault-injection handle (chaos testing; see DESIGN.md §8).
+    pub fn arm_faults(&mut self, faults: hfault::FaultHandle) {
+        self.faults = faults;
     }
 
     /// Number of mapped pages.
@@ -267,6 +281,9 @@ impl AddressSpace {
                 });
             }
         }
+        if self.faults.should_inject(hfault::FaultSite::FrameAlloc) {
+            return Err(MemError::NoFrames { addr });
+        }
         for p in first..first + pages {
             let slot = self.alloc_slot(PageEntry {
                 kind: PageKind::Anon(zero_frame()),
@@ -296,6 +313,9 @@ impl AddressSpace {
                     addr: p * PAGE_SIZE,
                 });
             }
+        }
+        if self.faults.should_inject(hfault::FaultSite::FrameAlloc) {
+            return Err(MemError::NoFrames { addr });
         }
         for (i, p) in (first..first + pages).enumerate() {
             let slot = self.alloc_slot(PageEntry {
@@ -382,6 +402,9 @@ impl AddressSpace {
             free: self.free.clone(),
             tlb: Tlb::default(),
             stats: MemStats::default(),
+            // The child draws from the same injection stream: chaos
+            // decisions stay a single deterministic sequence across fork.
+            faults: self.faults.clone(),
         }
     }
 

@@ -57,6 +57,10 @@ pub enum LinkError {
     /// Access rights forbid mapping the segment ("access rights
     /// permitting, [the handler] maps the named segment").
     AccessDenied { path: String },
+    /// An internal invariant failed (e.g. the process vanished
+    /// mid-link). Reported as a typed error so one faulting process is
+    /// killed instead of panicking the whole world.
+    Internal { what: &'static str },
 }
 
 impl From<FsError> for LinkError {
@@ -118,6 +122,7 @@ impl fmt::Display for LinkError {
                 )
             }
             LinkError::AccessDenied { path } => write!(f, "access denied: {path}"),
+            LinkError::Internal { what } => write!(f, "internal linker invariant failed: {what}"),
         }
     }
 }

@@ -346,9 +346,20 @@ fn ensure_locked(
             return Err(e);
         }
     };
-    vfs.truncate_vnode(vnode, inst.layout.total_len as u64)?;
-    vfs.write_vnode(vnode, 0, &inst.bytes)?;
-    registry.put(vfs, vnode.ino, inst.meta.clone())?;
+    // Initialize the instance; a failure past this point (most notably
+    // a torn write of the image bytes) must not leave a half-written
+    // instance behind for other processes to map — unlink it and report
+    // the error, so the caller can retry against a clean slate.
+    let init = vfs
+        .truncate_vnode(vnode, inst.layout.total_len as u64)
+        .and_then(|()| vfs.write_vnode(vnode, 0, &inst.bytes))
+        .map_err(LinkError::from)
+        .and_then(|()| registry.put(vfs, vnode.ino, inst.meta.clone()));
+    if let Err(e) = init {
+        registry.forget(vfs, vnode.ino);
+        let _ = vfs.unlink(instance_path);
+        return Err(e);
+    }
     Ok((vnode.ino, inst.meta))
 }
 

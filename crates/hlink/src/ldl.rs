@@ -106,6 +106,14 @@ pub enum LinkEvent {
         /// The resolved address.
         addr: u32,
     },
+    /// A transient failure was absorbed: the operation succeeded after
+    /// `attempts` bounded-backoff retries (chaos recovery path).
+    FaultRetried {
+        /// What was being created (the template path).
+        what: String,
+        /// How many retries it took.
+        attempts: u32,
+    },
 }
 
 /// What the fault handler did with a SIGSEGV.
@@ -146,6 +154,14 @@ pub struct LdlStats {
     /// Scoped resolutions answered by the memoized (module, symbol)
     /// cache without walking the escalation chain.
     pub resolve_cache_hits: u64,
+    /// Transient failures absorbed by retrying the operation (chaos
+    /// recovery: segment-address contention, torn template writes,
+    /// lock contention).
+    pub link_retries: u64,
+    /// Simulated backoff charged across those retries, in exponential
+    /// units (1 << attempt per retry) — the cost model's stand-in for
+    /// the waiting a real process would have done.
+    pub retry_backoff_steps: u64,
 }
 
 /// Per-process dynamic-linking state (lives in the Hemlock runtime).
@@ -293,7 +309,19 @@ impl<'a> Ldl<'a> {
         let pendings = std::mem::take(&mut self.state.image_pending);
         let mut still = Vec::new();
         for p in pendings {
-            match self.state.lookup_global(&p.symbol) {
+            // Chaos: a SymbolResolve injection hides the symbol from this
+            // eager pass; the reference stays pending and the program
+            // faults (and is cleanly killed) if it ever reaches it.
+            let looked = if self
+                .kernel
+                .faults_handle()
+                .should_inject(hfault::FaultSite::SymbolResolve)
+            {
+                None
+            } else {
+                self.state.lookup_global(&p.symbol)
+            };
+            match looked {
                 Some(addr) => {
                     self.patch_pending(&p, addr, None)?;
                     self.state.stats.symbols_resolved += 1;
@@ -322,16 +350,58 @@ impl<'a> Ldl<'a> {
     ) -> Result<String, LinkError> {
         match class {
             ShareClass::DynamicPublic | ShareClass::StaticPublic => {
-                let (ino, _) = ensure_public_instance(
-                    &mut self.kernel.vfs,
-                    self.registry,
-                    template_path,
-                    self.pid as u64,
-                )?;
+                let ino = self.ensure_public_with_retry(template_path)?;
                 self.map_public_module(ino, class, parent)
             }
             ShareClass::DynamicPrivate | ShareClass::StaticPrivate => {
                 self.load_private_module(template_path, parent)
+            }
+        }
+    }
+
+    /// True for failures a second attempt can cure: segment-address
+    /// contention (`EBUSY`), a competing locker (`EWOULDBLOCK`), and a
+    /// torn template write that was rolled back (`EIO`).
+    fn is_transient(e: &LinkError) -> bool {
+        matches!(
+            e,
+            LinkError::Fs(FsError::Busy | FsError::WouldBlock | FsError::ShortWrite)
+        )
+    }
+
+    /// Creates (or finds) a public instance, absorbing transient
+    /// failures with bounded retry and simulated exponential backoff.
+    ///
+    /// The backoff is *simulated*: there is no clock to sleep against,
+    /// so each retry charges `1 << attempt` backoff units to
+    /// [`LdlStats::retry_backoff_steps`], which the cost model prices.
+    /// A success after ≥1 retry journals [`LinkEvent::FaultRetried`] so
+    /// the trace shows the recovery.
+    fn ensure_public_with_retry(&mut self, template_path: &str) -> Result<Ino, LinkError> {
+        const MAX_LINK_RETRIES: u32 = 4;
+        let mut attempt = 0u32;
+        loop {
+            match ensure_public_instance(
+                &mut self.kernel.vfs,
+                self.registry,
+                template_path,
+                self.pid as u64,
+            ) {
+                Ok((ino, _)) => {
+                    if attempt > 0 {
+                        self.state.journal.push(LinkEvent::FaultRetried {
+                            what: template_path.to_string(),
+                            attempts: attempt,
+                        });
+                    }
+                    return Ok(ino);
+                }
+                Err(e) if attempt < MAX_LINK_RETRIES && Self::is_transient(&e) => {
+                    attempt += 1;
+                    self.state.stats.link_retries += 1;
+                    self.state.stats.retry_backoff_steps += 1u64 << attempt;
+                }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -359,7 +429,13 @@ impl<'a> Ldl<'a> {
         }
         let lazy = meta.needs_lazy_link();
         let prot = if lazy { Prot::NONE } else { Prot::RWX };
-        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let proc = self
+            .kernel
+            .procs
+            .get_mut(&self.pid)
+            .ok_or(LinkError::Internal {
+                what: "process vanished while mapping a public module",
+            })?;
         proc.aspace
             .map_shared(meta.base, meta.total_len, prot, ino, 0)
             .map_err(|_| LinkError::Fs(FsError::Busy))?;
@@ -405,7 +481,13 @@ impl<'a> Ldl<'a> {
             return Ok(name);
         }
         let layout = crate::instance::layout_of(&obj);
-        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let proc = self
+            .kernel
+            .procs
+            .get_mut(&self.pid)
+            .ok_or(LinkError::Internal {
+                what: "process vanished while loading a private module",
+            })?;
         let base = proc
             .aspace
             .find_free(layout.total_len, DYN_PRIVATE_BASE, DATA_END)
@@ -537,7 +619,13 @@ impl<'a> Ldl<'a> {
             self.kernel.vfs.shared.fs.truncate(ino, len as u64)?;
         }
         let base = SharedFs::addr_of_ino(ino);
-        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let proc = self
+            .kernel
+            .procs
+            .get_mut(&self.pid)
+            .ok_or(LinkError::Internal {
+                what: "process vanished while mapping a plain segment",
+            })?;
         proc.aspace
             .map_shared(base, len, Prot::RW, ino, 0)
             .map_err(|_| LinkError::Fs(FsError::Busy))?;
@@ -562,7 +650,13 @@ impl<'a> Ldl<'a> {
     /// then enables access.
     pub fn lazy_link(&mut self, name: &str) -> Result<(), LinkError> {
         let (pendings, ino) = {
-            let m = self.state.modules.get_mut(name).expect("module exists");
+            let m = self
+                .state
+                .modules
+                .get_mut(name)
+                .ok_or(LinkError::Internal {
+                    what: "lazy module disappeared before linking",
+                })?;
             (std::mem::take(&mut m.pending), m.ino)
         };
         let mut unresolved = Vec::new();
@@ -595,12 +689,24 @@ impl<'a> Ldl<'a> {
                 }
             }
         }
-        let m = self.state.modules.get_mut(name).expect("module exists");
+        let m = self
+            .state
+            .modules
+            .get_mut(name)
+            .ok_or(LinkError::Internal {
+                what: "lazy module disappeared mid-link",
+            })?;
         m.pending = unresolved.clone();
         m.lazy = false;
         let (base, len) = (m.base, m.total_len);
         let tramp = m.tramp;
-        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let proc = self
+            .kernel
+            .procs
+            .get_mut(&self.pid)
+            .ok_or(LinkError::Internal {
+                what: "process vanished while enabling a linked module",
+            })?;
         proc.aspace
             .set_prot(base, len, Prot::RWX)
             .map_err(|_| LinkError::Unresolvable { addr: base })?;
@@ -642,6 +748,16 @@ impl<'a> Ldl<'a> {
         module: &str,
         symbol: &str,
     ) -> Result<Option<u32>, LinkError> {
+        // Chaos: a SymbolResolve injection makes this lookup fail as if
+        // the symbol were nowhere on the escalation chain. Failures are
+        // never cached, so an organic retry may still succeed later.
+        if self
+            .kernel
+            .faults_handle()
+            .should_inject(hfault::FaultSite::SymbolResolve)
+        {
+            return Ok(None);
+        }
         let chain = self.state.dag.escalation_chain(module);
         for node in chain {
             if node == ROOT {
@@ -810,7 +926,11 @@ impl<'a> Ldl<'a> {
     /// Reads, patches, and writes back the 32-bit word at `addr` through
     /// the kernel (works for both private and shared mappings).
     fn try_patch(&mut self, addr: u32, kind: RelocKind, value: u32) -> Result<(), RelocError> {
-        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let proc = self
+            .kernel
+            .procs
+            .get_mut(&self.pid)
+            .ok_or(RelocError::Misaligned { offset: addr })?;
         let old = proc
             .aspace
             .read_bytes(&self.kernel.vfs.shared, addr, 4)
@@ -848,7 +968,14 @@ impl<'a> Ldl<'a> {
                 (b, c, u, None)
             }
         };
-        if used + crate::tramp::TRAMP_BYTES > cap {
+        // Chaos: the Trampoline injection reports the area full even
+        // when capacity remains — the overflow path must be survivable.
+        if used + crate::tramp::TRAMP_BYTES > cap
+            || self
+                .kernel
+                .faults_handle()
+                .should_inject(hfault::FaultSite::Trampoline)
+        {
             return Err(LinkError::TrampolineOverflow {
                 module: who.unwrap_or_else(|| "<image>".into()),
             });
@@ -858,13 +985,25 @@ impl<'a> Ldl<'a> {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        let proc = self.kernel.procs.get_mut(&self.pid).expect("live process");
+        let proc = self
+            .kernel
+            .procs
+            .get_mut(&self.pid)
+            .ok_or(LinkError::Internal {
+                what: "process vanished while writing a trampoline",
+            })?;
         proc.aspace
             .write_bytes(&mut self.kernel.vfs.shared, addr, &code)
             .map_err(|_| LinkError::Unresolvable { addr })?;
         match who {
             Some(name) => {
-                let m = self.state.modules.get_mut(&name).expect("just looked up");
+                let m = self
+                    .state
+                    .modules
+                    .get_mut(&name)
+                    .ok_or(LinkError::Internal {
+                        what: "trampoline owner disappeared",
+                    })?;
                 m.tramp.2 += crate::tramp::TRAMP_BYTES;
             }
             None => self.state.image_tramp.2 += crate::tramp::TRAMP_BYTES,

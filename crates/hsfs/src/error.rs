@@ -37,6 +37,10 @@ pub enum FsError {
     Busy,
     /// EFAULT — an address-keyed lookup missed (no segment at address).
     BadAddress,
+    /// EIO — a write was torn: only a prefix of the data reached the
+    /// file before the device errored (the chaos layer's torn-write
+    /// injection surfaces as this).
+    ShortWrite,
 }
 
 impl FsError {
@@ -58,6 +62,7 @@ impl FsError {
             FsError::CrossDevice => 18,
             FsError::Busy => 16,
             FsError::BadAddress => 14,
+            FsError::ShortWrite => 5,
         }
     }
 }
@@ -80,6 +85,7 @@ impl fmt::Display for FsError {
             FsError::CrossDevice => "cross-device link",
             FsError::Busy => "device or resource busy",
             FsError::BadAddress => "bad address",
+            FsError::ShortWrite => "short write (torn)",
         };
         f.write_str(s)
     }
@@ -109,6 +115,7 @@ mod tests {
             FsError::CrossDevice,
             FsError::Busy,
             FsError::BadAddress,
+            FsError::ShortWrite,
         ];
         let mut seen = std::collections::HashSet::new();
         for e in all {

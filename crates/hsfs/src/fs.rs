@@ -9,6 +9,7 @@
 use crate::error::FsError;
 use crate::path as fspath;
 use crate::stats::FsStats;
+use hfault::{FaultHandle, FaultSite};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An inode number (slot index).
@@ -126,6 +127,8 @@ pub struct FileSystem {
     live: u32,
     /// I/O accounting for the cost model.
     pub stats: FsStats,
+    /// Chaos hook: unarmed (inert) unless a fault plan is installed.
+    faults: FaultHandle,
 }
 
 /// The root directory's inode number.
@@ -152,7 +155,18 @@ impl FileSystem {
             free: Vec::new(),
             live: 1,
             stats: FsStats::default(),
+            faults: FaultHandle::unarmed(),
         }
+    }
+
+    /// Installs a fault-injection handle (chaos testing; see DESIGN.md §8).
+    pub fn arm_faults(&mut self, faults: FaultHandle) {
+        self.faults = faults;
+    }
+
+    /// The installed fault handle (unarmed by default; cheap to clone).
+    pub fn faults_handle(&self) -> &FaultHandle {
+        &self.faults
     }
 
     /// Number of live inodes.
@@ -180,7 +194,7 @@ impl FileSystem {
     }
 
     fn alloc(&mut self, inode: Inode) -> Result<Ino, FsError> {
-        if self.live >= self.config.max_inodes {
+        if self.live >= self.config.max_inodes || self.faults.should_inject(FaultSite::InodeAlloc) {
             return Err(FsError::NoSpace);
         }
         self.live += 1;
@@ -523,15 +537,30 @@ impl FileSystem {
         if end > cap {
             return Err(FsError::FileTooLarge);
         }
+        // Chaos: a torn write lands a prefix of the data, then the
+        // device errors out. The caller sees `ShortWrite` and must roll
+        // back or retry; the file really is left torn, as on a crashed
+        // disk (DESIGN.md §8).
+        let torn = if self.faults.should_inject(FaultSite::TornWrite) {
+            Some(data.len() / 2)
+        } else {
+            None
+        };
         match &mut self.inode_mut(ino)?.node {
             Node::File { content } => {
-                if end as usize > content.len() {
-                    content.resize(end as usize, 0);
+                let wrote = torn.unwrap_or(data.len());
+                let end = offset as usize + wrote;
+                if end > content.len() {
+                    content.resize(end, 0);
                 }
-                content[offset as usize..end as usize].copy_from_slice(data);
+                content[offset as usize..end].copy_from_slice(&data[..wrote]);
             }
             Node::Dir { .. } => return Err(FsError::IsADirectory),
             Node::Symlink { .. } => return Err(FsError::Invalid),
+        }
+        if let Some(wrote) = torn {
+            self.stats.record_write(offset, wrote as u64);
+            return Err(FsError::ShortWrite);
         }
         self.stats.record_write(offset, data.len() as u64);
         Ok(())

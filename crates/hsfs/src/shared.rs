@@ -101,7 +101,19 @@ impl SharedFs {
     }
 
     /// Creates a file and registers its address slot.
+    ///
+    /// Chaos: the `SegmentAddr` injection models transient contention for
+    /// a shared slot — another node of the cluster grabbed the address
+    /// first — so it surfaces as `EBUSY`, a retryable condition, *before*
+    /// any inode is consumed.
     pub fn create_file(&mut self, path: &str, mode: u16, uid: u32) -> Result<Ino, FsError> {
+        if self
+            .fs
+            .faults_handle()
+            .should_inject(hfault::FaultSite::SegmentAddr)
+        {
+            return Err(FsError::Busy);
+        }
         let ino = self.fs.create_file(path, mode, uid)?;
         self.register(ino);
         Ok(ino)

@@ -59,6 +59,13 @@ impl Vfs {
         }
     }
 
+    /// Arms both mounts with one shared fault-injection handle (chaos
+    /// testing; see DESIGN.md §8).
+    pub fn arm_faults(&mut self, faults: hfault::FaultHandle) {
+        self.root.arm_faults(faults.clone());
+        self.shared.fs.arm_faults(faults);
+    }
+
     /// Splits an absolute path into its mount and the path within it.
     pub fn route_norm(&self, path: &str) -> Result<(Mount, String), FsError> {
         let norm = fspath::normalize(path)?;

@@ -286,7 +286,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
@@ -335,6 +335,18 @@ impl ProptestConfig {
     }
 }
 
+/// The case count a test should actually run: the `PROPTEST_CASES`
+/// environment variable (real proptest's knob, used by the chaos CI job
+/// to crank coverage up) overrides any per-test config when it parses to
+/// a positive number.
+pub fn resolved_cases(config: &ProptestConfig) -> u32 {
+    parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref()).unwrap_or(config.cases)
+}
+
+fn parse_cases(raw: Option<&str>) -> Option<u32> {
+    raw.and_then(|s| s.trim().parse().ok()).filter(|&n| n > 0)
+}
+
 /// Stable seed derived from the test name, so every run generates the
 /// same cases (FNV-1a).
 pub fn seed_for(name: &str) -> u64 {
@@ -369,8 +381,9 @@ macro_rules! __proptest_items {
         $(#[$attr])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let cases = $crate::resolved_cases(&config);
             let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let mut rng = $crate::TestRng::from_seed(
                     seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
@@ -381,7 +394,7 @@ macro_rules! __proptest_items {
                 if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
                     eprintln!(
                         "proptest case {} of {} failed (seed {:#x}); rerun `{}` to reproduce",
-                        case, config.cases, seed, stringify!($name),
+                        case, cases, seed, stringify!($name),
                     );
                     ::std::panic::resume_unwind(panic);
                 }
@@ -473,6 +486,15 @@ mod tests {
             prop_assert!(x < 100);
             let _ = flip;
         }
+    }
+
+    #[test]
+    fn cases_env_parsing() {
+        assert_eq!(crate::parse_cases(None), None);
+        assert_eq!(crate::parse_cases(Some("2048")), Some(2048));
+        assert_eq!(crate::parse_cases(Some(" 16 ")), Some(16));
+        assert_eq!(crate::parse_cases(Some("0")), None, "zero means 'unset'");
+        assert_eq!(crate::parse_cases(Some("lots")), None);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Deterministic bench-regression gate.
+#
+# Runs every bench in crates/bench with BENCH_SIM_ONLY=1 (skipping
+# wall-clock measurement — only the cost-model simulated-time tables
+# run, which are exactly reproducible on any machine) and collects the
+# per-row numbers emitted via BENCH_JSON_OUT into a JSON baseline:
+#
+#     { "<bench id>/<row label>": <sim_ns>, ... }
+#
+# If the baseline file (BENCH_2.json by default) is already committed,
+# every tracked row is compared against it first: a row that grew by
+# more than BENCH_TOLERANCE percent (default 10), or that disappeared,
+# fails the gate. The fresh results are then written to the baseline
+# path either way — simulated time is deterministic, so the file only
+# changes when the code's cost behavior actually changed, and `git diff`
+# shows exactly which rows moved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_OUT:-BENCH_2.json}
+TOL=${BENCH_TOLERANCE:-10}
+
+jsonl=$(mktemp)
+new_json=$(mktemp)
+trap 'rm -f "$jsonl" "$new_json"' EXIT
+
+echo "==> running benches (sim-only) ..."
+BENCH_SIM_ONLY=1 BENCH_JSON_OUT="$jsonl" cargo bench -q -p bench >/dev/null
+
+if ! [ -s "$jsonl" ]; then
+    echo "bench_compare: benches emitted no rows" >&2
+    exit 1
+fi
+
+# JSON-lines -> one sorted JSON object.
+LC_ALL=C sort "$jsonl" | awk -F'"' '
+    {
+        v = $0
+        sub(/.*"sim_ns":/, "", v)
+        sub(/[^0-9].*/, "", v)
+        n += 1
+        keys[n] = $4
+        vals[n] = v
+    }
+    END {
+        print "{"
+        for (i = 1; i <= n; i++)
+            printf "  \"%s\": %s%s\n", keys[i], vals[i], (i < n ? "," : "")
+        print "}"
+    }' > "$new_json"
+
+# "key<TAB>value" pairs from a baseline-format JSON object.
+parse() {
+    awk -F'"' 'NF >= 3 {
+        v = $3
+        gsub(/[ :,}]/, "", v)
+        if ($2 != "" && v != "") print $2 "\t" v
+    }' "$1"
+}
+
+if [ -f "$OUT" ]; then
+    echo "==> comparing against $OUT (tolerance ${TOL}%)"
+    status=0
+    if ! awk -F'\t' -v tol="$TOL" '
+        NR == FNR { base[$1] = $2; next }
+        { cur[$1] = $2 }
+        END {
+            fail = 0
+            for (k in base) {
+                if (!(k in cur)) {
+                    printf "MISSING   %s (baseline %s, no longer reported)\n", k, base[k]
+                    fail = 1
+                } else if (base[k] + 0 > 0 && cur[k] + 0 > base[k] * (1 + tol / 100)) {
+                    printf "REGRESSED %s: %s -> %s (+%.1f%%)\n", k, base[k], cur[k], (cur[k] / base[k] - 1) * 100
+                    fail = 1
+                }
+            }
+            for (k in cur)
+                if (!(k in base))
+                    printf "NEW       %s = %s\n", k, cur[k]
+            exit fail
+        }' <(parse "$OUT") <(parse "$new_json"); then
+        status=1
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "bench_compare: FAILED (>${TOL}% regression or dropped row vs $OUT)" >&2
+        echo "bench_compare: if intentional, regenerate with: rm $OUT && bash scripts/bench_compare.sh" >&2
+        exit 1
+    fi
+    cp "$new_json" "$OUT"
+    echo "bench_compare: OK ($(parse "$OUT" | wc -l) rows within ${TOL}%)"
+else
+    cp "$new_json" "$OUT"
+    echo "bench_compare: baseline created at $OUT ($(parse "$OUT" | wc -l) rows); commit it"
+fi
