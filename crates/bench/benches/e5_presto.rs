@@ -52,8 +52,9 @@ wid:    .word 0
 "#;
 
 /// Launches `workers` processes sharing a per-job instance; returns the
-/// world after completion.
-fn run_job(workers: usize) -> World {
+/// world after completion. With `sanitize` the happens-before sanitizer
+/// (E9) watches the whole run.
+fn run_job(workers: usize, sanitize: bool) -> World {
     let mut world = World::new();
     world
         .install_template("/shared/templates/shared_data.o", SHARED_DATA)
@@ -86,6 +87,9 @@ fn run_job(workers: usize) -> World {
             .find_export("wid")
             .unwrap()
     };
+    if sanitize {
+        world.arm_sanitizer();
+    }
     let mut pids = Vec::new();
     for id in 0..workers {
         let pid = world
@@ -112,10 +116,28 @@ fn run_job(workers: usize) -> World {
 fn simulated_table() {
     let mut rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let world = run_job(workers);
+        let world = run_job(workers, false);
         rows.push((
             format!("hemlock parallel job, {workers} workers"),
             sim_time(&world),
+        ));
+    }
+    // E9 gate: the armed sanitizer is a pure observer, so its simulated
+    // time must be *identical* to the unarmed run (well under the <3x
+    // acceptance bound); the row pins that in the bench baseline.
+    for workers in [2usize, 8] {
+        let world = run_job(workers, true);
+        let armed = sim_time(&world);
+        let plain = rows
+            .iter()
+            .find(|(l, _)| *l == format!("hemlock parallel job, {workers} workers"))
+            .map(|(_, t)| *t)
+            .unwrap();
+        assert_eq!(armed, plain, "sanitizer must add zero simulated time");
+        assert_eq!(world.stats().races_detected, 0, "{:?}", world.log);
+        rows.push((
+            format!("hemlock parallel job, {workers} workers (sanitized)"),
+            armed,
         ));
     }
     // Build-time model: suppose compiling the app costs C. The paper's
@@ -159,8 +181,13 @@ fn bench_e5(c: &mut Criterion) {
     g.sample_size(10);
     for workers in [2usize, 8] {
         g.bench_with_input(BenchmarkId::new("job", workers), &workers, |b, &w| {
-            b.iter(|| run_job(w))
+            b.iter(|| run_job(w, false))
         });
+        g.bench_with_input(
+            BenchmarkId::new("job_sanitized", workers),
+            &workers,
+            |b, &w| b.iter(|| run_job(w, true)),
+        );
     }
     g.finish();
 }

@@ -78,6 +78,33 @@ fn simulated_table() {
             sim_delta(t0, sim_time(&world)),
         ));
     }
+    // E9 gate: the same cold-touch run with the happens-before
+    // sanitizer armed. A pure observer adds zero simulated time, so the
+    // armed row must equal the unarmed one exactly (well under the <3x
+    // acceptance bound); baking it into the baseline keeps it that way.
+    for touches in [1u32, 1000] {
+        let (mut world, addrs) = seg_world(1);
+        let exe = toucher(&mut world, addrs[0], touches);
+        world.arm_sanitizer();
+        let t0 = sim_time(&world);
+        let pid = world.spawn(&exe).unwrap();
+        run_ok(&mut world);
+        assert_eq!(world.exit_code(pid).unwrap() as u32, touches);
+        assert_eq!(world.stats().races_detected, 0, "{:?}", world.log);
+        let armed = sim_delta(t0, sim_time(&world));
+        let plain = rows
+            .iter()
+            .find_map(|(l, t)| {
+                l.starts_with(&format!("fault-mapped segment, {touches} accesses"))
+                    .then_some(*t)
+            })
+            .unwrap();
+        assert_eq!(armed, plain, "sanitizer must add zero simulated time");
+        rows.push((
+            format!("fault-mapped segment, {touches} accesses (sanitized)"),
+            armed,
+        ));
+    }
     // Many segments: one fault each (pointer-walk across N segments).
     for nsegs in [1u32, 16, 64] {
         let (mut world, addrs) = seg_world(nsegs);

@@ -46,10 +46,7 @@ fn simulated_table() {
     let mut aspace = AddressSpace::new();
     let mut shared = SharedFs::new();
     aspace.map_anon(base, npages * PAGE_SIZE, Prot::RW).unwrap();
-    let mut bus = MemBus {
-        aspace: &mut aspace,
-        shared: &mut shared,
-    };
+    let mut bus = MemBus::new(&mut aspace, &mut shared);
     for pass in ["cold", "warm"] {
         let before = bus.aspace.stats;
         for i in 0..npages {

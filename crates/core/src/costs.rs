@@ -75,6 +75,14 @@ pub struct WorldStats {
     /// Recoveries the world took in response: victims killed cleanly,
     /// `ldl` retries that succeeded, spawns refused with an error.
     pub faults_recovered: u64,
+    /// Data races reported by an armed sanitizer (0 when unarmed).
+    /// Pure diagnostics: contributes nothing to simulated time.
+    pub races_detected: u64,
+    /// Synchronization edges the sanitizer observed (0 when unarmed).
+    pub sync_edges: u64,
+    /// Bytes of guest memory the sanitizer currently shadow-tracks
+    /// (0 when unarmed).
+    pub shadow_bytes: u64,
 }
 
 impl WorldStats {

@@ -69,6 +69,36 @@ pub enum TraceEvent {
         /// `spawn-refused`).
         action: &'static str,
     },
+    /// The armed sanitizer found two unordered accesses to overlapping
+    /// bytes of a shared segment, at least one a write (DESIGN.md §9).
+    RaceDetected {
+        /// The shared-partition path of the raced segment.
+        path: String,
+        /// Byte offset of the first overlapping byte within the file.
+        offset: u32,
+        /// The earlier access: (pid, pc, is_write).
+        first: (Pid, u32, bool),
+        /// The later access that exposed the race.
+        second: (Pid, u32, bool),
+    },
+    /// The sanitizer's lock-order graph acquired a cycle: a deadlock is
+    /// possible even though this run survived.
+    LockOrderCycle {
+        /// The process whose acquisition closed the cycle.
+        pid: Pid,
+        /// Human-readable names of the locks on the cycle.
+        chain: Vec<String>,
+    },
+    /// A store landed on a shared page whose *current* sfs mode denies
+    /// the writer — the mapping predates a protection transition.
+    ProtectionDrift {
+        /// The shared-partition path of the written segment.
+        path: String,
+        /// Byte offset of the store.
+        offset: u32,
+        /// Effective uid that no longer has write permission.
+        uid: u32,
+    },
 }
 
 impl TraceEvent {
@@ -82,6 +112,9 @@ impl TraceEvent {
             TraceEvent::InstructionRestarted { .. } => "InstructionRestarted",
             TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::RecoveryTaken { .. } => "RecoveryTaken",
+            TraceEvent::RaceDetected { .. } => "RaceDetected",
+            TraceEvent::LockOrderCycle { .. } => "LockOrderCycle",
+            TraceEvent::ProtectionDrift { .. } => "ProtectionDrift",
         }
     }
 }
@@ -109,6 +142,30 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::FaultInjected { site } => write!(f, "FaultInjected site={site}"),
             TraceEvent::RecoveryTaken { action } => write!(f, "RecoveryTaken action={action}"),
+            TraceEvent::RaceDetected {
+                path,
+                offset,
+                first,
+                second,
+            } => {
+                let rw = |w: bool| if w { "W" } else { "R" };
+                write!(
+                    f,
+                    "RaceDetected {path}+{offset:#x} pid {} {}@{:#010x} vs pid {} {}@{:#010x}",
+                    first.0,
+                    rw(first.2),
+                    first.1,
+                    second.0,
+                    rw(second.2),
+                    second.1
+                )
+            }
+            TraceEvent::LockOrderCycle { pid, chain } => {
+                write!(f, "LockOrderCycle pid {} via {}", pid, chain.join(" -> "))
+            }
+            TraceEvent::ProtectionDrift { path, offset, uid } => {
+                write!(f, "ProtectionDrift {path}+{offset:#x} uid={uid}")
+            }
         }
     }
 }

@@ -89,5 +89,6 @@ pub mod world;
 pub use costs::{CostModel, SimTime, WorldStats};
 pub use hfault::{FaultHandle, FaultPlan, FaultSite, ALL_SITES};
 pub use hobj::ShareClass;
+pub use hsan::{LockId, Report, Sanitizer};
 pub use htrace::{TraceBuffer, TraceEvent, TraceRecord};
-pub use world::{ExitRecord, Unsettled, World, WorldError, WorldExit};
+pub use world::{ExitRecord, RaceRecord, Unsettled, World, WorldError, WorldExit};

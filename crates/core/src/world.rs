@@ -20,11 +20,13 @@ use hlink::{Ldl, Lds, LdsInput, LinkError, LinkState, ModuleRegistry, ModuleSpec
 use hobj::binfmt::{self, BinError};
 use hobj::hasm::{assemble, AsmError};
 use hobj::{LoadImage, ShareClass};
+use hsan::{Report, Sanitizer};
 use hsfs::path as fspath;
+use hsfs::vfs::{Mount, Vnode};
 use hsfs::FsError;
 use hvm::Reg;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Why [`World::run`] stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +60,28 @@ impl std::fmt::Display for Unsettled {
 }
 
 impl std::error::Error for Unsettled {}
+
+/// A race the armed sanitizer reported, decorated with the raced
+/// segment's shared-partition path (see DESIGN.md §9).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceRecord {
+    /// Path of the raced segment (e.g. `/shared/lib/counter#1`).
+    pub path: String,
+    /// Byte offset of the first overlapping byte within the segment.
+    pub offset: u32,
+    /// The earlier access.
+    pub first_pid: Pid,
+    /// PC of the earlier access.
+    pub first_pc: u32,
+    /// Whether the earlier access was a store.
+    pub first_is_write: bool,
+    /// The later access (the one that exposed the race).
+    pub second_pid: Pid,
+    /// PC of the later access.
+    pub second_pc: u32,
+    /// Whether the later access was a store.
+    pub second_is_write: bool,
+}
 
 /// A recorded process exit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,6 +181,12 @@ pub struct World {
     /// Recoveries taken in response to injected faults (kills, retries,
     /// refused spawns); mirrors the `RecoveryTaken` trace records.
     recovered: u64,
+    /// The happens-before sanitizer (None — and free — unless
+    /// [`World::arm_sanitizer`] is called). The kernel holds a second
+    /// handle as its installed [`hkernel::Monitor`].
+    sanitizer: Option<Arc<Mutex<Sanitizer>>>,
+    /// Races drained from the sanitizer, decorated with segment paths.
+    races: Vec<RaceRecord>,
 }
 
 impl Default for World {
@@ -206,6 +236,8 @@ impl World {
             costs: CostModel::default(),
             faults: FaultHandle::unarmed(),
             recovered: 0,
+            sanitizer: None,
+            races: Vec::new(),
         }
     }
 
@@ -244,6 +276,141 @@ impl World {
         self.recovered += 1;
         self.trace
             .record(pid, cost_ns, TraceEvent::RecoveryTaken { action });
+    }
+
+    // --- sanitizer ---
+
+    /// Arms the happens-before sanitizer (see `crates/hsan` and
+    /// DESIGN.md §9): every guest load/store reaching a shared-file page
+    /// and every kernel-mediated synchronization edge is observed from
+    /// now on, and data races, lock-order cycles, and protection drift
+    /// are reported through [`World::races`], the trace ring, and the
+    /// log. Returns a clone of the shared handle for direct inspection.
+    ///
+    /// The sanitizer is an observer: it adds zero simulated time, and an
+    /// unarmed world pays only one `Option` branch per shared access.
+    /// Arm *after* building and installing programs so setup traffic
+    /// (host-level pokes are invisible anyway) stays out of the shadow.
+    pub fn arm_sanitizer(&mut self) -> Arc<Mutex<Sanitizer>> {
+        let san = Arc::new(Mutex::new(Sanitizer::new()));
+        self.kernel.set_monitor(san.clone());
+        self.sanitizer = Some(san.clone());
+        san
+    }
+
+    /// True if [`World::arm_sanitizer`] has been called.
+    pub fn sanitizer_armed(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Races reported by the armed sanitizer so far, oldest first.
+    pub fn races(&self) -> &[RaceRecord] {
+        &self.races
+    }
+
+    /// The shared-partition path of inode `ino`, for report decoration.
+    fn shared_path(&self, ino: u32) -> String {
+        self.kernel
+            .vfs
+            .path_of(Vnode {
+                mount: Mount::Shared,
+                ino,
+            })
+            .unwrap_or_else(|_| format!("/shared/#{ino}"))
+    }
+
+    /// Moves findings out of the armed sanitizer into the trace ring
+    /// (at zero cost — diagnostics, not simulation), the log, and the
+    /// decorated race list. Trace records are attributed to the pid
+    /// each finding names.
+    fn drain_sanitizer(&mut self) {
+        let Some(san) = &self.sanitizer else {
+            return;
+        };
+        let reports = san.lock().unwrap().drain_reports();
+        for rep in reports {
+            match rep {
+                Report::Race {
+                    ino,
+                    off,
+                    first,
+                    second,
+                } => {
+                    let path = self.shared_path(ino);
+                    let rw = |w: bool| if w { "write" } else { "read" };
+                    self.log.push(format!(
+                        "sanitizer: data race on {path}+{off:#x}: pid {} {} at {:#010x} \
+                         vs pid {} {} at {:#010x}",
+                        first.pid,
+                        rw(first.is_write),
+                        first.pc,
+                        second.pid,
+                        rw(second.is_write),
+                        second.pc,
+                    ));
+                    self.trace.record(
+                        second.pid,
+                        0,
+                        TraceEvent::RaceDetected {
+                            path: path.clone(),
+                            offset: off,
+                            first: (first.pid, first.pc, first.is_write),
+                            second: (second.pid, second.pc, second.is_write),
+                        },
+                    );
+                    self.races.push(RaceRecord {
+                        path,
+                        offset: off,
+                        first_pid: first.pid,
+                        first_pc: first.pc,
+                        first_is_write: first.is_write,
+                        second_pid: second.pid,
+                        second_pc: second.pc,
+                        second_is_write: second.is_write,
+                    });
+                }
+                Report::LockOrderCycle {
+                    pid: culprit,
+                    chain,
+                } => {
+                    let chain: Vec<String> = chain.iter().map(|l| l.to_string()).collect();
+                    self.log.push(format!(
+                        "sanitizer: lock-order cycle closed by pid {culprit}: {}",
+                        chain.join(" -> ")
+                    ));
+                    self.trace.record(
+                        culprit,
+                        0,
+                        TraceEvent::LockOrderCycle {
+                            pid: culprit,
+                            chain,
+                        },
+                    );
+                }
+                Report::ProtectionViolation {
+                    pid: writer,
+                    pc,
+                    uid,
+                    ino,
+                    off,
+                } => {
+                    let path = self.shared_path(ino);
+                    self.log.push(format!(
+                        "sanitizer: pid {writer} (uid {uid}) wrote {path}+{off:#x} at \
+                         {pc:#010x} but the current mode denies it (stale mapping)"
+                    ));
+                    self.trace.record(
+                        writer,
+                        0,
+                        TraceEvent::ProtectionDrift {
+                            path,
+                            offset: off,
+                            uid,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     // --- building programs ---
@@ -370,10 +537,12 @@ impl World {
                 }
                 RunEvent::AllExited => {
                     self.drain_injections(0);
+                    self.drain_sanitizer();
                     return WorldExit::AllExited;
                 }
                 RunEvent::Deadlock => {
                     self.drain_injections(0);
+                    self.drain_sanitizer();
                     return WorldExit::Deadlock;
                 }
                 RunEvent::Break { pid, code } => {
@@ -390,8 +559,10 @@ impl World {
             // Publish injections decided during this slice (kernel
             // syscalls inject outside the linker's journal).
             self.drain_injections(ev_pid);
+            self.drain_sanitizer();
         }
         self.drain_injections(0);
+        self.drain_sanitizer();
         WorldExit::StepLimit
     }
 
@@ -678,7 +849,22 @@ impl World {
                                 a0,
                                 &a1.to_le_bytes(),
                             ) {
-                                Ok(()) => oldv as i32,
+                                Ok(()) => {
+                                    if let Some(san) = &self.sanitizer {
+                                        if hsfs::SharedFs::contains(a0) {
+                                            // Invert the fixed slot layout
+                                            // arithmetically; `addr_to_ino`
+                                            // would bill address-table probes
+                                            // to the guest.
+                                            let rel = a0 - hsfs::SHARED_BASE;
+                                            let ino = rel / hsfs::SLOT_SIZE;
+                                            let off = rel % hsfs::SLOT_SIZE;
+                                            let pc = p.cpu.pc.wrapping_sub(4);
+                                            san.lock().unwrap().tas(pid, pc, ino, off, oldv, a1);
+                                        }
+                                    }
+                                    oldv as i32
+                                }
                                 Err(_) => -14,
                             }
                         }
@@ -967,6 +1153,13 @@ impl World {
             ldl.link_retries += s.stats.link_retries;
             ldl.retry_backoff_steps += s.stats.retry_backoff_steps;
         }
+        let (races_detected, sync_edges, shadow_bytes) = match &self.sanitizer {
+            Some(san) => {
+                let s = san.lock().unwrap();
+                (s.races_detected(), s.sync_edges(), s.shadow_bytes())
+            }
+            None => (0, 0, 0),
+        };
         WorldStats {
             kernel: self.kernel.stats,
             root_fs: self.kernel.vfs.root.stats,
@@ -979,6 +1172,9 @@ impl World {
             tlb_misses,
             faults_injected: self.faults.injected(),
             faults_recovered: self.recovered,
+            races_detected,
+            sync_edges,
+            shadow_bytes,
         }
     }
 }

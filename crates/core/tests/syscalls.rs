@@ -177,11 +177,43 @@ fn symlink_syscall_then_open_through_it() {
 }
 
 #[test]
-fn unknown_syscall_returns_enosys() {
+fn unknown_syscall_kills_only_the_caller() {
+    // A bogus syscall number is not repairable and must not be silently
+    // absorbed: the issuing process dies with a typed `BadSyscall` fault
+    // (see `syscall.rs` dispatch), and *only* that process.
     let mut world = World::new();
-    let code = run(
-        &mut world,
-        ".module main\n.text\n.globl main\nmain: li v0, 99\nsyscall\nor a0, v0, r0\nli v0, 1\nsyscall\n",
+    world
+        .install_template(
+            "/src/bad.o",
+            ".module bad\n.text\n.globl main\nmain: li v0, 99\nsyscall\nli a0, 7\nli v0, 1\nsyscall\n",
+        )
+        .unwrap();
+    world
+        .install_template(
+            "/src/good.o",
+            ".module good\n.text\n.globl main\nmain: li a0, 11\nli v0, 1\nsyscall\n",
+        )
+        .unwrap();
+    let bad = world
+        .link("/bin/bad", &[("/src/bad.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let good = world
+        .link("/bin/good", &[("/src/good.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let bad_pid = world.spawn(&bad).unwrap();
+    let good_pid = world.spawn(&good).unwrap();
+    assert_eq!(world.run(200_000), WorldExit::AllExited);
+    // The offender was killed before reaching its exit(7)...
+    assert_eq!(world.exit_code(bad_pid), Some(-1));
+    // ...the innocent bystander was untouched...
+    assert_eq!(world.exit_code(good_pid), Some(11));
+    // ...and the kill was diagnosed with the syscall number.
+    assert!(
+        world
+            .log
+            .iter()
+            .any(|l| l.contains("bad syscall number 99")),
+        "log: {:?}",
+        world.log
     );
-    assert_eq!(code, -38);
 }

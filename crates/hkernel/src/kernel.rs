@@ -10,11 +10,12 @@
 
 use crate::layout;
 use crate::mem::{AddressSpace, MemBus, MemError, Prot};
+use crate::monitor::{AccessCtx, MonitorRef, SyncEdge};
 use crate::process::{Block, Pid, ProcState, Process};
 use crate::syscall::{Sys, O_CREAT, O_TRUNC, O_WRONLY, SERVICE_BASE};
 use hsfs::fs::{LockKind, NodeKind};
 use hsfs::path as fspath;
-use hsfs::vfs::Vfs;
+use hsfs::vfs::{Mount, Vfs, Vnode};
 use hsfs::{FsError, PAGE_SIZE};
 use hvm::{Cpu, Fault, Reg, StepOutcome};
 use std::collections::{BTreeMap, VecDeque};
@@ -132,6 +133,20 @@ pub struct Kernel {
     pub stats: KernelStats,
     /// Chaos hook, propagated to the vfs and every address space.
     faults: hfault::FaultHandle,
+    /// Sanitizer hook: observes shared-page traffic and sync edges.
+    /// `None` (the default) costs one branch per shared access.
+    monitor: Option<MonitorRef>,
+}
+
+/// A stable identity for a mutual-exclusion lock object, for
+/// [`SyncEdge::LockAcquire`]/[`SyncEdge::LockRelease`]: the mount in the
+/// high bit, the inode below.
+fn lock_key(v: Vnode) -> u64 {
+    let mount = match v.mount {
+        Mount::Root => 0u64,
+        Mount::Shared => 1u64,
+    };
+    mount << 32 | v.ino as u64
 }
 
 impl Default for Kernel {
@@ -144,7 +159,6 @@ const EBADF: i32 = 9;
 const ECHILD: i32 = 10;
 const EFAULT: i32 = 14;
 const EINVAL: i32 = 22;
-const ENOSYS: i32 = 38;
 
 fn fs_err(e: FsError) -> i32 {
     -e.errno()
@@ -162,6 +176,7 @@ impl Kernel {
             rr_cursor: 0,
             stats: KernelStats::default(),
             faults: hfault::FaultHandle::unarmed(),
+            monitor: None,
         }
     }
 
@@ -179,6 +194,21 @@ impl Kernel {
     /// The kernel's fault handle (unarmed by default).
     pub fn faults_handle(&self) -> &hfault::FaultHandle {
         &self.faults
+    }
+
+    /// Installs a [`crate::monitor::Monitor`]: from now on every guest
+    /// data access that reaches a shared page, and every kernel-mediated
+    /// synchronization edge, is reported to it. Purely observational —
+    /// guest-visible behavior and all cost-model counters are unchanged.
+    pub fn set_monitor(&mut self, monitor: MonitorRef) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Reports a sync edge to the installed monitor, if any.
+    fn edge(&mut self, edge: SyncEdge) {
+        if let Some(m) = &self.monitor {
+            m.lock().unwrap().sync_edge(edge);
+        }
     }
 
     /// Creates an empty process (no mappings); the caller execs into it.
@@ -310,9 +340,18 @@ impl Kernel {
                     Some(p) if matches!(p.state, ProcState::Runnable) => p,
                     _ => return RunEvent::Blocked(pid),
                 };
-                let mut bus = MemBus {
-                    aspace: &mut proc.aspace,
-                    shared: &mut self.vfs.shared,
+                let mut bus = match &self.monitor {
+                    Some(monitor) => MemBus::observed(
+                        &mut proc.aspace,
+                        &mut self.vfs.shared,
+                        AccessCtx {
+                            pid,
+                            pc: proc.cpu.pc,
+                            uid: proc.uid,
+                        },
+                        monitor,
+                    ),
+                    None => MemBus::new(&mut proc.aspace, &mut self.vfs.shared),
                 };
                 proc.cpu.step(&mut bus)
             };
@@ -405,8 +444,15 @@ impl Kernel {
         }
         self.stats.syscalls += 1;
         let Some(sys) = Sys::from_num(num) else {
-            self.ret(pid, -ENOSYS);
-            return SysCtl::Continue;
+            // A number the kernel does not implement kills the issuing
+            // process with a typed fault (never the whole world). The
+            // `syscall` instruction has already retired, so the PC points
+            // one past it.
+            let addr = self.procs[&pid].cpu.pc.wrapping_sub(4);
+            return SysCtl::Event(RunEvent::Fatal {
+                pid,
+                fault: Fault::BadSyscall { addr, num },
+            });
         };
         let a0 = self.reg(pid, Reg::A0);
         let a1 = self.reg(pid, Reg::A1);
@@ -440,7 +486,12 @@ impl Kernel {
                 {
                     Some(desc) => {
                         // flock locks die with the descriptor.
-                        let _ = self.vfs.unlock(desc.vnode, pid as u64);
+                        if self.vfs.unlock(desc.vnode, pid as u64).is_ok() {
+                            self.edge(SyncEdge::LockRelease {
+                                pid,
+                                lock: lock_key(desc.vnode),
+                            });
+                        }
                         0
                     }
                     None => -EBADF,
@@ -457,6 +508,10 @@ impl Kernel {
                 let mut child = parent.fork_into(child_pid);
                 child.cpu.set_reg(Reg::V0, 0);
                 self.procs.insert(child_pid, child);
+                self.edge(SyncEdge::Fork {
+                    parent: pid,
+                    child: child_pid,
+                });
                 SysCtl::Continue
             }
             Sys::Getpid => {
@@ -530,6 +585,7 @@ impl Kernel {
             Sys::SemP => match self.sems.get_mut(&a0) {
                 Some(sem) if sem.count > 0 => {
                     sem.count -= 1;
+                    self.edge(SyncEdge::SemAcquire { pid, sem: a0 });
                     self.ret(pid, 0);
                     SysCtl::Continue
                 }
@@ -545,14 +601,12 @@ impl Kernel {
                 }
             },
             Sys::SemV => {
+                let mut woken = None;
                 let r = match self.sems.get_mut(&a0) {
                     Some(sem) => {
                         if let Some(waiter) = sem.waiters.pop_front() {
                             // Transfer the count directly to the waiter.
-                            if let Some(w) = self.procs.get_mut(&waiter) {
-                                w.state = ProcState::Runnable;
-                                w.cpu.set_reg(Reg::V0, 0);
-                            }
+                            woken = Some(waiter);
                         } else {
                             sem.count += 1;
                         }
@@ -560,6 +614,22 @@ impl Kernel {
                     }
                     None => -EINVAL,
                 };
+                if r == 0 {
+                    // V is a release; a directly-woken waiter's P is the
+                    // matching acquire (emitted in that order so the
+                    // happens-before edge transfers through the sem).
+                    self.edge(SyncEdge::SemRelease { pid, sem: a0 });
+                    if let Some(waiter) = woken {
+                        if let Some(w) = self.procs.get_mut(&waiter) {
+                            w.state = ProcState::Runnable;
+                            w.cpu.set_reg(Reg::V0, 0);
+                        }
+                        self.edge(SyncEdge::SemAcquire {
+                            pid: waiter,
+                            sem: a0,
+                        });
+                    }
+                }
                 self.ret(pid, r);
                 SysCtl::Continue
             }
@@ -655,7 +725,12 @@ impl Kernel {
                     return SysCtl::Continue;
                 };
                 if a1 == 2 {
-                    let _ = self.vfs.unlock(desc.vnode, pid as u64);
+                    if self.vfs.unlock(desc.vnode, pid as u64).is_ok() {
+                        self.edge(SyncEdge::LockRelease {
+                            pid,
+                            lock: lock_key(desc.vnode),
+                        });
+                    }
                     self.ret(pid, 0);
                     return SysCtl::Continue;
                 }
@@ -666,6 +741,10 @@ impl Kernel {
                 };
                 match self.vfs.try_lock(desc.vnode, kind, pid as u64) {
                     Ok(()) => {
+                        self.edge(SyncEdge::LockAcquire {
+                            pid,
+                            lock: lock_key(desc.vnode),
+                        });
                         self.ret(pid, 0);
                         SysCtl::Continue
                     }
@@ -946,6 +1025,7 @@ impl Kernel {
         if let Some(p) = self.procs.get_mut(&pid) {
             p.state = ProcState::Zombie(code);
         }
+        self.edge(SyncEdge::Exit { pid });
         self.vfs.unlock_all(pid as u64);
         for sem in self.sems.values_mut() {
             sem.waiters.retain(|&w| w != pid);
@@ -969,6 +1049,10 @@ impl Kernel {
             self.stats.tlb_hits += p.aspace.stats.tlb_hits;
             self.stats.tlb_misses += p.aspace.stats.tlb_misses;
         }
+        self.edge(SyncEdge::Join {
+            parent,
+            child: found.0,
+        });
         Some(found)
     }
 
@@ -997,6 +1081,10 @@ impl Kernel {
                         let p = self.procs.get_mut(&pid).expect("locker");
                         p.state = ProcState::Runnable;
                         p.cpu.set_reg(Reg::V0, 0);
+                        self.edge(SyncEdge::LockAcquire {
+                            pid,
+                            lock: lock_key(vnode),
+                        });
                     }
                 }
                 Block::Sem(_) => {} // woken directly by SemV

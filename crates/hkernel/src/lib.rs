@@ -24,11 +24,13 @@
 pub mod kernel;
 pub mod layout;
 pub mod mem;
+pub mod monitor;
 pub mod process;
 pub mod syscall;
 
 pub use kernel::{Kernel, KernelStats, RunEvent, Unsettled};
 pub use layout::Region;
 pub use mem::{AddressSpace, MemBus, MemError, Prot};
+pub use monitor::{AccessCtx, Monitor, MonitorRef, SyncEdge};
 pub use process::{Pid, ProcState, Process};
 pub use syscall::Sys;

@@ -16,6 +16,7 @@
 //! Hemlock maps not-yet-linked modules with [`Prot::NONE`] so the first
 //! touch raises a protection fault into the lazy linker.
 
+use crate::monitor::{AccessCtx, MonitorRef};
 use hsfs::{FsError, Ino, SharedFs, PAGE_SIZE};
 use hvm::{Access, Bus, Fault};
 use std::collections::BTreeMap;
@@ -507,6 +508,42 @@ pub struct MemBus<'a> {
     pub aspace: &'a mut AddressSpace,
     /// The shared partition backing public mappings.
     pub shared: &'a mut SharedFs,
+    /// Sanitizer hook: observes data accesses that hit shared pages.
+    monitor: Option<&'a MonitorRef>,
+    /// Who is driving the bus (meaningful only when `monitor` is armed).
+    ctx: AccessCtx,
+}
+
+impl<'a> MemBus<'a> {
+    /// An unobserved bus — the default, zero-overhead configuration.
+    pub fn new(aspace: &'a mut AddressSpace, shared: &'a mut SharedFs) -> MemBus<'a> {
+        MemBus {
+            aspace,
+            shared,
+            monitor: None,
+            ctx: AccessCtx {
+                pid: 0,
+                pc: 0,
+                uid: 0,
+            },
+        }
+    }
+
+    /// A bus whose shared-page data accesses are reported to `monitor`,
+    /// attributed to `ctx` (the executing process and its current PC).
+    pub fn observed(
+        aspace: &'a mut AddressSpace,
+        shared: &'a mut SharedFs,
+        ctx: AccessCtx,
+        monitor: &'a MonitorRef,
+    ) -> MemBus<'a> {
+        MemBus {
+            aspace,
+            shared,
+            monitor: Some(monitor),
+            ctx,
+        }
+    }
 }
 
 impl MemBus<'_> {
@@ -549,6 +586,7 @@ impl MemBus<'_> {
             .expect("live slot");
         let off = (addr % PAGE_SIZE) as usize;
         debug_assert!(off + len <= PAGE_SIZE as usize, "CPU enforces alignment");
+        let mut shared_hit: Option<(Ino, u32)> = None;
         let bytes: &[u8] = match &entry.kind {
             PageKind::Anon(frame) => &frame[off..off + len],
             PageKind::Shared { ino, page } => {
@@ -561,12 +599,20 @@ impl MemBus<'_> {
                 if start + len > file.len() {
                     return Err(Fault::Unmapped { addr, access });
                 }
+                shared_hit = Some((*ino, start as u32));
                 &file[start..start + len]
             }
         };
         let mut v = 0u32;
         for i in (0..len).rev() {
             v = (v << 8) | bytes[i] as u32;
+        }
+        if let (Some(monitor), Some((ino, foff)), Access::Read) = (self.monitor, shared_hit, access)
+        {
+            monitor
+                .lock()
+                .unwrap()
+                .shared_read(self.ctx, ino, foff, len as u32);
         }
         Ok(v)
     }
@@ -592,16 +638,38 @@ impl MemBus<'_> {
                 Arc::make_mut(frame)[off..off + data.len()].copy_from_slice(data);
             }
             PageKind::Shared { ino, page } => {
+                let ino = *ino;
                 let start = (*page * PAGE_SIZE) as usize + off;
+                // Protection-transition check: would the file's *current*
+                // sfs mode grant this uid write access? (The page mapping
+                // may predate a chmod.) Only consulted when armed; the
+                // query is `&self` and touches no cost-model counters.
+                let mode_allows = match self.monitor {
+                    Some(_) => self
+                        .shared
+                        .fs
+                        .access(ino, self.ctx.uid, true)
+                        .unwrap_or(true),
+                    None => true,
+                };
                 let file = self
                     .shared
                     .fs
-                    .file_bytes_mut(*ino)
+                    .file_bytes_mut(ino)
                     .map_err(|_| Fault::Unmapped { addr, access })?;
                 if start + data.len() > file.len() {
                     return Err(Fault::Unmapped { addr, access });
                 }
                 file[start..start + data.len()].copy_from_slice(data);
+                if let Some(monitor) = self.monitor {
+                    monitor.lock().unwrap().shared_write(
+                        self.ctx,
+                        ino,
+                        start as u32,
+                        data.len() as u32,
+                        mode_allows,
+                    );
+                }
             }
         }
         Ok(())
@@ -679,10 +747,7 @@ mod tests {
         let mut s = SharedFs::new();
         a.map_anon(0x1000, P, Prot::R).unwrap();
         a.map_anon(0x2000, P, Prot::NONE).unwrap();
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         assert!(bus.load32(0x1000).is_ok());
         assert_eq!(
             bus.store32(0x1000, 1),
@@ -725,17 +790,11 @@ mod tests {
         a.map_shared(base, 2 * P, Prot::RW, ino, 0).unwrap();
         b.map_shared(base, 2 * P, Prot::RW, ino, 0).unwrap();
         {
-            let mut bus = MemBus {
-                aspace: &mut a,
-                shared: &mut s,
-            };
+            let mut bus = MemBus::new(&mut a, &mut s);
             bus.store32(base + 8, 0xCAFE_F00D).unwrap();
         }
         // Process B sees A's store instantly (genuine write sharing).
-        let mut bus_b = MemBus {
-            aspace: &mut b,
-            shared: &mut s,
-        };
+        let mut bus_b = MemBus::new(&mut b, &mut s);
         assert_eq!(bus_b.load32(base + 8).unwrap(), 0xCAFE_F00D);
         // And the bytes are the file's bytes.
         assert_eq!(
@@ -752,10 +811,7 @@ mod tests {
         s.fs.truncate(ino, P as u64).unwrap();
         let base = SharedFs::addr_of_ino(ino);
         a.map_shared(base, 2 * P, Prot::RW, ino, 0).unwrap();
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         assert!(bus.load32(base).is_ok());
         assert!(bus.load32(base + P).is_err());
     }
@@ -797,17 +853,11 @@ mod tests {
         let mut s = SharedFs::new();
         a.map_anon(0x1000, P, Prot::NONE).unwrap();
         {
-            let mut bus = MemBus {
-                aspace: &mut a,
-                shared: &mut s,
-            };
+            let mut bus = MemBus::new(&mut a, &mut s);
             assert!(matches!(bus.load32(0x1000), Err(Fault::Protection { .. })));
         }
         a.set_prot(0x1000, P, Prot::RWX).unwrap();
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         assert!(bus.load32(0x1000).is_ok());
         assert!(bus.fetch(0x1000).is_ok());
     }
@@ -850,10 +900,7 @@ mod tests {
         let mut s = SharedFs::new();
         a.map_anon(0x1000, P, Prot::RW).unwrap();
         assert!(!a.tlb_cached(0x1000));
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         bus.load32(0x1000).unwrap(); // cold: page walk + fill
         bus.load32(0x1004).unwrap(); // warm: same page, served by TLB
         assert_eq!(a.stats.tlb_misses, 1);
@@ -867,19 +914,13 @@ mod tests {
         let mut s = SharedFs::new();
         a.map_anon(0x1000, P, Prot::RW).unwrap();
         {
-            let mut bus = MemBus {
-                aspace: &mut a,
-                shared: &mut s,
-            };
+            let mut bus = MemBus::new(&mut a, &mut s);
             bus.load32(0x1000).unwrap();
         }
         assert!(a.tlb_cached(0x1000));
         a.unmap(0x1000, P).unwrap();
         assert!(!a.tlb_cached(0x1000));
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         assert_eq!(
             bus.load32(0x1000),
             Err(Fault::Unmapped {
@@ -895,19 +936,13 @@ mod tests {
         let mut s = SharedFs::new();
         a.map_anon(0x1000, P, Prot::RW).unwrap();
         {
-            let mut bus = MemBus {
-                aspace: &mut a,
-                shared: &mut s,
-            };
+            let mut bus = MemBus::new(&mut a, &mut s);
             bus.load32(0x1000).unwrap();
         }
         assert!(a.tlb_cached(0x1000));
         a.set_prot(0x1000, P, Prot::NONE).unwrap();
         assert!(!a.tlb_cached(0x1000));
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         // The new protection takes effect immediately — no stale grant.
         assert_eq!(
             bus.load32(0x1000),
@@ -924,10 +959,7 @@ mod tests {
         let mut s = SharedFs::new();
         parent.map_anon(0x1000, P, Prot::RW).unwrap();
         {
-            let mut bus = MemBus {
-                aspace: &mut parent,
-                shared: &mut s,
-            };
+            let mut bus = MemBus::new(&mut parent, &mut s);
             bus.store32(0x1000, 0xAA55).unwrap();
         }
         assert!(parent.tlb_cached(0x1000));
@@ -937,18 +969,12 @@ mod tests {
         assert!(!child.tlb_cached(0x1000));
         // A warm-TLB child write still copies, leaving the parent intact.
         {
-            let mut bus = MemBus {
-                aspace: &mut child,
-                shared: &mut s,
-            };
+            let mut bus = MemBus::new(&mut child, &mut s);
             bus.load32(0x1000).unwrap();
             bus.store32(0x1000, 0x1234).unwrap();
         }
         assert_eq!(child.stats.cow_copies, 1);
-        let mut bus = MemBus {
-            aspace: &mut parent,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut parent, &mut s);
         assert_eq!(bus.load32(0x1000).unwrap(), 0xAA55);
     }
 
@@ -961,18 +987,12 @@ mod tests {
         let mut s = SharedFs::new();
         a.map_anon(0x1000, P, Prot::RW).unwrap();
         {
-            let mut bus = MemBus {
-                aspace: &mut a,
-                shared: &mut s,
-            };
+            let mut bus = MemBus::new(&mut a, &mut s);
             bus.store32(0x1000, 7).unwrap();
         }
         a.unmap(0x1000, P).unwrap();
         a.map_anon(0x2000, P, Prot::RW).unwrap();
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         assert_eq!(bus.load32(0x2000).unwrap(), 0); // fresh zero frame
         assert!(bus.load32(0x1000).is_err());
     }
@@ -986,10 +1006,7 @@ mod tests {
         s.fs.truncate(ino, SLOT_SIZE as u64).unwrap();
         let base = SharedFs::addr_of_ino(ino);
         a.map_shared(base, SLOT_SIZE, Prot::RW, ino, 0).unwrap();
-        let mut bus = MemBus {
-            aspace: &mut a,
-            shared: &mut s,
-        };
+        let mut bus = MemBus::new(&mut a, &mut s);
         bus.store32(base + SLOT_SIZE - 4, 7).unwrap();
         assert_eq!(bus.load32(base + SLOT_SIZE - 4).unwrap(), 7);
     }

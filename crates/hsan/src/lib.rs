@@ -1,0 +1,758 @@
+//! `hsan` — a happens-before race and synchronization sanitizer for
+//! Hemlock's shared segments.
+//!
+//! The paper's shared window is a covenant, not a mechanism: any process
+//! may map `/shared/...` segments at their fixed addresses and nothing
+//! stops two of them from updating the same word without synchronizing.
+//! The paper's own examples (the `rwho` database, Presto's shared heaps)
+//! rely on writers being "mutually excluded by convention". This crate
+//! checks the convention.
+//!
+//! [`Sanitizer`] implements [`hkernel::Monitor`]: the kernel feeds it
+//! every guest load/store that reaches a shared-file page and every
+//! synchronization edge it mediates (semaphores, fork/exit/wait, flock,
+//! and — via [`Sanitizer::tas`] — the test-and-set service trap). From
+//! those streams it maintains classic vector clocks:
+//!
+//! * each process `p` has a clock `C_p`; `C_p[p]` is `p`'s *epoch*,
+//!   incremented at every release edge;
+//! * an acquire joins the sync object's clock into the acquirer;
+//!   a release joins the releaser's clock into the object;
+//! * an access by `q` at epoch `e` *happened before* `p`'s current state
+//!   iff `e <= C_p[q]`.
+//!
+//! Shadow state is kept per 4-byte word of each shared file, with byte
+//! masks so sub-word accesses are tracked precisely. Two accesses to
+//! overlapping bytes from different processes, at least one a write,
+//! with neither ordered before the other, is a data race: the report
+//! carries both PCs, the segment's inode, and the byte offset.
+//!
+//! Beyond races the sanitizer predicts deadlocks (a cycle in the
+//! lock-*order* graph, even if the run happened to get away with it) and
+//! flags protection-transition hazards (a store to a page whose current
+//! sfs mode no longer grants the writer write permission — the mapping
+//! predates a `chmod`).
+//!
+//! The sanitizer is an observer only: it never perturbs the simulation,
+//! costs zero simulated time, and reads no kernel statistics.
+
+use hkernel::{AccessCtx, Monitor, Pid, SyncEdge};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// A vector clock: `clock[p]` = the last epoch of `p` this clock has
+/// synchronized with. Missing entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock(BTreeMap<Pid, u64>);
+
+impl VectorClock {
+    /// The component for `pid` (zero if never synchronized).
+    pub fn get(&self, pid: Pid) -> u64 {
+        self.0.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `pid`.
+    pub fn set(&mut self, pid: Pid, v: u64) {
+        self.0.insert(pid, v);
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&p, &v) in &other.0 {
+            let e = self.0.entry(p).or_insert(0);
+            if *e < v {
+                *e = v;
+            }
+        }
+    }
+}
+
+/// Identity of a mutual-exclusion lock object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockId {
+    /// An flock'd file, keyed by the kernel's stable vnode key
+    /// (mount bit << 32 | ino).
+    File(u64),
+    /// A test-and-set word: (shared inode, byte offset of the word).
+    Word(u32, u32),
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockId::File(k) => write!(f, "flock(ino={})", k & 0xFFFF_FFFF),
+            LockId::Word(ino, off) => write!(f, "tas(ino={ino}+{off:#x})"),
+        }
+    }
+}
+
+/// One half of a race: who touched the word, from where, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// The accessing process.
+    pub pid: Pid,
+    /// PC of the accessing instruction.
+    pub pc: u32,
+    /// True for a store.
+    pub is_write: bool,
+}
+
+/// A finding. Reports accumulate until [`Sanitizer::drain_reports`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Report {
+    /// Two unordered accesses to overlapping bytes, at least one a write.
+    Race {
+        /// Shared-file inode containing the word.
+        ino: u32,
+        /// Byte offset of the first overlapping byte.
+        off: u32,
+        /// The earlier access (already in the shadow state).
+        first: AccessInfo,
+        /// The later access (the one that exposed the race).
+        second: AccessInfo,
+    },
+    /// The lock-order graph acquired a cycle: a deadlock is possible
+    /// even though this run survived.
+    LockOrderCycle {
+        /// The process whose acquisition closed the cycle.
+        pid: Pid,
+        /// The locks on the cycle, starting at the newly ordered pair.
+        chain: Vec<LockId>,
+    },
+    /// A store landed on a page whose *current* sfs mode denies the
+    /// writer: the mapping predates a protection transition.
+    ProtectionViolation {
+        /// The storing process.
+        pid: Pid,
+        /// PC of the store.
+        pc: u32,
+        /// Effective uid that no longer has write permission.
+        uid: u32,
+        /// Shared-file inode.
+        ino: u32,
+        /// Byte offset of the store.
+        off: u32,
+    },
+}
+
+/// One prior access in a word's shadow state.
+#[derive(Clone, Copy, Debug)]
+struct AccessRec {
+    pid: Pid,
+    pc: u32,
+    /// The accessor's epoch (`C_pid[pid]`) when the access happened.
+    epoch: u64,
+    /// Bytes of the word touched (bit i = byte i).
+    mask: u8,
+}
+
+/// Shadow state for one aligned 4-byte word of a shared file.
+#[derive(Clone, Debug, Default)]
+struct ShadowWord {
+    writes: Vec<AccessRec>,
+    reads: Vec<AccessRec>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    clock: VectorClock,
+    holders: BTreeSet<Pid>,
+}
+
+/// The happens-before sanitizer. See the crate docs for the algorithm.
+#[derive(Debug, Default)]
+pub struct Sanitizer {
+    clocks: HashMap<Pid, VectorClock>,
+    sems: HashMap<u32, VectorClock>,
+    locks: HashMap<LockId, LockState>,
+    held: HashMap<Pid, BTreeSet<LockId>>,
+    /// Lock-order edges: `order[a]` contains `b` if some process
+    /// acquired `b` while holding `a`.
+    order: BTreeMap<LockId, BTreeSet<LockId>>,
+    cycles_seen: BTreeSet<(LockId, LockId)>,
+    /// Words that back a test-and-set lock: excluded from shadow
+    /// tracking (the race on the lock word *is* the protocol).
+    tas_words: BTreeSet<(u32, u32)>,
+    shadow: HashMap<(u32, u32), ShadowWord>,
+    /// Words already reported once; silenced thereafter.
+    raced: BTreeSet<(u32, u32)>,
+    prot_flagged: BTreeSet<(Pid, u32)>,
+    reports: Vec<Report>,
+    races_detected: u64,
+    sync_edges: u64,
+}
+
+impl Sanitizer {
+    /// A fresh sanitizer with no history.
+    pub fn new() -> Sanitizer {
+        Sanitizer::default()
+    }
+
+    // --- clock plumbing -------------------------------------------------
+
+    /// The clock of `pid`, created at epoch 1 on first sight.
+    fn clock_mut(&mut self, pid: Pid) -> &mut VectorClock {
+        self.clocks.entry(pid).or_insert_with(|| {
+            let mut c = VectorClock::default();
+            c.set(pid, 1);
+            c
+        })
+    }
+
+    fn epoch(&mut self, pid: Pid) -> u64 {
+        let c = self.clock_mut(pid);
+        c.get(pid)
+    }
+
+    fn bump(&mut self, pid: Pid) {
+        let c = self.clock_mut(pid);
+        let e = c.get(pid);
+        c.set(pid, e + 1);
+    }
+
+    /// Did an access by `rec.pid` at `rec.epoch` happen before the
+    /// current state of `pid`?
+    fn ordered_before(&mut self, rec: &AccessRec, pid: Pid) -> bool {
+        rec.epoch <= self.clock_mut(pid).get(rec.pid)
+    }
+
+    // --- lock objects ---------------------------------------------------
+
+    fn acquire(&mut self, pid: Pid, lock: LockId) {
+        self.sync_edges += 1;
+        self.check_lock_order(pid, lock);
+        let st = self.locks.entry(lock).or_default();
+        let obj = st.clock.clone();
+        st.holders.insert(pid);
+        self.held.entry(pid).or_default().insert(lock);
+        self.clock_mut(pid).join(&obj);
+    }
+
+    /// Releases `lock` if (and only if) `pid` actually holds it. The
+    /// kernel's `close`/`unlock` paths report releases unconditionally
+    /// (unlocking a file you never locked succeeds), so a holder check
+    /// here keeps fabricated happens-before edges out of the clocks.
+    fn release(&mut self, pid: Pid, lock: LockId) {
+        let holds = self
+            .locks
+            .get(&lock)
+            .map(|st| st.holders.contains(&pid))
+            .unwrap_or(false);
+        if !holds {
+            return;
+        }
+        self.sync_edges += 1;
+        let mine = self.clock_mut(pid).clone();
+        let st = self.locks.entry(lock).or_default();
+        st.clock.join(&mine);
+        st.holders.remove(&pid);
+        if let Some(h) = self.held.get_mut(&pid) {
+            h.remove(&lock);
+        }
+        self.bump(pid);
+    }
+
+    /// Adds order edges `h -> lock` for every `h` already held by `pid`
+    /// and reports a cycle if one appears.
+    fn check_lock_order(&mut self, pid: Pid, lock: LockId) {
+        let helds: Vec<LockId> = self
+            .held
+            .get(&pid)
+            .map(|s| s.iter().copied().filter(|h| *h != lock).collect())
+            .unwrap_or_default();
+        for h in helds {
+            let added = self.order.entry(h).or_default().insert(lock);
+            if !added {
+                continue;
+            }
+            if let Some(path) = self.find_path(lock, h) {
+                if self.cycles_seen.insert((h, lock)) {
+                    let mut chain = vec![h];
+                    chain.extend(path);
+                    self.reports.push(Report::LockOrderCycle { pid, chain });
+                }
+            }
+        }
+    }
+
+    /// DFS path `from ->* to` in the order graph, if any.
+    fn find_path(&self, from: LockId, to: LockId) -> Option<Vec<LockId>> {
+        let mut stack = vec![(from, vec![from])];
+        let mut seen = BTreeSet::new();
+        while let Some((n, path)) = stack.pop() {
+            if n == to {
+                return Some(path);
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.order.get(&n) {
+                for &m in next {
+                    let mut p = path.clone();
+                    p.push(m);
+                    stack.push((m, p));
+                }
+            }
+        }
+        None
+    }
+
+    // --- the test-and-set trap -----------------------------------------
+
+    /// Observes one `SVC_TAS` service trap: the word at (`ino`, `off`)
+    /// held `old` and was atomically replaced with `new` by `pid` whose
+    /// trapping instruction was at `pc`.
+    ///
+    /// The word is registered as a lock word: its own contention is the
+    /// locking protocol, so it is exempt from shadow tracking from now
+    /// on (any earlier shadow state is discarded). `old == 0 && new != 0`
+    /// is an acquire; `new == 0` is a release; a failed acquire
+    /// (`old != 0`) contributes no edge.
+    pub fn tas(&mut self, pid: Pid, pc: u32, ino: u32, off: u32, old: u32, new: u32) {
+        let word = (ino, off / 4);
+        if self.tas_words.insert(word) {
+            self.shadow.remove(&word);
+        }
+        let _ = pc;
+        let lock = LockId::Word(ino, off & !3);
+        if old == 0 && new != 0 {
+            self.acquire(pid, lock);
+        } else if new == 0 {
+            self.release(pid, lock);
+        }
+    }
+
+    // --- results --------------------------------------------------------
+
+    /// Takes all accumulated reports.
+    pub fn drain_reports(&mut self) -> Vec<Report> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Races reported since creation (drained or not).
+    pub fn races_detected(&self) -> u64 {
+        self.races_detected
+    }
+
+    /// Synchronization edges observed (acquires + releases + process
+    /// lifecycle edges).
+    pub fn sync_edges(&self) -> u64 {
+        self.sync_edges
+    }
+
+    /// Bytes of guest memory currently shadow-tracked.
+    pub fn shadow_bytes(&self) -> u64 {
+        self.shadow.len() as u64 * 4
+    }
+
+    // --- access tracking ------------------------------------------------
+
+    fn report_race(
+        &mut self,
+        word: (u32, u32),
+        first: AccessInfo,
+        second: AccessInfo,
+        overlap: u8,
+    ) {
+        self.raced.insert(word);
+        self.shadow.remove(&word);
+        self.races_detected += 1;
+        let byte = overlap.trailing_zeros();
+        self.reports.push(Report::Race {
+            ino: word.0,
+            off: word.1 * 4 + byte,
+            first,
+            second,
+        });
+    }
+
+    fn observe(&mut self, ctx: AccessCtx, ino: u32, off: u32, len: u32, is_write: bool) {
+        let word = (ino, off / 4);
+        if self.tas_words.contains(&word) {
+            // A plain store to a registered lock word by its holder is
+            // the release half of the spin-lock idiom (`sw zero`).
+            if is_write {
+                self.release(ctx.pid, LockId::Word(ino, word.1 * 4));
+            }
+            return;
+        }
+        if self.raced.contains(&word) {
+            return;
+        }
+        let mask = (((1u32 << len.min(4)) - 1) as u8) << (off % 4);
+        let epoch = self.epoch(ctx.pid);
+        let me = AccessInfo {
+            pid: ctx.pid,
+            pc: ctx.pc,
+            is_write,
+        };
+
+        // Race checks against the existing shadow recs.
+        let shadow = self.shadow.entry(word).or_default();
+        let mut candidates: Vec<(AccessRec, bool)> = Vec::new();
+        for w in &shadow.writes {
+            if w.pid != ctx.pid && w.mask & mask != 0 {
+                candidates.push((*w, true));
+            }
+        }
+        if is_write {
+            for r in &shadow.reads {
+                if r.pid != ctx.pid && r.mask & mask != 0 {
+                    candidates.push((*r, false));
+                }
+            }
+        }
+        for (rec, rec_is_write) in candidates {
+            if !self.ordered_before(&rec, ctx.pid) {
+                let first = AccessInfo {
+                    pid: rec.pid,
+                    pc: rec.pc,
+                    is_write: rec_is_write,
+                };
+                self.report_race(word, first, me, rec.mask & mask);
+                return;
+            }
+        }
+
+        // No race: fold this access into the shadow state.
+        let rec = AccessRec {
+            pid: ctx.pid,
+            pc: ctx.pc,
+            epoch,
+            mask,
+        };
+        let shadow = self.shadow.entry(word).or_default();
+        if is_write {
+            // Bytes this write covers are now ordered after everything
+            // previously recorded on them; older recs survive only on
+            // their uncovered bytes.
+            for list in [&mut shadow.writes, &mut shadow.reads] {
+                for r in list.iter_mut() {
+                    r.mask &= !mask;
+                }
+                list.retain(|r| r.mask != 0);
+            }
+            shadow.writes.push(rec);
+        } else {
+            // A newer same-pid read at the same epoch subsumes older
+            // ones on the same bytes.
+            shadow
+                .reads
+                .retain(|r| !(r.pid == ctx.pid && r.epoch <= epoch && r.mask & !mask == 0));
+            shadow.reads.push(rec);
+        }
+    }
+}
+
+impl Monitor for Sanitizer {
+    fn shared_read(&mut self, ctx: AccessCtx, ino: u32, off: u32, len: u32) {
+        self.observe(ctx, ino, off, len, false);
+    }
+
+    fn shared_write(&mut self, ctx: AccessCtx, ino: u32, off: u32, len: u32, mode_allows: bool) {
+        if !mode_allows && self.prot_flagged.insert((ctx.pid, ino)) {
+            self.reports.push(Report::ProtectionViolation {
+                pid: ctx.pid,
+                pc: ctx.pc,
+                uid: ctx.uid,
+                ino,
+                off,
+            });
+        }
+        self.observe(ctx, ino, off, len, true);
+    }
+
+    fn sync_edge(&mut self, edge: SyncEdge) {
+        match edge {
+            SyncEdge::SemAcquire { pid, sem } => {
+                self.sync_edges += 1;
+                let obj = self.sems.get(&sem).cloned().unwrap_or_default();
+                self.clock_mut(pid).join(&obj);
+            }
+            SyncEdge::SemRelease { pid, sem } => {
+                self.sync_edges += 1;
+                let mine = self.clock_mut(pid).clone();
+                self.sems.entry(sem).or_default().join(&mine);
+                self.bump(pid);
+            }
+            SyncEdge::Fork { parent, child } => {
+                self.sync_edges += 1;
+                let mut c = self.clock_mut(parent).clone();
+                c.set(child, 1);
+                self.clocks.insert(child, c);
+                self.bump(parent);
+            }
+            SyncEdge::Exit { pid } => {
+                self.sync_edges += 1;
+                // Exit releases every lock the process still held, then
+                // freezes its clock for a later Join.
+                let helds: Vec<LockId> = self
+                    .held
+                    .get(&pid)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                for lock in helds {
+                    self.release(pid, lock);
+                }
+                self.bump(pid);
+            }
+            SyncEdge::Join { parent, child } => {
+                self.sync_edges += 1;
+                let c = self.clocks.get(&child).cloned().unwrap_or_default();
+                self.clock_mut(parent).join(&c);
+            }
+            SyncEdge::LockAcquire { pid, lock } => {
+                self.acquire(pid, LockId::File(lock));
+            }
+            SyncEdge::LockRelease { pid, lock } => {
+                self.release(pid, LockId::File(lock));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pid: Pid, pc: u32) -> AccessCtx {
+        AccessCtx { pid, pc, uid: 10 }
+    }
+
+    #[test]
+    fn vector_clock_join_is_pointwise_max() {
+        let mut a = VectorClock::default();
+        a.set(1, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::default();
+        b.set(2, 5);
+        b.set(3, 2);
+        a.join(&b);
+        assert_eq!(a.get(1), 3);
+        assert_eq!(a.get(2), 5);
+        assert_eq!(a.get(3), 2);
+        assert_eq!(a.get(4), 0);
+    }
+
+    #[test]
+    fn unsynchronized_write_write_races() {
+        let mut s = Sanitizer::new();
+        s.shared_write(ctx(1, 0x100), 7, 0, 4, true);
+        s.shared_write(ctx(2, 0x200), 7, 0, 4, true);
+        let reps = s.drain_reports();
+        assert_eq!(reps.len(), 1);
+        match &reps[0] {
+            Report::Race {
+                ino,
+                off,
+                first,
+                second,
+            } => {
+                assert_eq!((*ino, *off), (7, 0));
+                assert_eq!((first.pid, first.pc), (1, 0x100));
+                assert_eq!((second.pid, second.pc), (2, 0x200));
+                assert!(first.is_write && second.is_write);
+            }
+            other => panic!("unexpected report {other:?}"),
+        }
+        assert_eq!(s.races_detected(), 1);
+        // The word is silenced after its first report.
+        s.shared_write(ctx(3, 0x300), 7, 0, 4, true);
+        assert!(s.drain_reports().is_empty());
+        assert_eq!(s.races_detected(), 1);
+    }
+
+    #[test]
+    fn read_write_races_but_read_read_does_not() {
+        let mut s = Sanitizer::new();
+        s.shared_read(ctx(1, 0x100), 3, 8, 4);
+        s.shared_read(ctx(2, 0x200), 3, 8, 4);
+        assert!(s.drain_reports().is_empty(), "read/read is not a race");
+        s.shared_write(ctx(3, 0x300), 3, 8, 4, true);
+        let reps = s.drain_reports();
+        assert_eq!(reps.len(), 1, "write races the unordered reads");
+    }
+
+    #[test]
+    fn disjoint_bytes_do_not_race() {
+        let mut s = Sanitizer::new();
+        s.shared_write(ctx(1, 0x100), 3, 0, 1, true);
+        s.shared_write(ctx(2, 0x200), 3, 1, 1, true);
+        assert!(s.drain_reports().is_empty(), "different bytes of a word");
+        s.shared_write(ctx(2, 0x204), 3, 0, 1, true);
+        assert_eq!(s.drain_reports().len(), 1, "same byte does race");
+    }
+
+    #[test]
+    fn tas_discipline_orders_accesses() {
+        let mut s = Sanitizer::new();
+        // pid 1: acquire, write, release (tas-release with new == 0).
+        s.tas(1, 0x10, 5, 0, 0, 1);
+        s.shared_write(ctx(1, 0x14), 5, 64, 4, true);
+        s.tas(1, 0x18, 5, 0, 1, 0);
+        // pid 2: failed acquire, successful acquire, conflicting write.
+        s.tas(2, 0x20, 5, 0, 1, 1);
+        s.tas(2, 0x20, 5, 0, 0, 1);
+        s.shared_write(ctx(2, 0x24), 5, 64, 4, true);
+        s.tas(2, 0x28, 5, 0, 1, 0);
+        assert!(s.drain_reports().is_empty(), "lock discipline: no race");
+        assert!(s.sync_edges() >= 4);
+    }
+
+    #[test]
+    fn plain_store_to_lock_word_is_release() {
+        let mut s = Sanitizer::new();
+        s.tas(1, 0x10, 5, 0, 0, 1);
+        s.shared_write(ctx(1, 0x14), 5, 64, 4, true);
+        // Spin-lock release idiom: `sw zero, lock`.
+        s.shared_write(ctx(1, 0x18), 5, 0, 4, true);
+        s.tas(2, 0x20, 5, 0, 0, 1);
+        s.shared_write(ctx(2, 0x24), 5, 64, 4, true);
+        assert!(s.drain_reports().is_empty());
+    }
+
+    #[test]
+    fn lock_elision_is_reported() {
+        let mut s = Sanitizer::new();
+        s.tas(1, 0x10, 5, 0, 0, 1);
+        s.shared_write(ctx(1, 0x14), 5, 64, 4, true);
+        s.tas(1, 0x18, 5, 0, 1, 0);
+        // pid 2 writes without taking the lock.
+        s.shared_write(ctx(2, 0x24), 5, 64, 4, true);
+        let reps = s.drain_reports();
+        assert_eq!(reps.len(), 1);
+    }
+
+    #[test]
+    fn semaphores_order_accesses() {
+        let mut s = Sanitizer::new();
+        s.sync_edge(SyncEdge::SemAcquire { pid: 1, sem: 9 });
+        s.shared_write(ctx(1, 0x100), 2, 0, 4, true);
+        s.sync_edge(SyncEdge::SemRelease { pid: 1, sem: 9 });
+        s.sync_edge(SyncEdge::SemAcquire { pid: 2, sem: 9 });
+        s.shared_write(ctx(2, 0x200), 2, 0, 4, true);
+        assert!(s.drain_reports().is_empty());
+    }
+
+    #[test]
+    fn fork_and_join_order_accesses() {
+        let mut s = Sanitizer::new();
+        s.shared_write(ctx(1, 0x100), 2, 0, 4, true);
+        s.sync_edge(SyncEdge::Fork {
+            parent: 1,
+            child: 2,
+        });
+        s.shared_write(ctx(2, 0x200), 2, 0, 4, true);
+        s.sync_edge(SyncEdge::Exit { pid: 2 });
+        s.sync_edge(SyncEdge::Join {
+            parent: 1,
+            child: 2,
+        });
+        s.shared_write(ctx(1, 0x104), 2, 0, 4, true);
+        assert!(s.drain_reports().is_empty(), "fork/exit/join all order");
+    }
+
+    #[test]
+    fn sibling_forks_do_race() {
+        let mut s = Sanitizer::new();
+        s.sync_edge(SyncEdge::Fork {
+            parent: 1,
+            child: 2,
+        });
+        s.sync_edge(SyncEdge::Fork {
+            parent: 1,
+            child: 3,
+        });
+        s.shared_write(ctx(2, 0x200), 2, 0, 4, true);
+        s.shared_write(ctx(3, 0x300), 2, 0, 4, true);
+        assert_eq!(s.drain_reports().len(), 1, "siblings are concurrent");
+    }
+
+    #[test]
+    fn spurious_release_builds_no_edge() {
+        let mut s = Sanitizer::new();
+        // The kernel reports unlock-on-close even for files never
+        // locked; a release by a non-holder must not fabricate order.
+        s.shared_write(ctx(1, 0x100), 2, 0, 4, true);
+        s.sync_edge(SyncEdge::LockRelease { pid: 1, lock: 77 });
+        s.sync_edge(SyncEdge::LockAcquire { pid: 2, lock: 77 });
+        s.shared_write(ctx(2, 0x200), 2, 0, 4, true);
+        assert_eq!(s.drain_reports().len(), 1);
+        assert_eq!(s.sync_edges(), 1, "only the acquire counts");
+    }
+
+    #[test]
+    fn flock_discipline_orders() {
+        let mut s = Sanitizer::new();
+        s.sync_edge(SyncEdge::LockAcquire { pid: 1, lock: 77 });
+        s.shared_write(ctx(1, 0x100), 2, 0, 4, true);
+        s.sync_edge(SyncEdge::LockRelease { pid: 1, lock: 77 });
+        s.sync_edge(SyncEdge::LockAcquire { pid: 2, lock: 77 });
+        s.shared_write(ctx(2, 0x200), 2, 0, 4, true);
+        assert!(s.drain_reports().is_empty());
+    }
+
+    #[test]
+    fn lock_order_cycle_predicted() {
+        let mut s = Sanitizer::new();
+        // pid 1: A then B. pid 2: B then A. No deadlock happened in this
+        // interleaving, but the order graph has a cycle.
+        s.sync_edge(SyncEdge::LockAcquire { pid: 1, lock: 1 });
+        s.sync_edge(SyncEdge::LockAcquire { pid: 1, lock: 2 });
+        s.sync_edge(SyncEdge::LockRelease { pid: 1, lock: 2 });
+        s.sync_edge(SyncEdge::LockRelease { pid: 1, lock: 1 });
+        s.sync_edge(SyncEdge::LockAcquire { pid: 2, lock: 2 });
+        s.sync_edge(SyncEdge::LockAcquire { pid: 2, lock: 1 });
+        let reps = s.drain_reports();
+        assert_eq!(reps.len(), 1);
+        match &reps[0] {
+            Report::LockOrderCycle { pid, chain } => {
+                assert_eq!(*pid, 2);
+                assert!(chain.len() >= 2);
+            }
+            other => panic!("unexpected report {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protection_violation_flagged_once_per_pid_file() {
+        let mut s = Sanitizer::new();
+        s.shared_write(ctx(1, 0x100), 4, 0, 4, false);
+        s.shared_write(ctx(1, 0x104), 4, 8, 4, false);
+        let reps = s.drain_reports();
+        let prots: Vec<_> = reps
+            .iter()
+            .filter(|r| matches!(r, Report::ProtectionViolation { .. }))
+            .collect();
+        assert_eq!(prots.len(), 1, "deduped per (pid, file)");
+        match prots[0] {
+            Report::ProtectionViolation { pid, pc, ino, .. } => {
+                assert_eq!((*pid, *pc, *ino), (1, 0x100, 4));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn exit_releases_held_locks() {
+        let mut s = Sanitizer::new();
+        s.sync_edge(SyncEdge::LockAcquire { pid: 1, lock: 5 });
+        s.shared_write(ctx(1, 0x100), 2, 0, 4, true);
+        s.sync_edge(SyncEdge::Exit { pid: 1 });
+        s.sync_edge(SyncEdge::LockAcquire { pid: 2, lock: 5 });
+        s.shared_write(ctx(2, 0x200), 2, 0, 4, true);
+        assert!(s.drain_reports().is_empty(), "exit released the lock");
+    }
+
+    #[test]
+    fn shadow_bytes_counts_tracked_words() {
+        let mut s = Sanitizer::new();
+        assert_eq!(s.shadow_bytes(), 0);
+        s.shared_write(ctx(1, 0x100), 2, 0, 4, true);
+        s.shared_write(ctx(1, 0x104), 2, 4, 4, true);
+        assert_eq!(s.shadow_bytes(), 8);
+        // TAS registration evicts the word from the shadow map.
+        s.tas(1, 0x108, 2, 0, 0, 1);
+        assert_eq!(s.shadow_bytes(), 4);
+    }
+}

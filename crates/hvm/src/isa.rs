@@ -41,6 +41,10 @@ pub enum Fault {
     IllegalInstruction { addr: u32, word: u32 },
     /// Integer divide by zero.
     DivideByZero { addr: u32 },
+    /// A `syscall` instruction trapped with a number the kernel does not
+    /// implement. Unlike a segment fault this is not repairable: the
+    /// issuing process is killed, but only that process.
+    BadSyscall { addr: u32, num: u32 },
 }
 
 impl Fault {
@@ -51,7 +55,8 @@ impl Fault {
             | Fault::Protection { addr, .. }
             | Fault::Unaligned { addr, .. }
             | Fault::IllegalInstruction { addr, .. }
-            | Fault::DivideByZero { addr } => addr,
+            | Fault::DivideByZero { addr }
+            | Fault::BadSyscall { addr, .. } => addr,
         }
     }
 
@@ -77,6 +82,9 @@ impl fmt::Display for Fault {
                 write!(f, "illegal instruction {word:#010x} at {addr:#010x}")
             }
             Fault::DivideByZero { addr } => write!(f, "divide by zero at {addr:#010x}"),
+            Fault::BadSyscall { addr, num } => {
+                write!(f, "bad syscall number {num} at {addr:#010x}")
+            }
         }
     }
 }

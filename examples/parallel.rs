@@ -22,8 +22,12 @@ use hemlock::{ShareClass, World, WorldExit};
 const WORKERS: usize = 4;
 const N: u32 = 1000; // each worker sums i in its stripe of 1..=N
 
-/// The shared data file of the parallel application: a results array and
-/// a completion counter. Note: plain globals, no shm calls anywhere.
+/// The shared data file of the parallel application: a results array, a
+/// completion counter, and the spin-lock word guarding it. The lock
+/// *must* live here: a private copy per worker would exclude nobody
+/// (each process would spin on its own word — exactly the bug hsan's
+/// lock-elided variant in `tests/e9_sanitizer.rs` demonstrates).
+/// Note: plain globals, no shm calls anywhere.
 const SHARED_DATA: &str = r#"
 .module shared_data
 .data
@@ -31,6 +35,8 @@ const SHARED_DATA: &str = r#"
 results: .space 64        ; one slot per worker
 .globl done_count
 done_count: .word 0
+.globl done_lock
+done_lock: .word 0
 "#;
 
 /// The worker: sums its stripe, stores into `results[id]`, bumps
@@ -76,8 +82,6 @@ acq:    la   a0, done_lock
 .data
 .globl wid
 wid:    .word 0
-.globl done_lock
-done_lock: .word 0
 "#;
 
 fn main() {
@@ -121,6 +125,11 @@ fn main() {
             1,
         )
         .unwrap();
+
+    // Watch the run with the happens-before sanitizer (E9). With the
+    // lock living in the shared-data module the workers are properly
+    // synchronized, so it must stay quiet.
+    world.arm_sanitizer();
 
     let mut pids = Vec::new();
     for id in 0..WORKERS {
@@ -181,6 +190,12 @@ fn main() {
     }
     assert_eq!(total, N * (N + 1) / 2, "Σ1..N");
     println!("total = {total} (= {N}·({N}+1)/2 ✓)");
+    let stats = world.stats();
+    assert_eq!(stats.races_detected, 0, "locked run must be race-free");
+    println!(
+        "sanitizer: 0 races across {} sync edges ({} shadow bytes)",
+        stats.sync_edges, stats.shadow_bytes
+    );
     println!(
         "\n==> shared variables placed by the *linker*: no assembly post-processor\n\
          (the paper's was 432 lines and ate 25-33% of compile time), no shm\n\

@@ -11,6 +11,10 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> sanitizer suite (hsan unit + e9 differential/property harness)"
+cargo test -q --release -p hsan
+cargo test -q --release --test e9_sanitizer
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -58,10 +58,7 @@ fn warm_second_access_translates_via_tlb() {
     let base = 0x1000_0000;
     aspace.map_anon(base, PAGE_SIZE, Prot::RW).unwrap();
     assert!(!aspace.tlb_cached(base), "nothing cached before first use");
-    let mut bus = MemBus {
-        aspace: &mut aspace,
-        shared: &mut shared,
-    };
+    let mut bus = MemBus::new(&mut aspace, &mut shared);
     bus.load32(base).unwrap();
     assert_eq!(bus.aspace.stats.tlb_misses, 1, "cold access walks");
     assert_eq!(bus.aspace.stats.tlb_hits, 0);
