@@ -83,6 +83,22 @@ pub struct WorldStats {
     /// Bytes of guest memory the sanitizer currently shadow-tracks
     /// (0 when unarmed).
     pub shadow_bytes: u64,
+    /// Pages evicted by the clock hand under memory pressure.
+    pub page_evictions: u64,
+    /// Dirty shared pages written back before eviction.
+    pub page_writebacks: u64,
+    /// Anonymous pages written to the swap area.
+    pub swap_outs: u64,
+    /// Pages brought back in after eviction.
+    pub swap_ins: u64,
+    /// Frames resident at snapshot time.
+    pub resident_frames: u64,
+    /// High-water mark of resident frames.
+    pub peak_resident_frames: u64,
+    /// Frame budget (pages) of the world's pool.
+    pub frame_budget: u64,
+    /// Deterministic OOM kills taken.
+    pub oom_kills: u64,
 }
 
 impl WorldStats {
@@ -124,6 +140,13 @@ pub struct CostModel {
     /// mmap/munmap-style map manipulation per call (folded into faults
     /// and services; kept for ablations).
     pub map_ns: u64,
+    /// Clock-hand bookkeeping of one eviction (TLB shootdown, page-table
+    /// update). The I/O, if any, is billed separately.
+    pub evict_ns: u64,
+    /// One page of swap/writeback I/O (a 4 KB disk write).
+    pub swap_io_ns: u64,
+    /// Reading one page back from swap or the backing segment.
+    pub swap_in_ns: u64,
 }
 
 impl Default for CostModel {
@@ -138,6 +161,9 @@ impl Default for CostModel {
             resolve_ns: 8_000,
             cow_ns: 30_000,
             map_ns: 25_000,
+            evict_ns: 25_000,      // page-table + TLB bookkeeping
+            swap_io_ns: 2_000_000, // one 4 KB page to disk
+            swap_in_ns: 2_000_000, // one 4 KB page from disk
         }
     }
 }
@@ -158,6 +184,12 @@ impl CostModel {
         ns += s.addr_probe_steps * self.probe_ns;
         ns += (s.ldl.symbols_resolved + s.ldl.symbols_unresolved) * self.resolve_ns;
         ns += s.cow_copies * self.cow_ns;
+        // Memory pressure: eviction bookkeeping, swap/writeback I/O, and
+        // swap-ins. All zero under the default (generous) frame budget,
+        // so unpressured runs cost exactly what they did before.
+        ns += s.page_evictions * self.evict_ns;
+        ns += (s.page_writebacks + s.swap_outs) * self.swap_io_ns;
+        ns += s.swap_ins * self.swap_in_ns;
         SimTime(ns)
     }
 

@@ -99,6 +99,34 @@ pub enum TraceEvent {
         /// Effective uid that no longer has write permission.
         uid: u32,
     },
+    /// The clock hand dropped a page from the bounded frame pool
+    /// (DESIGN.md §10). Clean shared pages re-fault from their backing
+    /// segment; anonymous pages went to the swap area first.
+    PageEvicted {
+        /// Virtual address of the evicted page.
+        addr: u32,
+        /// What was evicted: `shared-clean`, `shared-dirty`, `anon`.
+        kind: &'static str,
+    },
+    /// A non-resident page was brought back — from the swap area
+    /// (anonymous) or from its backing segment (shared, via the full
+    /// fault→handler→map→restart protocol).
+    PageSwappedIn {
+        /// Virtual address of the repaged page.
+        addr: u32,
+    },
+    /// A dirty shared page's bytes were flushed to its backing segment
+    /// before the frame was dropped.
+    WritebackTaken {
+        /// Virtual address of the written-back page.
+        addr: u32,
+    },
+    /// Boot-time `fsck` of the shared partition repaired an
+    /// inconsistency before the first map (DESIGN.md §10).
+    FsckRepaired {
+        /// Human-readable description of the repaired issue.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -115,6 +143,10 @@ impl TraceEvent {
             TraceEvent::RaceDetected { .. } => "RaceDetected",
             TraceEvent::LockOrderCycle { .. } => "LockOrderCycle",
             TraceEvent::ProtectionDrift { .. } => "ProtectionDrift",
+            TraceEvent::PageEvicted { .. } => "PageEvicted",
+            TraceEvent::PageSwappedIn { .. } => "PageSwappedIn",
+            TraceEvent::WritebackTaken { .. } => "WritebackTaken",
+            TraceEvent::FsckRepaired { .. } => "FsckRepaired",
         }
     }
 }
@@ -166,6 +198,16 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ProtectionDrift { path, offset, uid } => {
                 write!(f, "ProtectionDrift {path}+{offset:#x} uid={uid}")
             }
+            TraceEvent::PageEvicted { addr, kind } => {
+                write!(f, "PageEvicted addr={addr:#010x} kind={kind}")
+            }
+            TraceEvent::PageSwappedIn { addr } => {
+                write!(f, "PageSwappedIn addr={addr:#010x}")
+            }
+            TraceEvent::WritebackTaken { addr } => {
+                write!(f, "WritebackTaken addr={addr:#010x}")
+            }
+            TraceEvent::FsckRepaired { detail } => write!(f, "FsckRepaired {detail}"),
         }
     }
 }

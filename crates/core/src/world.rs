@@ -43,10 +43,60 @@ pub enum WorldExit {
 /// before the world reached a stable state (all exited or deadlocked).
 /// Under chaos testing this is the *bounded* failure mode: the caller
 /// knows exactly how many processes were still live.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Unsettled {
     /// Live (non-zombie) processes remaining at the step limit.
     pub live: usize,
+    /// What each live process was doing (pid order), so livelocks —
+    /// pressure thrash, lock convoys, fault loops — are diagnosable
+    /// from the error alone.
+    pub waits: Vec<(Pid, WaitReason)>,
+}
+
+/// What a live process was waiting on when the slice budget ran out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaitReason {
+    /// Eligible to run — still working (or starved of slices).
+    Runnable,
+    /// Runnable, but its last observed event was a fault at this
+    /// address that the runtime was still resolving (a process stuck
+    /// re-faulting shows up here, not as plain `Runnable`).
+    AwaitingFault {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Blocked acquiring a file lock.
+    BlockedOnLock {
+        /// Path of the locked file.
+        path: String,
+    },
+    /// Blocked in P() on a kernel semaphore.
+    BlockedOnSem {
+        /// The semaphore id.
+        sem: u32,
+    },
+    /// Blocked in `waitpid`.
+    AwaitingChild {
+        /// The specific child awaited, or `None` for any.
+        child: Option<Pid>,
+    },
+}
+
+impl std::fmt::Display for WaitReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitReason::Runnable => write!(f, "runnable"),
+            WaitReason::AwaitingFault { addr } => {
+                write!(f, "awaiting-fault {addr:#010x}")
+            }
+            WaitReason::BlockedOnLock { path } => write!(f, "blocked-on-lock {path}"),
+            WaitReason::BlockedOnSem { sem } => write!(f, "blocked-on-sem #{sem}"),
+            WaitReason::AwaitingChild { child: Some(pid) } => {
+                write!(f, "awaiting-child {pid}")
+            }
+            WaitReason::AwaitingChild { child: None } => write!(f, "awaiting-child any"),
+        }
+    }
 }
 
 impl std::fmt::Display for Unsettled {
@@ -55,7 +105,16 @@ impl std::fmt::Display for Unsettled {
             f,
             "world did not settle: {} process(es) still live",
             self.live
-        )
+        )?;
+        for (i, (pid, reason)) in self.waits.iter().enumerate() {
+            write!(
+                f,
+                "{}pid {pid}: {reason}{}",
+                if i == 0 { " (" } else { ", " },
+                if i + 1 == self.waits.len() { ")" } else { "" }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -276,6 +335,71 @@ impl World {
         self.recovered += 1;
         self.trace
             .record(pid, cost_ns, TraceEvent::RecoveryTaken { action });
+    }
+
+    // --- memory pressure ---
+
+    /// Bounds the physical frame pool to `frames` pages. The default
+    /// (`hkernel::layout::DEFAULT_FRAME_BUDGET`) is generous enough
+    /// that ordinary workloads never evict; lower it to simulate
+    /// pressure. Takes effect at the next scheduling slice.
+    pub fn set_frame_budget(&mut self, frames: u64) {
+        self.kernel.frame_pool().set_capacity(frames);
+    }
+
+    /// Bounds the kernel swap area to `pages` pages of anonymous
+    /// memory. When pool *and* swap are exhausted, the deterministic
+    /// OOM killer fires.
+    pub fn set_swap_pages(&mut self, pages: u32) {
+        self.kernel.frame_pool().set_swap_pages(pages);
+    }
+
+    /// Caps each process's resident set to `quota` pages (or lifts the
+    /// cap). Enforced at slice boundaries by evicting the over-quota
+    /// process's own pages, even when the global pool has room.
+    pub fn set_resident_quota(&mut self, quota: Option<u64>) {
+        self.kernel.frame_pool().set_quota(quota);
+    }
+
+    /// The world's frame pool (budget configuration and statistics).
+    pub fn frame_pool(&self) -> &hkernel::FramePool {
+        self.kernel.frame_pool()
+    }
+
+    /// Drains the frame pool's pressure journal into the trace ring,
+    /// stamping each record with its cost-model price. The counters
+    /// these records mirror are billed identically by
+    /// [`CostModel::time`], so trace costs and the clock reconcile:
+    /// an anonymous eviction carries its swap write, a shared eviction
+    /// just the bookkeeping, a writeback/swap-in one page of I/O.
+    fn pump_pressure(&mut self) {
+        for ev in self.kernel.frame_pool().drain_events() {
+            let (pid, cost, event) = match ev {
+                hkernel::PageEvent::Evicted { pid, addr, kind } => {
+                    let io = if kind == "anon" {
+                        self.costs.swap_io_ns
+                    } else {
+                        0
+                    };
+                    (
+                        pid,
+                        self.costs.evict_ns + io,
+                        TraceEvent::PageEvicted { addr, kind },
+                    )
+                }
+                hkernel::PageEvent::Writeback { pid, addr } => (
+                    pid,
+                    self.costs.swap_io_ns,
+                    TraceEvent::WritebackTaken { addr },
+                ),
+                hkernel::PageEvent::SwappedIn { pid, addr } => (
+                    pid,
+                    self.costs.swap_in_ns,
+                    TraceEvent::PageSwappedIn { addr },
+                ),
+            };
+            self.trace.record(pid, cost, event);
+        }
     }
 
     // --- sanitizer ---
@@ -528,7 +652,8 @@ impl World {
                 RunEvent::Break { pid, .. }
                 | RunEvent::Fatal { pid, .. }
                 | RunEvent::Service { pid, .. }
-                | RunEvent::Segv { pid, .. } => *pid,
+                | RunEvent::Segv { pid, .. }
+                | RunEvent::OomKill { pid, .. } => *pid,
             };
             match ev {
                 RunEvent::Quantum(_) | RunEvent::Blocked(_) => {}
@@ -537,11 +662,13 @@ impl World {
                 }
                 RunEvent::AllExited => {
                     self.drain_injections(0);
+                    self.pump_pressure();
                     self.drain_sanitizer();
                     return WorldExit::AllExited;
                 }
                 RunEvent::Deadlock => {
                     self.drain_injections(0);
+                    self.pump_pressure();
                     self.drain_sanitizer();
                     return WorldExit::Deadlock;
                 }
@@ -555,13 +682,26 @@ impl World {
                 }
                 RunEvent::Service { pid, num } => self.service(pid, num),
                 RunEvent::Segv { pid, fault } => self.segv(pid, fault.addr()),
+                RunEvent::OomKill { pid, resident } => {
+                    // The kernel already finalized the victim's exit and
+                    // reclaimed its frames; record the typed recovery.
+                    self.log.push(format!(
+                        "pid {pid}: out of memory (pool and swap exhausted); \
+                         killed holding {resident} resident pages"
+                    ));
+                    self.exits.insert(pid, 137);
+                    self.record_recovery(pid, self.costs.fault_ns, "oom-kill");
+                }
             }
             // Publish injections decided during this slice (kernel
-            // syscalls inject outside the linker's journal).
+            // syscalls inject outside the linker's journal), then any
+            // pressure work the rebalance pass did.
             self.drain_injections(ev_pid);
+            self.pump_pressure();
             self.drain_sanitizer();
         }
         self.drain_injections(0);
+        self.pump_pressure();
         self.drain_sanitizer();
         WorldExit::StepLimit
     }
@@ -577,15 +717,43 @@ impl World {
     /// mode: the slice budget ran out with processes still live.
     pub fn run_to_settle(&mut self, max_slices: u64) -> Result<WorldExit, Unsettled> {
         match self.run(max_slices) {
-            WorldExit::StepLimit => Err(Unsettled {
-                live: self
+            WorldExit::StepLimit => {
+                let waits: Vec<(Pid, WaitReason)> = self
                     .kernel
                     .procs
-                    .values()
-                    .filter(|p| !matches!(p.state, ProcState::Zombie(_)))
-                    .count(),
-            }),
+                    .iter()
+                    .filter(|(_, p)| !matches!(p.state, ProcState::Zombie(_)))
+                    .map(|(&pid, p)| (pid, self.wait_reason(pid, p)))
+                    .collect();
+                Err(Unsettled {
+                    live: waits.len(),
+                    waits,
+                })
+            }
             exit => Ok(exit),
+        }
+    }
+
+    /// Classifies what a live process is waiting on (the per-process
+    /// snapshot [`Unsettled`] carries).
+    fn wait_reason(&self, pid: Pid, proc: &hkernel::Process) -> WaitReason {
+        use hkernel::process::Block;
+        match proc.state {
+            ProcState::Blocked(Block::Lock { vnode, .. }) => WaitReason::BlockedOnLock {
+                path: self
+                    .kernel
+                    .vfs
+                    .path_of(vnode)
+                    .unwrap_or_else(|_| format!("#{}", vnode.ino)),
+            },
+            ProcState::Blocked(Block::Sem(sem)) => WaitReason::BlockedOnSem { sem },
+            ProcState::Blocked(Block::Wait(child)) => WaitReason::AwaitingChild { child },
+            // Runnable, but mid-fault-resolution per the guard: the
+            // last event we saw from it was a fault at this address.
+            _ => match self.fault_guard.get(&pid) {
+                Some(&(addr, n)) if n > 0 => WaitReason::AwaitingFault { addr },
+                _ => WaitReason::Runnable,
+            },
         }
     }
 
@@ -734,8 +902,23 @@ impl World {
     }
 
     fn segv(&mut self, pid: Pid, addr: u32) {
+        // A refault on a page the clock hand evicted is legitimate
+        // forward progress — the guest ran long enough between the two
+        // faults for the page to age out — not a resolution loop. Under
+        // a tight frame budget one hot shared word can fault at the same
+        // address hundreds of times, so it must not count toward
+        // FAULT_LOOP_LIMIT.
+        let evicted_refault = self
+            .kernel
+            .procs
+            .get(&pid)
+            .and_then(|p| p.aspace.entry(addr))
+            .map(|e| e.was_evicted())
+            .unwrap_or(false);
         let guard = self.fault_guard.entry(pid).or_insert((addr, 0));
-        if guard.0 == addr {
+        if evicted_refault {
+            *guard = (addr, 0);
+        } else if guard.0 == addr {
             guard.1 += 1;
             if guard.1 > FAULT_LOOP_LIMIT {
                 self.log.push(format!(
@@ -1059,8 +1242,43 @@ impl World {
         self.kernel.vfs.shared.linear_table_clear_for_test();
         self.registry.clear_cache();
         self.kernel.vfs.shared.boot_scan();
+        self.fsck_at_boot();
         self.log
             .push("system rebooted; address table rebuilt by scan".to_string());
+    }
+
+    /// Boot-time `fsck`: after the address-table scan, check the shared
+    /// partition for residual crash damage and self-heal it before the
+    /// first map, surfacing each repair as an [`TraceEvent::FsckRepaired`]
+    /// record (at zero cost — administrative work is not billed to
+    /// guests; the address-table counters the check perturbs are
+    /// restored afterward, so simulated time is unchanged).
+    fn fsck_at_boot(&mut self) {
+        use hsfs::tools::FsckIssue;
+        let sfs = &mut self.kernel.vfs.shared;
+        let (lookups, probes) = (sfs.addr_lookups, sfs.addr_probe_steps);
+        let issues = hsfs::tools::fsck_shared(sfs);
+        for issue in issues {
+            let detail = match issue {
+                // The boot scan already re-registered every file, so a
+                // missing entry here means the table itself is broken.
+                FsckIssue::MissingTableEntry { ino, path } => {
+                    format!("re-registered {path} (#{ino}) missing from address table")
+                }
+                FsckIssue::StaleTableEntry { ino } => {
+                    format!("dropped stale address-table entry #{ino}")
+                }
+                FsckIssue::Oversized { ino, size } => {
+                    let _ = sfs.fs.truncate(ino, u64::from(hsfs::SLOT_SIZE));
+                    format!("truncated oversized segment #{ino} ({size} bytes) to its slot")
+                }
+            };
+            self.log.push(format!("fsck: {detail}"));
+            self.trace.record(0, 0, TraceEvent::FsckRepaired { detail });
+        }
+        let sfs = &mut self.kernel.vfs.shared;
+        sfs.addr_lookups = lookups;
+        sfs.addr_probe_steps = probes;
     }
 
     /// Enumerates every shared segment, annotated with whether it is a
@@ -1160,6 +1378,7 @@ impl World {
             }
             None => (0, 0, 0),
         };
+        let pool = self.kernel.frame_pool().stats();
         WorldStats {
             kernel: self.kernel.stats,
             root_fs: self.kernel.vfs.root.stats,
@@ -1175,6 +1394,14 @@ impl World {
             races_detected,
             sync_edges,
             shadow_bytes,
+            page_evictions: pool.evictions,
+            page_writebacks: pool.writebacks,
+            swap_outs: pool.swap_outs,
+            swap_ins: pool.swap_ins,
+            resident_frames: pool.resident,
+            peak_resident_frames: pool.peak_resident,
+            frame_budget: pool.capacity,
+            oom_kills: pool.oom_kills,
         }
     }
 }

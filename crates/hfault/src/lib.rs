@@ -45,16 +45,27 @@ pub enum FaultSite {
     /// Runtime trampoline allocation in `hlink::ldl`/`tramp`: the
     /// reserved trampoline area is reported full.
     Trampoline,
+    /// Page-out in `hkernel::mem`: the write of an evicted page to the
+    /// swap area (or a dirty shared page's writeback) errors out. Only
+    /// reachable under memory pressure — a frame budget small enough
+    /// that the clock hand actually evicts.
+    SwapWrite,
+    /// Page-in in `hkernel::mem`: reading a swapped page (or an evicted
+    /// shared page's backing segment) back errors out. Only reachable
+    /// under memory pressure.
+    SwapRead,
 }
 
 /// All sites, in a stable order (used for per-site counters).
-pub const ALL_SITES: [FaultSite; 6] = [
+pub const ALL_SITES: [FaultSite; 8] = [
     FaultSite::FrameAlloc,
     FaultSite::InodeAlloc,
     FaultSite::TornWrite,
     FaultSite::SegmentAddr,
     FaultSite::SymbolResolve,
     FaultSite::Trampoline,
+    FaultSite::SwapWrite,
+    FaultSite::SwapRead,
 ];
 
 impl FaultSite {
@@ -67,6 +78,8 @@ impl FaultSite {
             FaultSite::SegmentAddr => "segment_addr",
             FaultSite::SymbolResolve => "symbol_resolve",
             FaultSite::Trampoline => "trampoline",
+            FaultSite::SwapWrite => "swap_write",
+            FaultSite::SwapRead => "swap_read",
         }
     }
 
@@ -86,6 +99,8 @@ impl FaultSite {
             FaultSite::SegmentAddr => 3,
             FaultSite::SymbolResolve => 4,
             FaultSite::Trampoline => 5,
+            FaultSite::SwapWrite => 6,
+            FaultSite::SwapRead => 7,
         }
     }
 }
@@ -121,7 +136,7 @@ impl FaultPlan {
                 seed
             },
             rate_ppm: rate_ppm.min(1_000_000),
-            enabled: 0b11_1111,
+            enabled: 0b1111_1111,
             injected: 0,
             decisions: 0,
             by_site: [0; ALL_SITES.len()],

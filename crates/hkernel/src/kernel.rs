@@ -9,7 +9,7 @@
 //! are a *library*, not kernel code.
 
 use crate::layout;
-use crate::mem::{AddressSpace, MemBus, MemError, Prot};
+use crate::mem::{AddressSpace, EvictOutcome, FramePool, MemBus, MemError, Prot};
 use crate::monitor::{AccessCtx, MonitorRef, SyncEdge};
 use crate::process::{Block, Pid, ProcState, Process};
 use crate::syscall::{Sys, O_CREAT, O_TRUNC, O_WRONLY, SERVICE_BASE};
@@ -63,6 +63,11 @@ pub enum RunEvent {
     AllExited,
     /// Live processes exist but all are blocked — a deadlock.
     Deadlock,
+    /// The frame pool and swap area were both exhausted: the
+    /// deterministic OOM killer terminated `pid` (the largest-resident
+    /// process, ties broken toward the lowest pid), reclaiming its
+    /// `resident` pages immediately.
+    OomKill { pid: Pid, resident: u64 },
 }
 
 /// Error from [`Kernel::run_to_settle`]: the system was still making
@@ -136,6 +141,11 @@ pub struct Kernel {
     /// Sanitizer hook: observes shared-page traffic and sync edges.
     /// `None` (the default) costs one branch per shared access.
     monitor: Option<MonitorRef>,
+    /// The bounded physical frame pool, shared by every address space.
+    pool: FramePool,
+    /// Second-chance clock hand: where the last eviction scan stopped
+    /// (pid, next vpn), so pressure rotates fairly across processes.
+    clock: Option<(Pid, u32)>,
 }
 
 /// A stable identity for a mutual-exclusion lock object, for
@@ -177,7 +187,14 @@ impl Kernel {
             stats: KernelStats::default(),
             faults: hfault::FaultHandle::unarmed(),
             monitor: None,
+            pool: FramePool::default(),
+            clock: None,
         }
+    }
+
+    /// The kernel's frame pool (budget configuration and statistics).
+    pub fn frame_pool(&self) -> &FramePool {
+        &self.pool
     }
 
     /// Arms deterministic fault injection across the whole kernel: both
@@ -217,6 +234,7 @@ impl Kernel {
         self.next_pid += 1;
         let mut proc = Process::new(pid, 0, uid);
         proc.aspace.arm_faults(self.faults.clone());
+        proc.aspace.attach_pool(&self.pool);
         self.procs.insert(pid, proc);
         pid
     }
@@ -229,6 +247,7 @@ impl Kernel {
         let proc = self.procs.get_mut(&pid).expect("exec of a live process");
         proc.aspace = AddressSpace::new();
         proc.aspace.arm_faults(self.faults.clone());
+        proc.aspace.attach_pool(&self.pool);
         proc.cpu = Cpu::new();
         proc.image_name = image.name.clone();
         if !image.text.is_empty() {
@@ -262,6 +281,9 @@ impl Kernel {
     /// runnable process for up to `quantum` instructions, and reports why
     /// the slice ended.
     pub fn step_system(&mut self, quantum: u64) -> RunEvent {
+        if let Some(ev) = self.rebalance() {
+            return ev;
+        }
         self.poll_blocked();
         let Some(pid) = self.pick_next() else {
             let any_blocked = self
@@ -275,6 +297,12 @@ impl Kernel {
             };
         };
         self.stats.dispatches += 1;
+        // The dispatched process is about to execute its restarted
+        // instructions, so any pages pinned by fault-time repage can
+        // age normally from here on.
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            proc.aspace.unpin_all();
+        }
         self.run_slice(pid, quantum)
     }
 
@@ -310,6 +338,135 @@ impl Kernel {
             slices: max_slices,
             events,
         })
+    }
+
+    /// Rebalances the frame pool at the slice boundary. Materialization
+    /// may overshoot the budget mid-slice (the safety valve that makes
+    /// forward progress unconditional); this is where the overshoot is
+    /// paid back. When a full clock rotation frees nothing — every
+    /// remaining anonymous page found swap full — the deterministic OOM
+    /// killer fires. The quota pass afterwards trims processes over the
+    /// per-process resident cap; quota misses are not fatal (referenced
+    /// pages keep their second chance until a later slice).
+    fn rebalance(&mut self) -> Option<RunEvent> {
+        if self.procs.is_empty() || (!self.pool.over_budget() && self.pool.quota().is_none()) {
+            return None;
+        }
+        while self.pool.over_budget() {
+            if !self.evict_one() {
+                // Reclaim may be merely *deferred*: pages pinned by
+                // fault-time repage become evictable again at their
+                // owner's next dispatch, so an overshoot covered by
+                // pins is tolerated for a boundary instead of killing —
+                // OOM is reserved for genuine exhaustion (anon pages
+                // with the swap area full). A pinned victim could also
+                // be holding a user-space spin lock; killing it would
+                // hang every other process on a dead owner's word.
+                let reclaim_pending = self.procs.values().any(|p| {
+                    !matches!(p.state, ProcState::Zombie(_)) && p.aspace.pinned_pages() > 0
+                });
+                if reclaim_pending {
+                    break;
+                }
+                return Some(self.oom_kill());
+            }
+        }
+        if let Some(quota) = self.pool.quota() {
+            let pids: Vec<Pid> = self
+                .procs
+                .iter()
+                .filter(|(_, p)| !matches!(p.state, ProcState::Zombie(_)))
+                .map(|(&pid, _)| pid)
+                .collect();
+            for pid in pids {
+                let mut from = 0;
+                loop {
+                    let proc = self.procs.get_mut(&pid).expect("live pid");
+                    if proc.aspace.resident_pages() <= quota {
+                        break;
+                    }
+                    let Some(vpn) = proc.aspace.clock_scan(from) else {
+                        break;
+                    };
+                    // Skip unevictable pages (swap full / chaos) and
+                    // keep sweeping; the sweep is strictly forward.
+                    let _ = proc.aspace.evict_page(pid, vpn, &mut self.vfs.shared);
+                    from = vpn + 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Evicts one page somewhere in the system, rotating the clock hand
+    /// across processes in pid order. Returns `false` when two full
+    /// rotations (the first may only clear referenced bits) found
+    /// nothing evictable.
+    fn evict_one(&mut self) -> bool {
+        let pids: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| !matches!(p.state, ProcState::Zombie(_)))
+            .map(|(&pid, _)| pid)
+            .collect();
+        if pids.is_empty() {
+            return false;
+        }
+        let (hand_pid, hand_vpn) = self.clock.unwrap_or((pids[0], 0));
+        let start = pids.iter().position(|&p| p >= hand_pid).unwrap_or(0);
+        // 2N+1 visits: every page gets its second chance during the
+        // first rotation, and the +1 re-covers the pages below the hand
+        // in the starting process.
+        for step in 0..=pids.len() * 2 {
+            let pid = pids[(start + step) % pids.len()];
+            let mut from = if step == 0 { hand_vpn } else { 0 };
+            loop {
+                let proc = self.procs.get_mut(&pid).expect("live pid");
+                let Some(vpn) = proc.aspace.clock_scan(from) else {
+                    break;
+                };
+                match proc.aspace.evict_page(pid, vpn, &mut self.vfs.shared) {
+                    EvictOutcome::Evicted => {
+                        self.clock = Some((pid, vpn + 1));
+                        return true;
+                    }
+                    // Swap full, or chaos failed the swap/writeback
+                    // I/O: skip this page, a droppable shared page may
+                    // still be ahead.
+                    _ => from = vpn + 1,
+                }
+            }
+        }
+        false
+    }
+
+    /// The deterministic OOM policy: kill the largest-resident live
+    /// process (ties broken toward the lowest pid), reclaim its memory
+    /// immediately, and report the kill. Exit code 137 mirrors a
+    /// SIGKILL death.
+    fn oom_kill(&mut self) -> RunEvent {
+        let victim = self
+            .procs
+            .iter()
+            .filter(|(_, p)| !matches!(p.state, ProcState::Zombie(_)))
+            .max_by(|(ap, a), (bp, b)| {
+                a.aspace
+                    .resident_pages()
+                    .cmp(&b.aspace.resident_pages())
+                    .then_with(|| bp.cmp(ap))
+            })
+            .map(|(&pid, p)| (pid, p.aspace.resident_pages()));
+        let Some((pid, resident)) = victim else {
+            return RunEvent::AllExited;
+        };
+        self.finalize_exit(pid, 137);
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            // Unlike ordinary zombies (whose memory lives until reaped),
+            // the whole point of the kill is the frames: free them now.
+            proc.aspace.release_all();
+        }
+        self.pool.count_oom_kill();
+        RunEvent::OomKill { pid, resident }
     }
 
     /// Round-robin over runnable pids, continuing after the last choice.
@@ -351,7 +508,15 @@ impl Kernel {
                         },
                         monitor,
                     ),
-                    None => MemBus::new(&mut proc.aspace, &mut self.vfs.shared),
+                    None => MemBus::attributed(
+                        &mut proc.aspace,
+                        &mut self.vfs.shared,
+                        AccessCtx {
+                            pid,
+                            pc: proc.cpu.pc,
+                            uid: proc.uid,
+                        },
+                    ),
                 };
                 proc.cpu.step(&mut bus)
             };
@@ -1024,6 +1189,12 @@ impl Kernel {
     pub fn finalize_exit(&mut self, pid: Pid, code: i32) {
         if let Some(p) = self.procs.get_mut(&pid) {
             p.state = ProcState::Zombie(code);
+            // The address space dies with the process, as on real Unix:
+            // only the proc entry (exit status) survives to the reap.
+            // Zombie frames must not stay charged to the pool — they
+            // would be unevictable dead weight that a bounded pool can
+            // neither reclaim nor OOM away.
+            p.aspace.release_all();
         }
         self.edge(SyncEdge::Exit { pid });
         self.vfs.unlock_all(pid as u64);

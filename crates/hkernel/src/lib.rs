@@ -30,7 +30,9 @@ pub mod syscall;
 
 pub use kernel::{Kernel, KernelStats, RunEvent, Unsettled};
 pub use layout::Region;
-pub use mem::{AddressSpace, MemBus, MemError, Prot};
+pub use mem::{
+    AddressSpace, FramePool, MemBus, MemError, PageEvent, PoolStats, Prot, RepageOutcome,
+};
 pub use monitor::{AccessCtx, Monitor, MonitorRef, SyncEdge};
 pub use process::{Pid, ProcState, Process};
 pub use syscall::Sys;

@@ -15,13 +15,28 @@
 //!
 //! Hemlock maps not-yet-linked modules with [`Prot::NONE`] so the first
 //! touch raises a protection fault into the lazy linker.
+//!
+//! Physical memory is *bounded*: every address space draws frames from a
+//! [`FramePool`] (one per kernel, shared by all processes). Pages start
+//! non-resident — anonymous pages as demand-zero [`PageKind::Zero`],
+//! shared pages as windows that materialize on first touch — and the
+//! kernel's clock hand evicts them back out under pressure: clean shared
+//! pages are dropped and re-faulted through the full user-level fault
+//! protocol, dirty shared pages are written back first, and anonymous
+//! pages swap to kernel-owned files on the shared partition
+//! ([`crate::layout::SWAP_FILE_PREFIX`]). First-touch materialization is
+//! free (it models the eager mapping the simulator always did); only
+//! pressure-induced traffic is counted and charged.
 
+use crate::layout::{
+    DEFAULT_FRAME_BUDGET, DEFAULT_SWAP_PAGES, PAGES_PER_SWAP_FILE, SWAP_FILE_PREFIX,
+};
 use crate::monitor::{AccessCtx, MonitorRef};
-use hsfs::{FsError, Ino, SharedFs, PAGE_SIZE};
+use hsfs::{FsError, Ino, SharedFs, PAGE_SIZE, SLOT_SIZE};
 use hvm::{Access, Bus, Fault};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One page frame of private memory.
 type Frame = [u8; PAGE_SIZE as usize];
@@ -83,11 +98,36 @@ impl fmt::Debug for Prot {
 /// What backs one mapped page.
 #[derive(Clone, Debug)]
 pub enum PageKind {
-    /// Private memory (copy-on-write across `fork`).
+    /// Demand-zero private memory: mapped but never touched, so no
+    /// frame is held yet. Materializes (for free) on first access.
+    Zero,
+    /// Resident private memory (copy-on-write across `fork`).
     Anon(Arc<Frame>),
+    /// Private memory paged out to swap slot `slot` (refcounted in the
+    /// pool, so post-fork COW sharing survives a trip through swap).
+    Swapped { slot: u32 },
     /// Page `page` of the shared-partition file `ino`.
     Shared { ino: Ino, page: u32 },
 }
+
+/// `PageEntry` flag: the page holds a pool frame right now.
+const F_RESIDENT: u8 = 1;
+/// `PageEntry` flag: referenced since the clock hand last passed
+/// (the second chance of second-chance eviction).
+const F_REFERENCED: u8 = 2;
+/// `PageEntry` flag: a guest store hit this shared page since it was
+/// paged in — eviction must take a (simulated) writeback first.
+const F_DIRTY: u8 = 4;
+/// `PageEntry` flag: this shared page was evicted at least once, so the
+/// next touch surfaces a real fault into the user-level protocol (and
+/// the repage is charged), unlike the free first touch.
+const F_EVICTED: u8 = 8;
+/// `PageEntry` flag: repaged by a fault whose instruction has not run
+/// yet — the clock hand must not take it, or a knife-edge budget
+/// livelocks on fault→repage→evict→fault at one address. The kernel
+/// clears the pin when it next dispatches the owning process (by then
+/// the restarted instruction has had its chance to retire).
+const F_PINNED: u8 = 16;
 
 /// One page-table entry.
 #[derive(Clone, Debug)]
@@ -96,6 +136,29 @@ pub struct PageEntry {
     pub kind: PageKind,
     /// Protection.
     pub prot: Prot,
+    /// Residency/eviction state (`F_*` bits).
+    flags: u8,
+}
+
+impl PageEntry {
+    fn new(kind: PageKind, prot: Prot) -> PageEntry {
+        let flags = match kind {
+            PageKind::Anon(_) => F_RESIDENT,
+            _ => 0,
+        };
+        PageEntry { kind, prot, flags }
+    }
+
+    /// True if the page holds a physical frame (or aliases resident
+    /// file bytes) right now.
+    pub fn is_resident(&self) -> bool {
+        self.flags & F_RESIDENT != 0
+    }
+
+    /// True if this shared page was evicted and not yet repaged.
+    pub fn was_evicted(&self) -> bool {
+        self.flags & F_EVICTED != 0
+    }
 }
 
 /// Errors from kernel-side address-space manipulation.
@@ -111,9 +174,10 @@ pub enum MemError {
     Fault(Fault),
     /// The backing shared file was missing or too small.
     BadBacking(FsError),
-    /// Physical frame allocation failed (only the chaos layer's
-    /// `FrameAlloc` injection produces this today — the simulator's
-    /// host heap otherwise never runs out).
+    /// Physical frame allocation failed. Real pressure never surfaces
+    /// this error — the kernel evicts (and ultimately OOM-kills)
+    /// instead — so it is produced only by the chaos layer's
+    /// `FrameAlloc` injection at map time.
     NoFrames { addr: u32 },
 }
 
@@ -145,6 +209,303 @@ pub struct MemStats {
     pub tlb_hits: u64,
     /// Bus accesses that walked the page table (and refilled the TLB).
     pub tlb_misses: u64,
+}
+
+/// A page-pressure event, journaled by the pool for the embedding world
+/// to pump into the trace ring (the kernel cannot record directly).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageEvent {
+    /// The clock hand evicted a page. `kind` is `shared-clean`,
+    /// `shared-dirty`, or `anon`.
+    Evicted {
+        /// Owning process.
+        pid: u32,
+        /// Virtual address of the page.
+        addr: u32,
+        /// What was evicted.
+        kind: &'static str,
+    },
+    /// A dirty shared page was flushed to its backing segment before
+    /// its frame was dropped.
+    Writeback {
+        /// Owning process.
+        pid: u32,
+        /// Virtual address of the page.
+        addr: u32,
+    },
+    /// A previously evicted/swapped page was brought back in.
+    SwappedIn {
+        /// Owning process.
+        pid: u32,
+        /// Virtual address of the page.
+        addr: u32,
+    },
+}
+
+/// Counter snapshot of a [`FramePool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Frame budget (pages).
+    pub capacity: u64,
+    /// Pages resident right now (may transiently exceed `capacity`
+    /// between scheduler slices; the kernel rebalances at slice
+    /// boundaries).
+    pub resident: u64,
+    /// High-water mark of `resident`.
+    pub peak_resident: u64,
+    /// Pages evicted by the clock hand.
+    pub evictions: u64,
+    /// Dirty shared pages written back before eviction.
+    pub writebacks: u64,
+    /// Anonymous pages written to the swap area.
+    pub swap_outs: u64,
+    /// Pages brought back in after an eviction (anonymous or shared).
+    pub swap_ins: u64,
+    /// Swap-area budget (pages).
+    pub swap_pages: u32,
+    /// Distinct swap slots currently allocated.
+    pub swap_used: u32,
+    /// Deterministic OOM kills taken when pool and swap were exhausted.
+    pub oom_kills: u64,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    capacity: u64,
+    resident: u64,
+    peak_resident: u64,
+    evictions: u64,
+    writebacks: u64,
+    swap_outs: u64,
+    swap_ins: u64,
+    oom_kills: u64,
+    /// Optional per-process resident quota (pages); enforced by the
+    /// kernel's rebalance pass, not by the pool itself.
+    quota: Option<u64>,
+    swap_pages: u32,
+    next_slot: u32,
+    free_slots: Vec<u32>,
+    /// Swap-slot reference counts (a slot is shared after fork).
+    slot_refs: BTreeMap<u32, u32>,
+    /// Backing file for each block of `PAGES_PER_SWAP_FILE` slots,
+    /// created lazily on first swap-out into that block.
+    swap_files: Vec<Ino>,
+    journal: Vec<PageEvent>,
+}
+
+/// The bounded physical frame pool (DESIGN.md §10).
+///
+/// One pool is shared — through cheap clonable handles, like
+/// [`hfault::FaultHandle`] — by every address space of a kernel, so
+/// residency accounting spans processes. Each *mapping* of a resident
+/// page is charged one frame (a COW-shared frame counts once per
+/// address space — a documented simplification that errs toward
+/// pressure). The pool never fails an allocation: materialization may
+/// overshoot the budget mid-slice, and the kernel evicts back down to
+/// it between slices, OOM-killing a victim when pool *and* swap are
+/// exhausted.
+#[derive(Clone, Debug)]
+pub struct FramePool(Arc<Mutex<PoolInner>>);
+
+impl Default for FramePool {
+    fn default() -> FramePool {
+        FramePool::new(DEFAULT_FRAME_BUDGET, DEFAULT_SWAP_PAGES)
+    }
+}
+
+impl FramePool {
+    /// A pool of `capacity` frames backed by `swap_pages` of swap.
+    pub fn new(capacity: u64, swap_pages: u32) -> FramePool {
+        FramePool(Arc::new(Mutex::new(PoolInner {
+            capacity: capacity.max(1),
+            resident: 0,
+            peak_resident: 0,
+            evictions: 0,
+            writebacks: 0,
+            swap_outs: 0,
+            swap_ins: 0,
+            oom_kills: 0,
+            quota: None,
+            swap_pages,
+            next_slot: 0,
+            free_slots: Vec::new(),
+            slot_refs: BTreeMap::new(),
+            swap_files: Vec::new(),
+            journal: Vec::new(),
+        })))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.0.lock().expect("frame pool lock")
+    }
+
+    /// True if `other` is a handle to the same pool.
+    pub fn same_pool(&self, other: &FramePool) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Changes the frame budget (takes effect at the next rebalance).
+    pub fn set_capacity(&self, frames: u64) {
+        self.lock().capacity = frames.max(1);
+    }
+
+    /// Changes the swap budget. Already-allocated slots stay valid.
+    pub fn set_swap_pages(&self, pages: u32) {
+        self.lock().swap_pages = pages;
+    }
+
+    /// Sets (or clears) the per-process resident quota.
+    pub fn set_quota(&self, quota: Option<u64>) {
+        self.lock().quota = quota;
+    }
+
+    /// The per-process resident quota, if any.
+    pub fn quota(&self) -> Option<u64> {
+        self.lock().quota
+    }
+
+    /// The frame budget.
+    pub fn capacity(&self) -> u64 {
+        self.lock().capacity
+    }
+
+    /// Pages resident right now.
+    pub fn resident(&self) -> u64 {
+        self.lock().resident
+    }
+
+    /// True if more pages are resident than the budget allows.
+    pub fn over_budget(&self) -> bool {
+        let inner = self.lock();
+        inner.resident > inner.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.lock();
+        PoolStats {
+            capacity: inner.capacity,
+            resident: inner.resident,
+            peak_resident: inner.peak_resident,
+            evictions: inner.evictions,
+            writebacks: inner.writebacks,
+            swap_outs: inner.swap_outs,
+            swap_ins: inner.swap_ins,
+            swap_pages: inner.swap_pages,
+            swap_used: inner.next_slot - inner.free_slots.len() as u32,
+            oom_kills: inner.oom_kills,
+        }
+    }
+
+    /// Drains the pressure-event journal (world → trace ring).
+    pub fn drain_events(&self) -> Vec<PageEvent> {
+        std::mem::take(&mut self.lock().journal)
+    }
+
+    /// Counts a deterministic OOM kill.
+    pub fn count_oom_kill(&self) {
+        self.lock().oom_kills += 1;
+    }
+
+    fn charge(&self, pages: u64) {
+        let mut inner = self.lock();
+        inner.resident += pages;
+        inner.peak_resident = inner.peak_resident.max(inner.resident);
+    }
+
+    fn credit(&self, pages: u64) {
+        let mut inner = self.lock();
+        inner.resident = inner.resident.saturating_sub(pages);
+    }
+
+    fn count_eviction(&self, pid: u32, addr: u32, kind: &'static str) {
+        let mut inner = self.lock();
+        inner.evictions += 1;
+        inner.journal.push(PageEvent::Evicted { pid, addr, kind });
+    }
+
+    fn count_writeback(&self, pid: u32, addr: u32) {
+        let mut inner = self.lock();
+        inner.writebacks += 1;
+        inner.journal.push(PageEvent::Writeback { pid, addr });
+    }
+
+    fn count_swap_out(&self) {
+        self.lock().swap_outs += 1;
+    }
+
+    fn count_swap_in(&self, pid: u32, addr: u32) {
+        let mut inner = self.lock();
+        inner.swap_ins += 1;
+        inner.journal.push(PageEvent::SwappedIn { pid, addr });
+    }
+
+    /// Allocates a swap slot (refcount 1), or `None` when swap is full.
+    fn alloc_swap_slot(&self) -> Option<u32> {
+        let mut inner = self.lock();
+        let slot = match inner.free_slots.pop() {
+            Some(s) => s,
+            None if inner.next_slot < inner.swap_pages => {
+                let s = inner.next_slot;
+                inner.next_slot += 1;
+                s
+            }
+            None => return None,
+        };
+        inner.slot_refs.insert(slot, 1);
+        Some(slot)
+    }
+
+    /// Returns a just-allocated slot unused (eviction aborted).
+    fn release_slot(&self, slot: u32) {
+        let mut inner = self.lock();
+        inner.slot_refs.remove(&slot);
+        inner.free_slots.push(slot);
+    }
+
+    /// One more mapping references `slot` (fork of a swapped page).
+    fn slot_ref_inc(&self, slot: u32) {
+        let mut inner = self.lock();
+        *inner.slot_refs.entry(slot).or_insert(0) += 1;
+    }
+
+    /// One mapping dropped `slot`; frees it at refcount zero.
+    fn slot_unref(&self, slot: u32) {
+        let mut inner = self.lock();
+        if let Some(rc) = inner.slot_refs.get_mut(&slot) {
+            *rc -= 1;
+            if *rc == 0 {
+                inner.slot_refs.remove(&slot);
+                inner.free_slots.push(slot);
+            }
+        }
+    }
+
+    /// The backing file and byte offset of swap slot `slot`. The file
+    /// must have been created by a prior [`FramePool::ensure_swap_file`].
+    fn slot_location(&self, slot: u32) -> Option<(Ino, usize)> {
+        let inner = self.lock();
+        let file = (slot / PAGES_PER_SWAP_FILE) as usize;
+        let ino = *inner.swap_files.get(file)?;
+        Some((ino, ((slot % PAGES_PER_SWAP_FILE) * PAGE_SIZE) as usize))
+    }
+
+    /// Creates (lazily) the swap file backing `slot`. Swap files live on
+    /// the shared partition as mode-0600 root-owned segments, so they
+    /// behave like every other backing file (and no guest can map them).
+    fn ensure_swap_file(&self, shared: &mut SharedFs, slot: u32) -> Result<(), FsError> {
+        let file = (slot / PAGES_PER_SWAP_FILE) as usize;
+        loop {
+            let next = self.lock().swap_files.len();
+            if next > file {
+                return Ok(());
+            }
+            let path = format!("{SWAP_FILE_PREFIX}{next}");
+            let ino = shared.create_file(&path, 0o600, 0)?;
+            shared.fs.truncate(ino, SLOT_SIZE as u64)?;
+            self.lock().swap_files.push(ino);
+        }
+    }
 }
 
 /// Entries in the direct-mapped software TLB. Must be a power of two.
@@ -201,7 +562,7 @@ impl Tlb {
 /// once handed out, stays valid until that page is unmapped; the
 /// `pages` tree maps virtual page numbers to slots. The software TLB
 /// caches recent vpn→slot translations for the bus hot path.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct AddressSpace {
     pages: BTreeMap<u32, u32>,
     entries: Vec<Option<PageEntry>>,
@@ -211,6 +572,71 @@ pub struct AddressSpace {
     pub stats: MemStats,
     /// Chaos hook: unarmed (inert) unless a fault plan is installed.
     faults: hfault::FaultHandle,
+    /// The frame pool this space draws from. A fresh space gets a
+    /// private default pool; the kernel re-attaches its shared pool at
+    /// spawn/exec, before anything is mapped.
+    pool: FramePool,
+    /// Pages of this space currently resident (charged to the pool).
+    resident: u64,
+    /// Pages carrying `F_PINNED` (skips the unpin sweep when zero).
+    pinned: u32,
+}
+
+impl Clone for AddressSpace {
+    fn clone(&self) -> AddressSpace {
+        // Each space is charged for its own resident mappings (a COW
+        // frame counts once per space — a simplification that errs
+        // toward pressure), and swapped pages share their slot through
+        // the pool's refcount.
+        self.pool.charge(self.resident);
+        for entry in self.entries.iter().flatten() {
+            if let PageKind::Swapped { slot } = entry.kind {
+                self.pool.slot_ref_inc(slot);
+            }
+        }
+        AddressSpace {
+            pages: self.pages.clone(),
+            entries: self.entries.clone(),
+            free: self.free.clone(),
+            tlb: self.tlb.clone(),
+            stats: self.stats,
+            faults: self.faults.clone(),
+            pool: self.pool.clone(),
+            resident: self.resident,
+            pinned: self.pinned,
+        }
+    }
+}
+
+impl Drop for AddressSpace {
+    fn drop(&mut self) {
+        self.surrender();
+    }
+}
+
+/// Outcome of one [`AddressSpace::evict_page`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EvictOutcome {
+    /// The page was evicted and its frame returned to the pool.
+    Evicted,
+    /// An anonymous page had nowhere to go: the swap area is full.
+    SwapFull,
+    /// The chaos layer failed the swap/writeback I/O; the page stays
+    /// resident and the clock hand moves on.
+    Injected,
+    /// The vpn was not a resident page (stale clock hand).
+    NotResident,
+}
+
+/// Outcome of an [`AddressSpace::repage_shared`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepageOutcome {
+    /// The evicted shared page is resident again.
+    Repaged,
+    /// The address is not an evicted shared page — not this fault.
+    NotEvicted,
+    /// The chaos layer failed the backing read.
+    Injected,
 }
 
 fn vpn(addr: u32) -> u32 {
@@ -226,6 +652,210 @@ impl AddressSpace {
     /// Installs a fault-injection handle (chaos testing; see DESIGN.md §8).
     pub fn arm_faults(&mut self, faults: hfault::FaultHandle) {
         self.faults = faults;
+    }
+
+    /// Attaches the kernel's shared frame pool. Must happen before any
+    /// page becomes resident (spawn/exec attach into an empty space).
+    pub fn attach_pool(&mut self, pool: &FramePool) {
+        debug_assert_eq!(self.resident, 0, "attach_pool before first touch");
+        self.pool = pool.clone();
+    }
+
+    /// The pool this space draws from.
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// Pages of this space resident right now.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident
+    }
+
+    /// Returns every pool charge held by this space. Idempotent: the
+    /// page table is cleared, so `Drop` (which calls this too) finds
+    /// nothing left to credit.
+    fn surrender(&mut self) {
+        self.pool.credit(self.resident);
+        self.resident = 0;
+        for entry in self.entries.iter().flatten() {
+            if let PageKind::Swapped { slot } = entry.kind {
+                self.pool.slot_unref(slot);
+            }
+        }
+        let mapped = self.pages.len() as u64;
+        self.pages.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.tlb.flush();
+        self.pinned = 0;
+        self.stats.pages_unmapped += mapped;
+    }
+
+    /// Immediately frees everything (the OOM path — ordinary zombies
+    /// keep their memory until reaped so parents can inspect it).
+    pub fn release_all(&mut self) {
+        self.surrender();
+    }
+
+    /// Restores an evicted shared page after its fault bounced through
+    /// the user-level fault→handler→map→restart protocol. Page-granular:
+    /// no remap, the existing entry just becomes resident again.
+    pub fn repage_shared(&mut self, pid: u32, addr: u32) -> RepageOutcome {
+        let Some(&slot) = self.pages.get(&vpn(addr)) else {
+            return RepageOutcome::NotEvicted;
+        };
+        let AddressSpace {
+            entries,
+            faults,
+            pool,
+            resident,
+            pinned,
+            ..
+        } = self;
+        let Some(entry) = entries[slot as usize].as_mut() else {
+            return RepageOutcome::NotEvicted;
+        };
+        if !matches!(entry.kind, PageKind::Shared { .. }) || entry.flags & F_EVICTED == 0 {
+            return RepageOutcome::NotEvicted;
+        }
+        if faults.should_inject(hfault::FaultSite::SwapRead) {
+            return RepageOutcome::Injected;
+        }
+        // Pinned until the owner is dispatched: the faulting instruction
+        // must retire once before the clock hand may take this page
+        // again, or a knife-edge budget never makes progress.
+        entry.flags = (entry.flags & !(F_EVICTED | F_DIRTY)) | F_RESIDENT | F_REFERENCED | F_PINNED;
+        *pinned += 1;
+        *resident += 1;
+        pool.charge(1);
+        pool.count_swap_in(pid, addr & !(PAGE_SIZE - 1));
+        RepageOutcome::Repaged
+    }
+
+    /// Pages currently pinned by fault-time repage.
+    pub(crate) fn pinned_pages(&self) -> u32 {
+        self.pinned
+    }
+
+    /// Clears every repage pin (the kernel calls this when dispatching
+    /// the owning process: the restarted instructions have run).
+    pub(crate) fn unpin_all(&mut self) {
+        if self.pinned == 0 {
+            return;
+        }
+        for entry in self.entries.iter_mut().flatten() {
+            entry.flags &= !F_PINNED;
+        }
+        self.pinned = 0;
+    }
+
+    /// One forward sweep of the clock hand over this space: starting at
+    /// `from_vpn`, clears referenced bits as second chances and returns
+    /// the first unreferenced resident vpn, or `None` when the sweep
+    /// falls off the end (the kernel wraps by moving to the next
+    /// process, then back around). Deliberately non-wrapping so a
+    /// caller skipping unevictable pages (`from = vpn + 1`) always
+    /// terminates.
+    pub(crate) fn clock_scan(&mut self, from_vpn: u32) -> Option<u32> {
+        let AddressSpace { pages, entries, .. } = self;
+        for (&vp, &slot) in pages.range(from_vpn..) {
+            let entry = entries[slot as usize].as_mut().expect("live slot");
+            if entry.flags & F_RESIDENT == 0 {
+                continue;
+            }
+            // A repage pin also keeps its reference bit: the page's
+            // second chance starts after the owner runs, not before.
+            if entry.flags & F_PINNED != 0 {
+                continue;
+            }
+            if entry.flags & F_REFERENCED != 0 {
+                entry.flags &= !F_REFERENCED;
+                continue;
+            }
+            return Some(vp);
+        }
+        None
+    }
+
+    /// Evicts the resident page at `page_vpn`, returning its frame to
+    /// the pool. Shared pages drop to `F_EVICTED` (dirty ones take a
+    /// simulated writeback first — the bytes already alias the backing
+    /// file, so durability is free; the writeback is the counted disk
+    /// cost). Anonymous pages are written to a swap slot.
+    pub(crate) fn evict_page(
+        &mut self,
+        pid: u32,
+        page_vpn: u32,
+        shared: &mut SharedFs,
+    ) -> EvictOutcome {
+        let addr = page_vpn * PAGE_SIZE;
+        let Some(&slot) = self.pages.get(&page_vpn) else {
+            return EvictOutcome::NotResident;
+        };
+        let AddressSpace {
+            entries,
+            tlb,
+            faults,
+            pool,
+            resident,
+            ..
+        } = self;
+        let entry = entries[slot as usize].as_mut().expect("live slot");
+        if entry.flags & F_RESIDENT == 0 || entry.flags & F_PINNED != 0 {
+            return EvictOutcome::NotResident;
+        }
+        match &entry.kind {
+            PageKind::Shared { .. } => {
+                let dirty = entry.flags & F_DIRTY != 0;
+                if dirty {
+                    if faults.should_inject(hfault::FaultSite::SwapWrite) {
+                        return EvictOutcome::Injected;
+                    }
+                    pool.count_writeback(pid, addr);
+                }
+                entry.flags = (entry.flags & !(F_RESIDENT | F_REFERENCED | F_DIRTY)) | F_EVICTED;
+                pool.count_eviction(
+                    pid,
+                    addr,
+                    if dirty {
+                        "shared-dirty"
+                    } else {
+                        "shared-clean"
+                    },
+                );
+            }
+            PageKind::Anon(frame) => {
+                let Some(swap_slot) = pool.alloc_swap_slot() else {
+                    return EvictOutcome::SwapFull;
+                };
+                if pool.ensure_swap_file(shared, swap_slot).is_err() {
+                    pool.release_slot(swap_slot);
+                    return EvictOutcome::SwapFull;
+                }
+                if faults.should_inject(hfault::FaultSite::SwapWrite) {
+                    pool.release_slot(swap_slot);
+                    return EvictOutcome::Injected;
+                }
+                let (ino, off) = pool.slot_location(swap_slot).expect("swap file ensured");
+                let bytes = frame.clone();
+                match shared.fs.file_bytes_mut(ino) {
+                    Ok(file) => file[off..off + PAGE_SIZE as usize].copy_from_slice(&bytes[..]),
+                    Err(_) => {
+                        pool.release_slot(swap_slot);
+                        return EvictOutcome::SwapFull;
+                    }
+                }
+                entry.kind = PageKind::Swapped { slot: swap_slot };
+                entry.flags &= !(F_RESIDENT | F_REFERENCED | F_DIRTY);
+                pool.count_swap_out();
+                pool.count_eviction(pid, addr, "anon");
+            }
+            PageKind::Zero | PageKind::Swapped { .. } => return EvictOutcome::NotResident,
+        }
+        tlb.flush();
+        *resident -= 1;
+        pool.credit(1);
+        EvictOutcome::Evicted
     }
 
     /// Number of mapped pages.
@@ -286,10 +916,8 @@ impl AddressSpace {
             return Err(MemError::NoFrames { addr });
         }
         for p in first..first + pages {
-            let slot = self.alloc_slot(PageEntry {
-                kind: PageKind::Anon(zero_frame()),
-                prot,
-            });
+            // Demand-zero: no frame until first touch.
+            let slot = self.alloc_slot(PageEntry::new(PageKind::Zero, prot));
             self.pages.insert(p, slot);
         }
         self.stats.pages_mapped += pages as u64;
@@ -319,13 +947,15 @@ impl AddressSpace {
             return Err(MemError::NoFrames { addr });
         }
         for (i, p) in (first..first + pages).enumerate() {
-            let slot = self.alloc_slot(PageEntry {
-                kind: PageKind::Shared {
+            // Shared pages alias file bytes; residency starts on first
+            // touch (free) and is dropped/restored by eviction.
+            let slot = self.alloc_slot(PageEntry::new(
+                PageKind::Shared {
                     ino,
                     page: file_page + i as u32,
                 },
                 prot,
-            });
+            ));
             self.pages.insert(p, slot);
         }
         self.stats.pages_mapped += pages as u64;
@@ -345,7 +975,15 @@ impl AddressSpace {
         }
         for p in first..first + pages {
             let slot = self.pages.remove(&p).expect("checked");
-            self.entries[slot as usize] = None;
+            if let Some(entry) = self.entries[slot as usize].take() {
+                if entry.is_resident() {
+                    self.resident -= 1;
+                    self.pool.credit(1);
+                }
+                if let PageKind::Swapped { slot } = entry.kind {
+                    self.pool.slot_unref(slot);
+                }
+            }
             self.free.push(slot);
         }
         self.stats.pages_unmapped += pages as u64;
@@ -397,16 +1035,14 @@ impl AddressSpace {
     /// translations predate the COW sharing) and the child's is empty.
     pub fn fork_clone(&mut self) -> AddressSpace {
         self.tlb.flush();
-        AddressSpace {
-            pages: self.pages.clone(),
-            entries: self.entries.clone(),
-            free: self.free.clone(),
-            tlb: Tlb::default(),
-            stats: MemStats::default(),
-            // The child draws from the same injection stream: chaos
-            // decisions stay a single deterministic sequence across fork.
-            faults: self.faults.clone(),
-        }
+        // `Clone` charges the pool for the child's resident mappings and
+        // bumps swap-slot refcounts; the child also draws from the same
+        // injection stream, so chaos decisions stay a single
+        // deterministic sequence across fork.
+        let mut child = self.clone();
+        child.tlb = Tlb::default();
+        child.stats = MemStats::default();
+        child
     }
 
     /// Kernel-side read of guest memory (ignores protection — the kernel
@@ -424,7 +1060,23 @@ impl AddressSpace {
             let off = (a % PAGE_SIZE) as usize;
             let take = ((PAGE_SIZE as usize) - off).min(len - out.len());
             match &entry.kind {
+                // Untouched demand-zero memory reads as zeros without
+                // materializing a frame.
+                PageKind::Zero => {
+                    let end = out.len() + take;
+                    out.resize(end, 0u8);
+                }
                 PageKind::Anon(frame) => out.extend_from_slice(&frame[off..off + take]),
+                // Kernel reads of swapped pages go straight to the swap
+                // file — a host-level peek, no swap-in.
+                PageKind::Swapped { slot } => {
+                    let (ino, base) = self
+                        .pool
+                        .slot_location(*slot)
+                        .ok_or(MemError::BadBacking(FsError::BadAddress))?;
+                    let bytes = shared.fs.file_bytes(ino).map_err(MemError::BadBacking)?;
+                    out.extend_from_slice(&bytes[base + off..base + off + take]);
+                }
                 PageKind::Shared { ino, page } => {
                     let bytes = shared.fs.file_bytes(*ino).map_err(MemError::BadBacking)?;
                     let start = (*page * PAGE_SIZE) as usize + off;
@@ -456,7 +1108,37 @@ impl AddressSpace {
             let entry = self.entries[slot as usize].as_mut().expect("live slot");
             let off = (a % PAGE_SIZE) as usize;
             let take = ((PAGE_SIZE as usize) - off).min(data.len() - written);
+            // A kernel-side poke needs real bytes: materialize
+            // non-resident private pages first. Zero pages charge the
+            // pool like any first touch; swapped pages refill from
+            // their slot without counting a swap-in (this is a host
+            // poke, not a guest fault).
+            let swap_src = match &entry.kind {
+                PageKind::Zero => Some(None),
+                PageKind::Swapped { slot } => Some(Some(*slot)),
+                _ => None,
+            };
+            if let Some(swap_slot) = swap_src {
+                let mut frame = zero_frame();
+                if let Some(swap_slot) = swap_slot {
+                    let (ino, base) = self
+                        .pool
+                        .slot_location(swap_slot)
+                        .ok_or(MemError::BadBacking(FsError::BadAddress))?;
+                    let bytes = shared.fs.file_bytes(ino).map_err(MemError::BadBacking)?;
+                    Arc::make_mut(&mut frame)
+                        .copy_from_slice(&bytes[base..base + PAGE_SIZE as usize]);
+                    self.pool.slot_unref(swap_slot);
+                }
+                entry.kind = PageKind::Anon(frame);
+                entry.flags |= F_RESIDENT;
+                self.resident += 1;
+                self.pool.charge(1);
+            }
             match &mut entry.kind {
+                PageKind::Zero | PageKind::Swapped { .. } => {
+                    unreachable!("materialized above")
+                }
                 PageKind::Anon(frame) => {
                     if Arc::strong_count(frame) > 1 {
                         self.stats.cow_copies += 1;
@@ -529,6 +1211,22 @@ impl<'a> MemBus<'a> {
         }
     }
 
+    /// An unobserved bus that still knows who is driving it, so
+    /// pressure-journal records (swap-ins) carry the right pid even
+    /// when no monitor is armed.
+    pub fn attributed(
+        aspace: &'a mut AddressSpace,
+        shared: &'a mut SharedFs,
+        ctx: AccessCtx,
+    ) -> MemBus<'a> {
+        MemBus {
+            aspace,
+            shared,
+            monitor: None,
+            ctx,
+        }
+    }
+
     /// A bus whose shared-page data accesses are reported to `monitor`,
     /// attributed to `ctx` (the executing process and its current PC).
     pub fn observed(
@@ -549,6 +1247,11 @@ impl<'a> MemBus<'a> {
 impl MemBus<'_> {
     /// Translates `addr` — TLB first, page walk + refill on miss — and
     /// checks protection. Returns the slab slot of the page entry.
+    ///
+    /// The TLB caches only *resident* pages (eviction flushes it), so a
+    /// hit needs no residency work; a miss runs [`Self::ensure_resident`]
+    /// before the refill. Every successful translation sets the
+    /// referenced bit — the second chance the clock hand honors.
     #[inline]
     fn translate(&mut self, addr: u32, access: Access) -> Result<u32, Fault> {
         let vp = vpn(addr);
@@ -564,17 +1267,92 @@ impl MemBus<'_> {
                     .pages
                     .get(&vp)
                     .ok_or(Fault::Unmapped { addr, access })?;
+                self.ensure_resident(slot, addr, access)?;
                 self.aspace.tlb.fill(vp, slot);
                 slot
             }
         };
         let entry = self.aspace.entries[slot as usize]
-            .as_ref()
+            .as_mut()
             .expect("TLB and page table agree on live slots");
         if !entry.prot.allows(access) {
             return Err(Fault::Protection { addr, access });
         }
+        entry.flags |= F_REFERENCED;
         Ok(slot)
+    }
+
+    /// Makes the page at `slot` resident, or surfaces the fault that
+    /// will bring it back. First touches (demand-zero, first view of a
+    /// shared page) are free — the frame was logically allocated at map
+    /// time, and charging them would change every existing workload's
+    /// counters. Only *pressure* traffic costs anything: swapped-in
+    /// anonymous pages are counted (and billed by the world), and
+    /// evicted shared pages bounce through the full user-level fault
+    /// protocol via [`Fault::Unmapped`].
+    fn ensure_resident(&mut self, slot: u32, addr: u32, access: Access) -> Result<(), Fault> {
+        enum Bring {
+            FirstTouchZero,
+            FirstTouchShared,
+            SwapIn(u32),
+        }
+        let bring = {
+            let entry = self.aspace.entries[slot as usize]
+                .as_ref()
+                .expect("live slot");
+            if entry.flags & F_RESIDENT != 0 {
+                return Ok(());
+            }
+            match &entry.kind {
+                PageKind::Zero => Bring::FirstTouchZero,
+                PageKind::Anon(_) => Bring::FirstTouchShared, // re-flag only
+                PageKind::Swapped { slot } => Bring::SwapIn(*slot),
+                PageKind::Shared { .. } if entry.flags & F_EVICTED != 0 => {
+                    return Err(Fault::Unmapped { addr, access });
+                }
+                PageKind::Shared { .. } => Bring::FirstTouchShared,
+            }
+        };
+        let frame = match bring {
+            Bring::FirstTouchZero => Some(zero_frame()),
+            Bring::FirstTouchShared => None,
+            Bring::SwapIn(swap_slot) => {
+                if self
+                    .aspace
+                    .faults
+                    .should_inject(hfault::FaultSite::SwapRead)
+                {
+                    return Err(Fault::Unmapped { addr, access });
+                }
+                let (ino, base) = self
+                    .aspace
+                    .pool
+                    .slot_location(swap_slot)
+                    .ok_or(Fault::Unmapped { addr, access })?;
+                let bytes = self
+                    .shared
+                    .fs
+                    .file_bytes(ino)
+                    .map_err(|_| Fault::Unmapped { addr, access })?;
+                let mut frame = zero_frame();
+                Arc::make_mut(&mut frame).copy_from_slice(&bytes[base..base + PAGE_SIZE as usize]);
+                self.aspace.pool.slot_unref(swap_slot);
+                self.aspace
+                    .pool
+                    .count_swap_in(self.ctx.pid, addr & !(PAGE_SIZE - 1));
+                Some(frame)
+            }
+        };
+        let entry = self.aspace.entries[slot as usize]
+            .as_mut()
+            .expect("live slot");
+        if let Some(frame) = frame {
+            entry.kind = PageKind::Anon(frame);
+        }
+        entry.flags |= F_RESIDENT;
+        self.aspace.resident += 1;
+        self.aspace.pool.charge(1);
+        Ok(())
     }
 
     /// Read path. Never calls `Arc::make_mut`, so a post-fork read leaves
@@ -588,6 +1366,9 @@ impl MemBus<'_> {
         debug_assert!(off + len <= PAGE_SIZE as usize, "CPU enforces alignment");
         let mut shared_hit: Option<(Ino, u32)> = None;
         let bytes: &[u8] = match &entry.kind {
+            PageKind::Zero | PageKind::Swapped { .. } => {
+                unreachable!("translate made the page resident")
+            }
             PageKind::Anon(frame) => &frame[off..off + len],
             PageKind::Shared { ino, page } => {
                 let start = (*page * PAGE_SIZE) as usize + off;
@@ -631,6 +1412,9 @@ impl MemBus<'_> {
             "CPU enforces alignment"
         );
         match &mut entry.kind {
+            PageKind::Zero | PageKind::Swapped { .. } => {
+                unreachable!("translate made the page resident")
+            }
             PageKind::Anon(frame) => {
                 if Arc::strong_count(frame) > 1 {
                     self.aspace.stats.cow_copies += 1;
@@ -638,6 +1422,11 @@ impl MemBus<'_> {
                 Arc::make_mut(frame)[off..off + data.len()].copy_from_slice(data);
             }
             PageKind::Shared { ino, page } => {
+                // The store lands in the backing file directly (shared
+                // pages alias file bytes), but the page is now "dirty"
+                // for eviction purposes: dropping it takes a simulated
+                // writeback first.
+                entry.flags |= F_DIRTY;
                 let ino = *ino;
                 let start = (*page * PAGE_SIZE) as usize + off;
                 // Protection-transition check: would the file's *current*

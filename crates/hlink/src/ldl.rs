@@ -20,7 +20,7 @@ use crate::scope::{LinkDag, ROOT};
 use crate::search::SearchPath;
 use crate::tramp::trampoline_code;
 use hkernel::layout::{DATA_END, DYN_PRIVATE_BASE};
-use hkernel::{Kernel, Pid, Prot};
+use hkernel::{Kernel, Pid, Prot, RepageOutcome};
 use hobj::reloc::RelocError;
 use hobj::{binfmt, ImageReloc, LoadImage, RelocKind, SearchStrategy, ShareClass};
 use hsfs::vfs::Mount;
@@ -536,6 +536,26 @@ impl<'a> Ldl<'a> {
     /// shared segment a pointer led into, or fall through to the guest's
     /// own handler.
     pub fn handle_fault(&mut self, addr: u32) -> Result<FaultDisposition, LinkError> {
+        // Case 0: the address is a shared page the kernel evicted under
+        // memory pressure. Page-granular: residency is restored in
+        // place (no remap, no re-link) and the instruction restarts.
+        // This runs before the module cases because an evicted page of
+        // a linked module must repage, not re-map.
+        if SharedFs::contains(addr) {
+            if let Some(proc) = self.kernel.procs.get_mut(&self.pid) {
+                match proc.aspace.repage_shared(self.pid, addr) {
+                    RepageOutcome::Repaged => {
+                        self.state.stats.faults_resolved += 1;
+                        return Ok(FaultDisposition::Resolved);
+                    }
+                    // Chaos failed the backing read: surface as an
+                    // unresolved fault (contained kill), like any other
+                    // injected fault on the resolution path.
+                    RepageOutcome::Injected => return self.fall_through(addr),
+                    RepageOutcome::NotEvicted => {}
+                }
+            }
+        }
         // Case 1: the address lies in a module mapped for lazy linking.
         if let Some(name) = self
             .state

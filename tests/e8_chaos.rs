@@ -168,7 +168,7 @@ fn check_contained(out: &Outcome, baseline: &Outcome) {
     // The world reached a stable state, or the failure is bounded.
     match out.settled {
         Ok(_) => {}
-        Err(Unsettled { live }) => assert!(live <= NPROCS, "unbounded unsettled state"),
+        Err(Unsettled { live, .. }) => assert!(live <= NPROCS, "unbounded unsettled state"),
     }
     let any_refused = out.exits.iter().any(|e| e.is_none());
     let any_nonzero = out.exits.iter().any(|e| matches!(e, Some(c) if *c != 0));
@@ -282,6 +282,13 @@ fn full_rate_per_site_is_contained() {
         let plan = FaultPlan::new(42, 1_000_000).only(&[site]);
         let out = run_scenario(Some(plan));
         check_contained(&out, &baseline);
+        // The swap sites only fire under memory pressure, which this
+        // scenario (default frame budget) never creates; their
+        // injection coverage lives in e10_pressure.
+        if matches!(site, FaultSite::SwapWrite | FaultSite::SwapRead) {
+            assert_eq!(out.injected, 0, "swap sites need pressure to fire");
+            continue;
+        }
         assert!(
             out.injected > 0,
             "site {:?} was never reached by the scenario",

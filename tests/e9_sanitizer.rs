@@ -252,6 +252,69 @@ fn one_report_per_raced_word() {
     assert_eq!(offsets.len(), races.len(), "duplicate report for a word");
 }
 
+// --- 3c. memory-pressure interaction ---------------------------------
+
+/// The differential harness under thrash (E10): with the frame budget
+/// squeezed to half the unbounded peak, arming the sanitizer still
+/// changes *nothing* — not the guest observables, not the simulated
+/// time, and not a single eviction decision. The monitor only ever
+/// fires after a successful translation, so repage faults are observed
+/// exactly once and the clock hand never sees the difference.
+#[test]
+fn armed_run_is_identical_under_thrash() {
+    let run_pressured = |armed: bool, budget: Option<u64>| {
+        let (mut world, exe) = build_counter_world(WORKER_LOCKED);
+        if let Some(frames) = budget {
+            world.set_frame_budget(frames);
+        }
+        if armed {
+            world.arm_sanitizer();
+        }
+        let mut pids = Vec::new();
+        for _ in 0..4 {
+            pids.push(world.spawn(&exe).unwrap());
+        }
+        world.quantum = 50;
+        let exit = world.run_to_settle(SETTLE_SLICES).unwrap_or_else(|u| {
+            let exits: Vec<_> = pids.iter().map(|p| world.exit_code(*p)).collect();
+            panic!(
+                "world settles: {u:?}\nlog: {:?}\nexits: {exits:?}\nstats: {:?}",
+                world.log,
+                world.stats()
+            )
+        });
+        let stats = world.stats();
+        let obs = Observables {
+            exit,
+            exits: pids.iter().map(|p| world.exit_code(*p)).collect(),
+            consoles: pids.iter().map(|p| world.console(*p)).collect(),
+            sim_time: CostModel::default().time(&stats),
+            count: world
+                .peek_shared_word("/shared/lib/shcount", "count")
+                .unwrap(),
+        };
+        (obs, world)
+    };
+    let (_, calibration) = run_pressured(false, None);
+    let budget = (calibration.stats().peak_resident_frames / 2).max(1);
+    let (unarmed, unarmed_world) = run_pressured(false, Some(budget));
+    let (armed, armed_world) = run_pressured(true, Some(budget));
+    assert_eq!(unarmed, armed, "the sanitizer perturbed a thrashing run");
+    let u = unarmed_world.stats();
+    let a = armed_world.stats();
+    assert!(u.page_evictions > 0, "the squeezed budget really thrashed");
+    assert_eq!(
+        a.page_evictions, u.page_evictions,
+        "eviction decisions moved"
+    );
+    assert_eq!(a.page_writebacks, u.page_writebacks);
+    assert_eq!(a.swap_outs, u.swap_outs);
+    assert_eq!(a.swap_ins, u.swap_ins);
+    assert_eq!(a.oom_kills, 0);
+    assert!(a.sync_edges > 0, "the armed run still observed the locks");
+    assert_eq!(a.races_detected, 0, "repage faults are not races");
+}
+
 // --- 4. chaos interaction --------------------------------------------
 
 /// The E8 chaos scenario (a *pure* public module, so concurrent
