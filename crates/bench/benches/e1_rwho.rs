@@ -121,6 +121,24 @@ fn simulated_table() {
         let shared_cost = sim_delta(t0, sim_time(&world));
         rows.push((format!("hemlock rwho,    {machines} machines"), shared_cost));
     }
+    // SMP rows: 8 concurrent rwho readers over the 65-machine database,
+    // spread across N simulated CPUs. Reads of an established shared
+    // segment need no shootdowns, so the contention cost is only the
+    // cold TLBs of cross-CPU steals — the rows pin that the multi-CPU
+    // schedule leaves the per-invocation economics intact.
+    for cpus in [1u32, 2, 4, 8] {
+        let (mut world, exe) = shared_world(65);
+        world.set_cpus(cpus);
+        let t0 = sim_time(&world);
+        let expected: u32 = (0..65).map(|i| i % 5 + 1).sum();
+        let pids: Vec<_> = (0..8).map(|_| world.spawn(&exe).unwrap()).collect();
+        run_ok(&mut world);
+        for pid in pids {
+            assert_eq!(world.exit_code(pid).unwrap() as u32, expected);
+        }
+        let cost = sim_delta(t0, sim_time(&world));
+        rows.push((format!("hemlock rwho x8, 65 machines, cpus={cpus}"), cost));
+    }
     report("E1", "rwho — per-invocation cost vs. fleet size", &rows);
 }
 

@@ -7,7 +7,7 @@
 //! can pre-map with one service call and avoid the fault entirely — but
 //! pointer-following requires no prior knowledge, which is the point.
 
-use bench::{report, run_ok, sim_delta, sim_time};
+use bench::{report_detailed, run_ok, sim_delta, sim_time};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hemlock::{ShareClass, World};
 use hsfs::AddrLookup;
@@ -66,16 +66,18 @@ fn simulated_table() {
         run_ok(&mut world);
         assert_eq!(world.exit_code(pid).unwrap() as u32, touches);
         // Warm-vs-cold breakdown: the first touch walks the page table
-        // (TLB miss); the rest of the loop translates via the TLB.
+        // (TLB miss); the rest of the loop translates via the TLB. The
+        // counts are diagnostics, not identity — they ride in the detail
+        // column so the regression gate keys stay stable.
         let s = world.stats();
         rows.push((
+            format!("fault-mapped segment, {touches} accesses"),
+            sim_delta(t0, sim_time(&world)),
             format!(
-                "fault-mapped segment, {touches} accesses \
-                 (TLB {:.1}% hit, {} misses)",
+                "TLB {:.1}% hit, {} misses",
                 100.0 * s.tlb_hit_rate(),
                 s.tlb_misses
             ),
-            sim_delta(t0, sim_time(&world)),
         ));
     }
     // E9 gate: the same cold-touch run with the happens-before
@@ -94,15 +96,15 @@ fn simulated_table() {
         let armed = sim_delta(t0, sim_time(&world));
         let plain = rows
             .iter()
-            .find_map(|(l, t)| {
-                l.starts_with(&format!("fault-mapped segment, {touches} accesses"))
-                    .then_some(*t)
+            .find_map(|(l, t, _)| {
+                (l == &format!("fault-mapped segment, {touches} accesses")).then_some(*t)
             })
             .unwrap();
         assert_eq!(armed, plain, "sanitizer must add zero simulated time");
         rows.push((
             format!("fault-mapped segment, {touches} accesses (sanitized)"),
             armed,
+            String::new(),
         ));
     }
     // Many segments: one fault each (pointer-walk across N segments).
@@ -134,11 +136,9 @@ fn simulated_table() {
         let stats = world.stats();
         assert_eq!(stats.ldl.segments_mapped as u32, nsegs);
         rows.push((
-            format!(
-                "walk across {nsegs} segments (1 fault each, TLB {:.1}% hit)",
-                100.0 * stats.tlb_hit_rate()
-            ),
+            format!("walk across {nsegs} segments (1 fault each)"),
             sim_delta(t0, sim_time(&world)),
+            format!("TLB {:.1}% hit", 100.0 * stats.tlb_hit_rate()),
         ));
     }
     // Ablation: the linear table vs. the B-tree under many lookups.
@@ -152,9 +152,10 @@ fn simulated_table() {
         rows.push((
             format!("addr→ino x200, {lookup:?} table (200 segments)"),
             sim_delta(t0, sim_time(&world)),
+            String::new(),
         ));
     }
-    report(
+    report_detailed(
         "E6",
         "fault path — first touch vs. warm access; table ablation",
         &rows,

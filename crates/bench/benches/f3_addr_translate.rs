@@ -2,7 +2,7 @@
 //! table vs. the B-tree it plans for 64-bit systems, plus the boot-time
 //! scan that rebuilds the table after a crash.
 
-use bench::report;
+use bench::report_detailed;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hemlock::SimTime;
 use hkernel::{AddressSpace, MemBus, Prot};
@@ -32,8 +32,9 @@ fn simulated_table() {
             }
             let per_lookup = s.addr_probe_steps / addrs.len() as u64;
             rows.push((
-                format!("{lookup:?} table, {n} segments: {per_lookup} probes/lookup"),
+                format!("{lookup:?} table, {n} segments"),
                 SimTime(per_lookup * 200),
+                format!("{per_lookup} probes/lookup"),
             ));
         }
     }
@@ -58,11 +59,12 @@ fn simulated_table() {
             s.tlb_misses - before.tlb_misses,
         );
         rows.push((
-            format!("guest TLB, {pass} pass over {npages} pages: {hits} hits / {misses} misses"),
+            format!("guest TLB, {pass} pass over {npages} pages"),
             SimTime(misses * 200),
+            format!("{hits} hits / {misses} misses"),
         ));
     }
-    report("F3", "address→inode translation — linear vs. B-tree", &rows);
+    report_detailed("F3", "address→inode translation — linear vs. B-tree", &rows);
 }
 
 fn bench_f3(c: &mut Criterion) {

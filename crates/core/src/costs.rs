@@ -99,6 +99,15 @@ pub struct WorldStats {
     pub frame_budget: u64,
     /// Deterministic OOM kills taken.
     pub oom_kills: u64,
+    /// Pages invalidated in remote TLBs by the shootdown protocol
+    /// (always 0 on a single-CPU world).
+    pub shootdowns: u64,
+    /// Inter-processor interrupts sent for shootdowns — at least one per
+    /// shootdown event, two when chaos dropped the first.
+    pub ipis: u64,
+    /// Runnable processes taken by an idle CPU away from their home CPU
+    /// at a round boundary (each steal costs the context its warm TLB).
+    pub cross_cpu_steals: u64,
 }
 
 impl WorldStats {
@@ -147,6 +156,11 @@ pub struct CostModel {
     pub swap_io_ns: u64,
     /// Reading one page back from swap or the backing segment.
     pub swap_in_ns: u64,
+    /// One inter-processor interrupt: cross-CPU notification latency of
+    /// the TLB-shootdown protocol (0 IPIs on a single-CPU world).
+    pub ipi_ns: u64,
+    /// Remote invalidation of one page's TLB entry once the IPI lands.
+    pub shootdown_ns: u64,
 }
 
 impl Default for CostModel {
@@ -164,6 +178,8 @@ impl Default for CostModel {
             evict_ns: 25_000,      // page-table + TLB bookkeeping
             swap_io_ns: 2_000_000, // one 4 KB page to disk
             swap_in_ns: 2_000_000, // one 4 KB page from disk
+            ipi_ns: 5_000,         // cross-CPU interrupt + ack
+            shootdown_ns: 2_000,   // one remote TLB-entry invalidation
         }
     }
 }
@@ -190,6 +206,10 @@ impl CostModel {
         ns += s.page_evictions * self.evict_ns;
         ns += (s.page_writebacks + s.swap_outs) * self.swap_io_ns;
         ns += s.swap_ins * self.swap_in_ns;
+        // SMP: shootdown IPIs and remote invalidations. Both counters
+        // are 0 on a single-CPU world, so existing runs are unchanged.
+        ns += s.ipis * self.ipi_ns;
+        ns += s.shootdowns * self.shootdown_ns;
         SimTime(ns)
     }
 

@@ -127,6 +127,31 @@ pub enum TraceEvent {
         /// Human-readable description of the repaired issue.
         detail: String,
     },
+    /// Eviction-path reclaim invalidated translations cached by a
+    /// remote CPU: an IPI crossed the interconnect and the remote TLB
+    /// dropped the affected entries (DESIGN.md §11).
+    TlbShootdown {
+        /// The CPU that initiated the invalidation (the boot CPU, where
+        /// round-boundary reclaim runs).
+        from_cpu: u32,
+        /// The CPU whose TLB was shot down.
+        to_cpu: u32,
+        /// First virtual address invalidated.
+        addr: u32,
+        /// Number of pages invalidated by this shootdown.
+        pages: u32,
+        /// Whether chaos dropped the first IPI, forcing (and billing) a
+        /// retransmission.
+        retried: bool,
+    },
+    /// An idle CPU stole a runnable process from its home CPU at a
+    /// round boundary; the context arrives with a cold TLB.
+    CpuSteal {
+        /// The CPU that took the process.
+        cpu: u32,
+        /// The CPU the process last ran on.
+        from_cpu: u32,
+    },
 }
 
 impl TraceEvent {
@@ -147,6 +172,8 @@ impl TraceEvent {
             TraceEvent::PageSwappedIn { .. } => "PageSwappedIn",
             TraceEvent::WritebackTaken { .. } => "WritebackTaken",
             TraceEvent::FsckRepaired { .. } => "FsckRepaired",
+            TraceEvent::TlbShootdown { .. } => "TlbShootdown",
+            TraceEvent::CpuSteal { .. } => "CpuSteal",
         }
     }
 }
@@ -208,6 +235,22 @@ impl fmt::Display for TraceEvent {
                 write!(f, "WritebackTaken addr={addr:#010x}")
             }
             TraceEvent::FsckRepaired { detail } => write!(f, "FsckRepaired {detail}"),
+            TraceEvent::TlbShootdown {
+                from_cpu,
+                to_cpu,
+                addr,
+                pages,
+                retried,
+            } => {
+                write!(
+                    f,
+                    "TlbShootdown cpu{from_cpu}->cpu{to_cpu} addr={addr:#010x} pages={pages}{}",
+                    if *retried { " (retried)" } else { "" }
+                )
+            }
+            TraceEvent::CpuSteal { cpu, from_cpu } => {
+                write!(f, "CpuSteal cpu{cpu} <- cpu{from_cpu}")
+            }
         }
     }
 }

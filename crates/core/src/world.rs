@@ -366,6 +366,60 @@ impl World {
         self.kernel.frame_pool()
     }
 
+    // --- SMP ---
+
+    /// Gives the kernel `n` simulated CPUs (clamped to 1..=64). The
+    /// default of 1 reproduces the classic one-process-per-slice
+    /// schedule byte for byte; with more, each scheduling round binds up
+    /// to `n` runnable processes (affinity + steal-on-idle) and
+    /// advances them in lockstep sub-quanta of `quantum / n`
+    /// instructions — a fixed interleave, so any seed replays exactly
+    /// (DESIGN.md §11). Takes effect at the next round boundary.
+    pub fn set_cpus(&mut self, n: u32) {
+        self.kernel.set_cpus(n);
+    }
+
+    /// Number of simulated CPUs (1 unless [`World::set_cpus`] raised it).
+    pub fn cpus(&self) -> u32 {
+        self.kernel.cpus()
+    }
+
+    /// Drains the kernel's SMP journal into the trace ring. Shootdowns
+    /// are stamped with the same IPI + per-page invalidation price the
+    /// cost model bills, so trace costs and the clock reconcile; steals
+    /// are free diagnostics (their price is the cold TLB they cause).
+    fn pump_smp(&mut self) {
+        for ev in self.kernel.drain_smp_events() {
+            let (pid, cost, event) = match ev {
+                hkernel::SmpEvent::Shootdown {
+                    from_cpu,
+                    to_cpu,
+                    pid,
+                    addr,
+                    pages,
+                    retried,
+                } => {
+                    let ipis = if retried { 2 } else { 1 };
+                    (
+                        pid,
+                        ipis * self.costs.ipi_ns + pages as u64 * self.costs.shootdown_ns,
+                        TraceEvent::TlbShootdown {
+                            from_cpu,
+                            to_cpu,
+                            addr,
+                            pages,
+                            retried,
+                        },
+                    )
+                }
+                hkernel::SmpEvent::Steal { cpu, pid, from_cpu } => {
+                    (pid, 0, TraceEvent::CpuSteal { cpu, from_cpu })
+                }
+            };
+            self.trace.record(pid, cost, event);
+        }
+    }
+
     /// Drains the frame pool's pressure journal into the trace ring,
     /// stamping each record with its cost-model price. The counters
     /// these records mirror are billed identically by
@@ -425,6 +479,13 @@ impl World {
     /// True if [`World::arm_sanitizer`] has been called.
     pub fn sanitizer_armed(&self) -> bool {
         self.sanitizer.is_some()
+    }
+
+    /// The armed sanitizer's shared handle, if any — for direct
+    /// inspection (per-CPU access streams, shadow sizes) without
+    /// having kept the clone [`World::arm_sanitizer`] returned.
+    pub fn sanitizer(&self) -> Option<Arc<Mutex<Sanitizer>>> {
+        self.sanitizer.clone()
     }
 
     /// Races reported by the armed sanitizer so far, oldest first.
@@ -663,12 +724,14 @@ impl World {
                 RunEvent::AllExited => {
                     self.drain_injections(0);
                     self.pump_pressure();
+                    self.pump_smp();
                     self.drain_sanitizer();
                     return WorldExit::AllExited;
                 }
                 RunEvent::Deadlock => {
                     self.drain_injections(0);
                     self.pump_pressure();
+                    self.pump_smp();
                     self.drain_sanitizer();
                     return WorldExit::Deadlock;
                 }
@@ -695,13 +758,15 @@ impl World {
             }
             // Publish injections decided during this slice (kernel
             // syscalls inject outside the linker's journal), then any
-            // pressure work the rebalance pass did.
+            // pressure and shootdown work the rebalance pass did.
             self.drain_injections(ev_pid);
             self.pump_pressure();
+            self.pump_smp();
             self.drain_sanitizer();
         }
         self.drain_injections(0);
         self.pump_pressure();
+        self.pump_smp();
         self.drain_sanitizer();
         WorldExit::StepLimit
     }
@@ -1402,6 +1467,9 @@ impl World {
             peak_resident_frames: pool.peak_resident,
             frame_budget: pool.capacity,
             oom_kills: pool.oom_kills,
+            shootdowns: self.kernel.stats.shootdowns,
+            ipis: self.kernel.stats.ipis,
+            cross_cpu_steals: self.kernel.stats.cross_cpu_steals,
         }
     }
 }

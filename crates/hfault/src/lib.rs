@@ -54,10 +54,16 @@ pub enum FaultSite {
     /// shared page's backing segment) back errors out. Only reachable
     /// under memory pressure.
     SwapRead,
+    /// TLB-shootdown IPI in `hkernel::kernel`: the first interrupt is
+    /// lost on the (simulated) interconnect and the kernel retransmits.
+    /// Pure cost noise — the protocol still completes, so the only
+    /// observable is an extra IPI in the stats. Only reachable on a
+    /// multi-CPU world whose eviction victim sits on a remote CPU.
+    ShootdownDrop,
 }
 
 /// All sites, in a stable order (used for per-site counters).
-pub const ALL_SITES: [FaultSite; 8] = [
+pub const ALL_SITES: [FaultSite; 9] = [
     FaultSite::FrameAlloc,
     FaultSite::InodeAlloc,
     FaultSite::TornWrite,
@@ -66,6 +72,7 @@ pub const ALL_SITES: [FaultSite; 8] = [
     FaultSite::Trampoline,
     FaultSite::SwapWrite,
     FaultSite::SwapRead,
+    FaultSite::ShootdownDrop,
 ];
 
 impl FaultSite {
@@ -80,6 +87,7 @@ impl FaultSite {
             FaultSite::Trampoline => "trampoline",
             FaultSite::SwapWrite => "swap_write",
             FaultSite::SwapRead => "swap_read",
+            FaultSite::ShootdownDrop => "shootdown_drop",
         }
     }
 
@@ -101,6 +109,7 @@ impl FaultSite {
             FaultSite::Trampoline => 5,
             FaultSite::SwapWrite => 6,
             FaultSite::SwapRead => 7,
+            FaultSite::ShootdownDrop => 8,
         }
     }
 }
@@ -118,7 +127,7 @@ pub struct FaultPlan {
     state: u64,
     rate_ppm: u32,
     /// Bitmask of enabled sites (bit = `FaultSite::index`).
-    enabled: u8,
+    enabled: u16,
     injected: u64,
     decisions: u64,
     by_site: [u64; ALL_SITES.len()],
@@ -136,7 +145,7 @@ impl FaultPlan {
                 seed
             },
             rate_ppm: rate_ppm.min(1_000_000),
-            enabled: 0b1111_1111,
+            enabled: 0b1_1111_1111,
             injected: 0,
             decisions: 0,
             by_site: [0; ALL_SITES.len()],

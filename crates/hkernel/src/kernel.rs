@@ -110,6 +110,52 @@ pub struct KernelStats {
     pub tlb_hits: u64,
     /// Software-TLB misses accumulated from reaped processes.
     pub tlb_misses: u64,
+    /// Inter-processor interrupts sent by the TLB-shootdown protocol
+    /// (one per remote CPU notified; a chaos-dropped IPI counts its
+    /// retransmission too). Always 0 on a single-CPU kernel.
+    pub ipis: u64,
+    /// Remote TLB entries invalidated by shootdowns. Always 0 on a
+    /// single-CPU kernel.
+    pub shootdowns: u64,
+    /// Times an idle CPU stole a runnable process whose context last
+    /// ran on a different CPU (the migration costs it a cold TLB).
+    pub cross_cpu_steals: u64,
+}
+
+/// One cross-CPU scheduler event, journaled by the kernel and drained
+/// by the embedder into its trace ring (`TlbShootdown`/`CpuSteal`
+/// records). Empty on a single-CPU kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SmpEvent {
+    /// The shootdown protocol invalidated `pages` remote TLB entries of
+    /// `pid` (whose context sits on `to_cpu`) after an eviction-path
+    /// mapping change initiated from `from_cpu`. `retried` marks an IPI
+    /// the chaos layer dropped once, forcing a retransmission.
+    Shootdown {
+        /// CPU that initiated the mapping change (the boot CPU for
+        /// round-boundary reclaim).
+        from_cpu: u32,
+        /// CPU whose TLB was shot down.
+        to_cpu: u32,
+        /// Owner of the invalidated translations.
+        pid: Pid,
+        /// Base virtual address of the first invalidated page.
+        addr: u32,
+        /// Number of pages invalidated.
+        pages: u32,
+        /// The first IPI was lost and retransmitted (chaos injection at
+        /// `hfault::FaultSite::ShootdownDrop`).
+        retried: bool,
+    },
+    /// An idle CPU claimed a runnable process away from its home CPU.
+    Steal {
+        /// The stealing (previously idle) CPU.
+        cpu: u32,
+        /// The migrated process.
+        pid: Pid,
+        /// The CPU the process last ran on.
+        from_cpu: u32,
+    },
 }
 
 struct Sem {
@@ -122,6 +168,19 @@ enum SysCtl {
     Continue,
     /// Stop the slice and report this event.
     Event(RunEvent),
+}
+
+/// Scheduler state of one simulated CPU for the current round.
+#[derive(Clone, Copy, Debug, Default)]
+struct CpuSlot {
+    /// The process bound to this CPU for the round (`None` = idle).
+    pid: Option<Pid>,
+    /// Instructions consumed from this round's per-CPU quantum.
+    used: u64,
+    /// The CPU is finished for the round: quantum exhausted, or its
+    /// process surfaced an event (the rest of the quantum is forfeited,
+    /// exactly as a single-CPU slice ends at its first event).
+    done: bool,
 }
 
 /// The simulated kernel.
@@ -146,6 +205,16 @@ pub struct Kernel {
     /// Second-chance clock hand: where the last eviction scan stopped
     /// (pid, next vpn), so pressure rotates fairly across processes.
     clock: Option<(Pid, u32)>,
+    /// Per-CPU scheduler state. Length = the simulated CPU count; the
+    /// default single slot reproduces the classic one-process-per-slice
+    /// scheduler byte for byte.
+    slots: Vec<CpuSlot>,
+    /// The CPU whose sub-quantum runs next within the current round.
+    cur_cpu: usize,
+    /// A scheduling round is in progress (some CPU still has budget).
+    round_active: bool,
+    /// Cross-CPU scheduler events since the last drain.
+    smp_journal: Vec<SmpEvent>,
 }
 
 /// A stable identity for a mutual-exclusion lock object, for
@@ -189,7 +258,36 @@ impl Kernel {
             monitor: None,
             pool: FramePool::default(),
             clock: None,
+            slots: vec![CpuSlot::default()],
+            cur_cpu: 0,
+            round_active: false,
+            smp_journal: Vec::new(),
         }
+    }
+
+    /// Sets the number of simulated CPUs (clamped to `1..=64`). The
+    /// default of 1 keeps the classic scheduler; with N CPUs each
+    /// scheduling round binds up to N runnable processes (affinity
+    /// first, idle CPUs steal the rest) and advances them in lockstep
+    /// sub-quanta of `quantum / N` instructions, interleaved in CPU
+    /// index order. Resets any round in progress, so call it before
+    /// running, not mid-slice.
+    pub fn set_cpus(&mut self, n: u32) {
+        let n = n.clamp(1, 64) as usize;
+        self.slots = vec![CpuSlot::default(); n];
+        self.cur_cpu = 0;
+        self.round_active = false;
+    }
+
+    /// The simulated CPU count.
+    pub fn cpus(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Drains cross-CPU scheduler events (shootdowns, steals) journaled
+    /// since the last drain, in occurrence order.
+    pub fn drain_smp_events(&mut self) -> Vec<SmpEvent> {
+        std::mem::take(&mut self.smp_journal)
     }
 
     /// The kernel's frame pool (budget configuration and statistics).
@@ -224,6 +322,9 @@ impl Kernel {
     /// Reports a sync edge to the installed monitor, if any.
     fn edge(&mut self, edge: SyncEdge) {
         if let Some(m) = &self.monitor {
+            // invariant: the monitor mutex is never held across a call
+            // into the kernel, so it can only be poisoned by a panic
+            // already in flight.
             m.lock().unwrap().sync_edge(edge);
         }
     }
@@ -244,6 +345,8 @@ impl Kernel {
     pub fn exec_image(&mut self, pid: Pid, image: &ExecImage) -> Result<(), MemError> {
         let page = PAGE_SIZE;
         let round = |n: u32| n.div_ceil(page) * page;
+        // invariant: exec is a host-side embedder call whose pid came
+        // from `spawn`; the embedder owns the lifecycle between the two.
         let proc = self.procs.get_mut(&pid).expect("exec of a live process");
         proc.aspace = AddressSpace::new();
         proc.aspace.arm_faults(self.faults.clone());
@@ -277,33 +380,149 @@ impl Kernel {
         Ok(())
     }
 
-    /// Runs the system: wakes what can be woken, dispatches the next
-    /// runnable process for up to `quantum` instructions, and reports why
-    /// the slice ended.
+    /// Runs the system: wakes what can be woken, dispatches runnable
+    /// processes for up to `quantum` instructions each, and reports why
+    /// the run stopped.
+    ///
+    /// With one CPU (the default) every call is one classic slice:
+    /// rebalance, wake, pick the next runnable process round-robin, run
+    /// it for a quantum. With N CPUs the same call drives a *round*: up
+    /// to N processes are bound to CPUs (affinity first, idle CPUs
+    /// steal), then advance in lockstep sub-quanta of `quantum / N`
+    /// instructions in CPU index order — the fixed interleave that makes
+    /// same-quantum contention deterministic. The first event from any
+    /// CPU is returned (that CPU forfeits its remaining quantum, like a
+    /// single-CPU slice ending early); the round resumes on the next
+    /// call until every CPU is done.
     pub fn step_system(&mut self, quantum: u64) -> RunEvent {
-        if let Some(ev) = self.rebalance() {
-            return ev;
+        if self.round_active && self.slots.iter().all(|s| s.done || s.pid.is_none()) {
+            self.round_active = false;
         }
-        self.poll_blocked();
-        let Some(pid) = self.pick_next() else {
-            let any_blocked = self
-                .procs
-                .values()
-                .any(|p| matches!(p.state, ProcState::Blocked(_)));
-            return if any_blocked {
-                RunEvent::Deadlock
-            } else {
-                RunEvent::AllExited
+        if !self.round_active {
+            if let Some(ev) = self.rebalance() {
+                return ev;
+            }
+            self.poll_blocked();
+            if !self.begin_round() {
+                let any_blocked = self
+                    .procs
+                    .values()
+                    .any(|p| matches!(p.state, ProcState::Blocked(_)));
+                return if any_blocked {
+                    RunEvent::Deadlock
+                } else {
+                    RunEvent::AllExited
+                };
+            }
+        }
+        self.run_round(quantum)
+    }
+
+    /// Binds up to one runnable process per CPU for a new round. The
+    /// processes are *selected* round-robin (continuing after the last
+    /// cursor position, exactly like the single-CPU pick) and *placed*
+    /// by affinity: a process whose home CPU is free keeps it, and idle
+    /// CPUs steal the remainder in index order — a migration that costs
+    /// the stolen context its warm TLB. Returns false when nothing is
+    /// runnable.
+    fn begin_round(&mut self) -> bool {
+        let chosen = self.select_runnable(self.slots.len());
+        if chosen.is_empty() {
+            return false;
+        }
+        for s in &mut self.slots {
+            *s = CpuSlot::default();
+        }
+        let mut leftover: Vec<Pid> = Vec::new();
+        for &pid in &chosen {
+            match self.procs[&pid].cpu.last_cpu {
+                Some(c)
+                    if (c as usize) < self.slots.len() && self.slots[c as usize].pid.is_none() =>
+                {
+                    self.slots[c as usize].pid = Some(pid);
+                }
+                _ => leftover.push(pid),
+            }
+        }
+        let free: Vec<usize> = (0..self.slots.len())
+            .filter(|&c| self.slots[c].pid.is_none())
+            .collect();
+        for (&pid, &c) in leftover.iter().zip(free.iter()) {
+            let c = c as u32;
+            // invariant: selection size is bounded by the CPU count, so
+            // every leftover process finds a free slot.
+            let proc = self.procs.get_mut(&pid).expect("selected pid is live");
+            if let Some(from) = proc.cpu.last_cpu {
+                if from != c {
+                    self.stats.cross_cpu_steals += 1;
+                    self.smp_journal.push(SmpEvent::Steal {
+                        cpu: c,
+                        pid,
+                        from_cpu: from,
+                    });
+                    // Per-CPU TLBs: the context arrives cold on its new
+                    // CPU; its entries on the old one die by disuse.
+                    proc.aspace.tlb_migrate_flush();
+                }
+            }
+            proc.cpu.last_cpu = Some(c);
+            self.slots[c as usize].pid = Some(pid);
+        }
+        for c in 0..self.slots.len() {
+            if let Some(pid) = self.slots[c].pid {
+                self.stats.dispatches += 1;
+                // The dispatched process is about to execute its
+                // restarted instructions, so any pages pinned by
+                // fault-time repage can age normally from here on.
+                if let Some(proc) = self.procs.get_mut(&pid) {
+                    proc.aspace.unpin_all();
+                }
+            }
+        }
+        self.cur_cpu = 0;
+        self.round_active = true;
+        true
+    }
+
+    /// Advances the current round: bound CPUs run sub-quanta of
+    /// `quantum / cpus` instructions in CPU index order until one
+    /// surfaces an event (ending that CPU's round) or every quantum is
+    /// spent. With one CPU the sub-quantum is the whole quantum — one
+    /// classic slice.
+    fn run_round(&mut self, quantum: u64) -> RunEvent {
+        let n = self.slots.len();
+        let subq = quantum.div_ceil(n as u64).max(1);
+        let mut last_ran: Option<Pid> = None;
+        loop {
+            let Some(c) = (0..n)
+                .map(|i| (self.cur_cpu + i) % n)
+                .find(|&c| !self.slots[c].done && self.slots[c].pid.is_some())
+            else {
+                self.round_active = false;
+                // invariant: a round always enters this loop with at
+                // least one bound, not-done slot, so something ran
+                // before the round completed.
+                return RunEvent::Quantum(last_ran.expect("round ran a process"));
             };
-        };
-        self.stats.dispatches += 1;
-        // The dispatched process is about to execute its restarted
-        // instructions, so any pages pinned by fault-time repage can
-        // age normally from here on.
-        if let Some(proc) = self.procs.get_mut(&pid) {
-            proc.aspace.unpin_all();
+            // invariant: the cyclic search above only yields slots whose
+            // `pid` is bound (`done` slots and empty slots are skipped).
+            let pid = self.slots[c].pid.expect("slot filtered as bound");
+            let budget = subq.min(quantum - self.slots[c].used);
+            let (steps, ev) = self.run_slice_counted(pid, budget, c as u32);
+            self.slots[c].used += steps;
+            last_ran = Some(pid);
+            if self.slots[c].used >= quantum {
+                self.slots[c].done = true;
+            }
+            self.cur_cpu = (c + 1) % n;
+            if let Some(ev) = ev {
+                self.slots[c].done = true;
+                if self.slots.iter().all(|s| s.done || s.pid.is_none()) {
+                    self.round_active = false;
+                }
+                return ev;
+            }
         }
-        self.run_slice(pid, quantum)
     }
 
     /// Drives [`Kernel::step_system`] until every process has exited or
@@ -381,6 +600,8 @@ impl Kernel {
             for pid in pids {
                 let mut from = 0;
                 loop {
+                    // invariant: collected from `procs` above; eviction
+                    // never removes a process entry.
                     let proc = self.procs.get_mut(&pid).expect("live pid");
                     if proc.aspace.resident_pages() <= quota {
                         break;
@@ -390,7 +611,10 @@ impl Kernel {
                     };
                     // Skip unevictable pages (swap full / chaos) and
                     // keep sweeping; the sweep is strictly forward.
-                    let _ = proc.aspace.evict_page(pid, vpn, &mut self.vfs.shared);
+                    let outcome = proc.aspace.evict_page(pid, vpn, &mut self.vfs.shared);
+                    if outcome == EvictOutcome::Evicted {
+                        self.shootdown(pid, vpn * PAGE_SIZE, 1);
+                    }
                     from = vpn + 1;
                 }
             }
@@ -421,12 +645,15 @@ impl Kernel {
             let pid = pids[(start + step) % pids.len()];
             let mut from = if step == 0 { hand_vpn } else { 0 };
             loop {
+                // invariant: collected from `procs` above; eviction
+                // never removes a process entry.
                 let proc = self.procs.get_mut(&pid).expect("live pid");
                 let Some(vpn) = proc.aspace.clock_scan(from) else {
                     break;
                 };
                 match proc.aspace.evict_page(pid, vpn, &mut self.vfs.shared) {
                     EvictOutcome::Evicted => {
+                        self.shootdown(pid, vpn * PAGE_SIZE, 1);
                         self.clock = Some((pid, vpn + 1));
                         return true;
                     }
@@ -465,58 +692,105 @@ impl Kernel {
             // the whole point of the kill is the frames: free them now.
             proc.aspace.release_all();
         }
+        // The mass reclaim tears down every translation the victim had
+        // cached: one remote invalidation covering its resident set.
+        self.shootdown(pid, 0, resident as u32);
         self.pool.count_oom_kill();
         RunEvent::OomKill { pid, resident }
     }
 
-    /// Round-robin over runnable pids, continuing after the last choice.
-    fn pick_next(&mut self) -> Option<Pid> {
-        let runnable = |p: &Process| matches!(p.state, ProcState::Runnable);
-        let next = self
-            .procs
-            .range(self.rr_cursor + 1..)
-            .find(|(_, p)| runnable(p))
-            .or_else(|| {
-                self.procs
-                    .range(..=self.rr_cursor)
-                    .find(|(_, p)| runnable(p))
-            })
-            .map(|(&pid, _)| pid);
-        if let Some(pid) = next {
-            self.rr_cursor = pid;
+    /// The TLB-shootdown protocol for eviction-path mapping changes.
+    ///
+    /// Round-boundary reclaim runs in kernel context on the boot CPU
+    /// (CPU 0). If the victim process last ran on another CPU, its
+    /// cached translations must die remotely: one IPI per notification
+    /// (chaos may drop the first — `ShootdownDrop` — forcing a billed
+    /// retransmission), one shootdown per page invalidated. On a
+    /// single-CPU kernel, or when the victim's context is local to the
+    /// boot CPU, the invalidation is a free local operation. A process's
+    /// own `map`/`unmap`/`mprotect` calls execute on its current CPU and
+    /// are likewise local; exit-time teardown retires the whole context
+    /// lazily (ASID reuse) and never pays an IPI.
+    fn shootdown(&mut self, pid: Pid, addr: u32, pages: u32) {
+        const BOOT_CPU: u32 = 0;
+        if self.slots.len() == 1 || pages == 0 {
+            return;
         }
-        next
+        let Some(victim_cpu) = self.procs.get(&pid).and_then(|p| p.cpu.last_cpu) else {
+            // Never dispatched: nothing cached on any CPU.
+            return;
+        };
+        if victim_cpu == BOOT_CPU {
+            return;
+        }
+        let retried = self.faults.should_inject(hfault::FaultSite::ShootdownDrop);
+        self.stats.ipis += if retried { 2 } else { 1 };
+        self.stats.shootdowns += pages as u64;
+        self.smp_journal.push(SmpEvent::Shootdown {
+            from_cpu: BOOT_CPU,
+            to_cpu: victim_cpu,
+            pid,
+            addr,
+            pages,
+            retried,
+        });
     }
 
-    /// Runs one process for up to `quantum` instructions.
+    /// Picks up to `n` distinct runnable pids in round-robin order,
+    /// continuing after the last cursor position. With `n == 1` this is
+    /// the classic pick-next-runnable cursor walk.
+    fn select_runnable(&mut self, n: usize) -> Vec<Pid> {
+        let runnable: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| matches!(p.state, ProcState::Runnable))
+            .map(|(&pid, _)| pid)
+            .collect();
+        if runnable.is_empty() {
+            return Vec::new();
+        }
+        let start = runnable
+            .iter()
+            .position(|&p| p > self.rr_cursor)
+            .unwrap_or(0);
+        let take = runnable.len().min(n);
+        let chosen: Vec<Pid> = (0..take)
+            .map(|i| runnable[(start + i) % runnable.len()])
+            .collect();
+        // invariant: take >= 1 because the runnable list is non-empty.
+        self.rr_cursor = *chosen.last().expect("non-empty selection");
+        chosen
+    }
+
+    /// Runs one process for up to `quantum` instructions on CPU 0.
     pub fn run_slice(&mut self, pid: Pid, quantum: u64) -> RunEvent {
+        let (_, ev) = self.run_slice_counted(pid, quantum, 0);
+        ev.unwrap_or(RunEvent::Quantum(pid))
+    }
+
+    /// Runs one process on simulated CPU `cpu` for up to `budget`
+    /// instructions. Returns the instructions consumed and the event
+    /// that ended the run early (`None` means the budget was exhausted
+    /// without incident).
+    fn run_slice_counted(&mut self, pid: Pid, budget: u64, cpu: u32) -> (u64, Option<RunEvent>) {
         let mut steps = 0u64;
-        while steps < quantum {
+        while steps < budget {
             let outcome = {
                 let proc = match self.procs.get_mut(&pid) {
                     Some(p) if matches!(p.state, ProcState::Runnable) => p,
-                    _ => return RunEvent::Blocked(pid),
+                    _ => return (steps, Some(RunEvent::Blocked(pid))),
+                };
+                let ctx = AccessCtx {
+                    pid,
+                    pc: proc.cpu.pc,
+                    uid: proc.uid,
+                    cpu,
                 };
                 let mut bus = match &self.monitor {
-                    Some(monitor) => MemBus::observed(
-                        &mut proc.aspace,
-                        &mut self.vfs.shared,
-                        AccessCtx {
-                            pid,
-                            pc: proc.cpu.pc,
-                            uid: proc.uid,
-                        },
-                        monitor,
-                    ),
-                    None => MemBus::attributed(
-                        &mut proc.aspace,
-                        &mut self.vfs.shared,
-                        AccessCtx {
-                            pid,
-                            pc: proc.cpu.pc,
-                            uid: proc.uid,
-                        },
-                    ),
+                    Some(monitor) => {
+                        MemBus::observed(&mut proc.aspace, &mut self.vfs.shared, ctx, monitor)
+                    }
+                    None => MemBus::attributed(&mut proc.aspace, &mut self.vfs.shared, ctx),
                 };
                 proc.cpu.step(&mut bus)
             };
@@ -530,23 +804,23 @@ impl Kernel {
                     self.stats.instructions += 1;
                     match self.dispatch_syscall(pid) {
                         SysCtl::Continue => {}
-                        SysCtl::Event(ev) => return ev,
+                        SysCtl::Event(ev) => return (steps, Some(ev)),
                     }
                 }
                 StepOutcome::Break(code) => {
                     self.stats.instructions += 1;
-                    return RunEvent::Break { pid, code };
+                    return (steps, Some(RunEvent::Break { pid, code }));
                 }
                 StepOutcome::Fault(fault) => {
                     if fault.is_segv() {
                         self.stats.segv_faults += 1;
-                        return RunEvent::Segv { pid, fault };
+                        return (steps, Some(RunEvent::Segv { pid, fault }));
                     }
-                    return RunEvent::Fatal { pid, fault };
+                    return (steps, Some(RunEvent::Fatal { pid, fault }));
                 }
             }
         }
-        RunEvent::Quantum(pid)
+        (steps, None)
     }
 
     // --- register / memory helpers ---
@@ -601,6 +875,10 @@ impl Kernel {
 
     // --- syscall dispatch ---
 
+    // invariant: `pid` is the process whose `syscall` instruction just
+    // retired on this CPU; nothing between retirement and dispatch can
+    // remove it from `procs`, so every `expect("caller")` lookup in the
+    // dispatch tree (and the helpers it calls) is infallible.
     fn dispatch_syscall(&mut self, pid: Pid) -> SysCtl {
         let num = self.reg(pid, Reg::V0);
         if num >= SERVICE_BASE {
@@ -773,7 +1051,9 @@ impl Kernel {
                             // Transfer the count directly to the waiter.
                             woken = Some(waiter);
                         } else {
-                            sem.count += 1;
+                            // A guest can V in a loop forever; pinning at
+                            // i32::MAX beats a debug-overflow panic.
+                            sem.count = sem.count.saturating_add(1);
                         }
                         0
                     }
@@ -1001,10 +1281,13 @@ impl Kernel {
                         size,
                     ) {
                         (Some(desc), Some(size)) => {
+                            // Saturating: the current offset can sit
+                            // anywhere a previous lseek put it, so a
+                            // guest-chosen delta must not overflow i64.
                             let new = match a2 {
                                 0 => a1 as i64,
-                                1 => desc.offset as i64 + a1 as i32 as i64,
-                                2 => size as i64 + a1 as i32 as i64,
+                                1 => (desc.offset as i64).saturating_add(a1 as i32 as i64),
+                                2 => (size as i64).saturating_add(a1 as i32 as i64),
                                 _ => -1,
                             };
                             if new < 0 {
@@ -1177,7 +1460,9 @@ impl Kernel {
             }
             proc.brk = new;
         } else if incr < 0 {
-            proc.brk = old.saturating_sub((-incr) as u32);
+            // unsigned_abs, not negation: `-i32::MIN` overflows, and the
+            // increment is a guest-supplied register.
+            proc.brk = old.saturating_sub(incr.unsigned_abs());
         }
         old as i32
     }
@@ -1241,6 +1526,8 @@ impl Kernel {
             match block {
                 Block::Wait(target) => {
                     if let Some((child, status)) = self.try_reap(pid, target) {
+                        // invariant: `try_reap` removes only zombie
+                        // children, never the (blocked, live) waiter.
                         let p = self.procs.get_mut(&pid).expect("waiter");
                         p.state = ProcState::Runnable;
                         p.cpu.set_reg(Reg::V0, child);
@@ -1249,6 +1536,9 @@ impl Kernel {
                 }
                 Block::Lock { vnode, kind } => {
                     if self.vfs.try_lock(vnode, kind, pid as u64).is_ok() {
+                        // invariant: collected as Blocked from `procs`
+                        // at the top of this call; `try_lock` cannot
+                        // remove a process.
                         let p = self.procs.get_mut(&pid).expect("locker");
                         p.state = ProcState::Runnable;
                         p.cpu.set_reg(Reg::V0, 0);
@@ -1370,6 +1660,89 @@ mod tests {
         let events = run_to_completion(&mut k);
         assert!(events.contains(&RunEvent::Exited(pid, 42)));
         assert!(matches!(k.procs[&pid].state, ProcState::Zombie(42)));
+    }
+
+    #[test]
+    fn sbrk_of_int_min_is_survivable() {
+        // Regression: `sbrk(i32::MIN)` negated the increment, which
+        // overflows i32 and aborted debug builds — a guest-reachable
+        // panic from a single syscall.
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        let mut prog = vec![];
+        prog.extend(li(Reg::V0, Sys::Sbrk as u32));
+        prog.extend(li(Reg::A0, i32::MIN as u32));
+        prog.push(Syscall);
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 0)));
+        // Releasing more than the heap holds clamps the break at zero.
+        assert_eq!(k.procs[&pid].brk, 0);
+    }
+
+    #[test]
+    fn sem_v_at_max_count_saturates() {
+        // Regression: V on a semaphore already at `i32::MAX` overflowed
+        // the count in debug builds; a guest can V in a loop forever.
+        let mut k = Kernel::new();
+        k.sems.insert(
+            7,
+            Sem {
+                count: i32::MAX,
+                waiters: VecDeque::new(),
+            },
+        );
+        let pid = k.spawn(1);
+        let mut prog = vec![];
+        prog.extend(li(Reg::A0, 7));
+        prog.extend(li(Reg::V0, Sys::SemV as u32));
+        prog.push(Syscall);
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 0)));
+        assert_eq!(k.sems[&7].count, i32::MAX, "count pins at the ceiling");
+    }
+
+    #[test]
+    fn lseek_from_extreme_offset_saturates() {
+        // Regression: SEEK_CUR/SEEK_END added the guest delta with plain
+        // i64 `+`, which overflows once a descriptor's offset sits near
+        // `i64::MAX` — reachable (slowly) through repeated seeks.
+        let mut k = Kernel::new();
+        let pid = k.spawn(1);
+        let vnode = k.vfs.create_file("/f", 0o666, 1).unwrap();
+        let fd = k.procs.get_mut(&pid).unwrap().alloc_fd(vnode, true);
+        k.procs
+            .get_mut(&pid)
+            .unwrap()
+            .fds
+            .get_mut(&fd)
+            .unwrap()
+            .offset = i64::MAX as u64;
+        // lseek(fd, i32::MAX, SEEK_CUR); exit(0)
+        let mut prog = vec![];
+        prog.extend(li(Reg::A0, fd as u32));
+        prog.extend(li(Reg::A1, i32::MAX as u32));
+        prog.extend(li(Reg::A2, 1));
+        prog.extend(li(Reg::V0, Sys::Lseek as u32));
+        prog.push(Syscall);
+        prog.extend(li(Reg::V0, Sys::Exit as u32));
+        prog.extend(li(Reg::A0, 0));
+        prog.push(Syscall);
+        k.exec_image(pid, &image(&prog, &[])).unwrap();
+        let events = run_to_completion(&mut k);
+        assert!(events.contains(&RunEvent::Exited(pid, 0)));
+        assert_eq!(
+            k.procs[&pid].fds[&fd].offset,
+            i64::MAX as u64,
+            "offset saturates instead of wrapping"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod monitor;
 pub mod process;
 pub mod syscall;
 
-pub use kernel::{Kernel, KernelStats, RunEvent, Unsettled};
+pub use kernel::{Kernel, KernelStats, RunEvent, SmpEvent, Unsettled};
 pub use layout::Region;
 pub use mem::{
     AddressSpace, FramePool, MemBus, MemError, PageEvent, PoolStats, Prot, RepageOutcome,

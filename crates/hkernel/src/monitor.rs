@@ -25,6 +25,11 @@ pub struct AccessCtx {
     pub pc: u32,
     /// Effective uid of the process (for protection-transition checks).
     pub uid: u32,
+    /// The simulated CPU the access executed on (always 0 on a
+    /// single-CPU world). Lets monitors keep per-CPU observation
+    /// streams; the happens-before analysis itself stays pid-based, so
+    /// two CPUs racing inside one sub-quantum are still unordered.
+    pub cpu: u32,
 }
 
 /// A synchronization edge the kernel mediated.

@@ -158,6 +158,8 @@ pub fn instantiate(obj: &Object, base: u32) -> Result<Instance, LinkError> {
     let exports = obj
         .exported_symbols()
         .map(|s| {
+            // invariant: `exported_symbols` filters on `!is_undefined()`,
+            // i.e. `def.is_some()`.
             let def = s.def.expect("exported symbols are defined");
             (
                 s.name.clone(),

@@ -241,6 +241,8 @@ impl Lds {
         };
         for pm in &placed {
             for sym in pm.obj.exported_symbols() {
+                // invariant: `exported_symbols` filters on
+                // `!is_undefined()`, i.e. `def.is_some()`.
                 let def = sym.def.expect("exported");
                 let addr = match def.section {
                     SectionId::Text => pm.text_base + def.offset,

@@ -180,6 +180,12 @@ pub struct Sanitizer {
     reports: Vec<Report>,
     races_detected: u64,
     sync_edges: u64,
+    /// Shared accesses observed per simulated CPU (`AccessCtx::cpu`).
+    /// Diagnostics only: the happens-before analysis is pid-based, so
+    /// where an access executed never changes whether it races — two
+    /// CPUs inside one sub-quantum are simply unordered like any other
+    /// unsynchronized pair.
+    cpu_accesses: BTreeMap<u32, u64>,
 }
 
 impl Sanitizer {
@@ -345,6 +351,13 @@ impl Sanitizer {
         self.shadow.len() as u64 * 4
     }
 
+    /// Shared accesses observed per simulated CPU, keyed by CPU id.
+    /// Empty until the first shared access; a single-CPU world only
+    /// ever populates key 0.
+    pub fn cpu_accesses(&self) -> &BTreeMap<u32, u64> {
+        &self.cpu_accesses
+    }
+
     // --- access tracking ------------------------------------------------
 
     fn report_race(
@@ -367,6 +380,7 @@ impl Sanitizer {
     }
 
     fn observe(&mut self, ctx: AccessCtx, ino: u32, off: u32, len: u32, is_write: bool) {
+        *self.cpu_accesses.entry(ctx.cpu).or_default() += 1;
         let word = (ino, off / 4);
         if self.tas_words.contains(&word) {
             // A plain store to a registered lock word by its holder is
@@ -516,7 +530,12 @@ mod tests {
     use super::*;
 
     fn ctx(pid: Pid, pc: u32) -> AccessCtx {
-        AccessCtx { pid, pc, uid: 10 }
+        AccessCtx {
+            pid,
+            pc,
+            uid: 10,
+            cpu: 0,
+        }
     }
 
     #[test]

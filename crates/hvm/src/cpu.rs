@@ -60,6 +60,10 @@ pub struct Cpu {
     pub pc: u32,
     /// Count of retired instructions (the simulation's cycle clock).
     pub retired: u64,
+    /// The simulated CPU this context last executed on (`None` until the
+    /// first dispatch). The scheduler uses it for affinity; running the
+    /// context on a different CPU costs a cold translation cache.
+    pub last_cpu: Option<u32>,
 }
 
 impl Default for Cpu {
@@ -77,6 +81,7 @@ impl Cpu {
             lo: 0,
             pc: 0,
             retired: 0,
+            last_cpu: None,
         }
     }
 

@@ -6,13 +6,21 @@
 # run, which are exactly reproducible on any machine) and collects the
 # per-row numbers emitted via BENCH_JSON_OUT into a JSON baseline:
 #
-#     { "<bench id>/<row label>": <sim_ns>, ... }
+#     { "<bench id>/<row label>": {"sim_ns":<n>}, ... }
+#
+# Rows are matched by the *structural* "bench" key of each emitted JSON
+# line — labels are stable identifiers, and volatile observables
+# (eviction counts, peak frames) travel in the separate "detail" field,
+# which is carried into the baseline for humans but never participates
+# in matching or comparison.
 #
 # If the baseline file (BENCH_2.json by default) is already committed,
-# every tracked row is compared against it first: a row that grew by
-# more than BENCH_TOLERANCE percent (default 10), or that disappeared,
-# fails the gate. The fresh results are then written to the baseline
-# path either way — simulated time is deterministic, so the file only
+# the row *sets* must match exactly in both directions — a baseline row
+# with no current counterpart fails the gate, and so does a current row
+# absent from the baseline (new rows must be committed deliberately by
+# regenerating) — and a row that grew by more than BENCH_TOLERANCE
+# percent (default 10) fails. The fresh results are then written to the
+# baseline path — simulated time is deterministic, so the file only
 # changes when the code's cost behavior actually changed, and `git diff`
 # shows exactly which rows moved.
 set -euo pipefail
@@ -33,7 +41,9 @@ if ! [ -s "$jsonl" ]; then
     exit 1
 fi
 
-# JSON-lines -> one sorted JSON object.
+# JSON-lines -> one sorted JSON object of per-row objects. Each input
+# line is {"bench":"K","sim_ns":N[,"detail":"D"]}; split on '"' that
+# makes the key $4, the detail (when present) $10.
 LC_ALL=C sort "$jsonl" | awk -F'"' '
     {
         v = $0
@@ -42,19 +52,31 @@ LC_ALL=C sort "$jsonl" | awk -F'"' '
         n += 1
         keys[n] = $4
         vals[n] = v
+        dets[n] = ($8 == "detail") ? $10 : ""
     }
     END {
         print "{"
-        for (i = 1; i <= n; i++)
-            printf "  \"%s\": %s%s\n", keys[i], vals[i], (i < n ? "," : "")
+        for (i = 1; i <= n; i++) {
+            line = "  \"" keys[i] "\": {\"sim_ns\":" vals[i]
+            if (dets[i] != "")
+                line = line ",\"detail\":\"" dets[i] "\""
+            line = line "}" (i < n ? "," : "")
+            print line
+        }
         print "}"
     }' > "$new_json"
 
-# "key<TAB>value" pairs from a baseline-format JSON object.
+# "key<TAB>sim_ns" pairs from a baseline-format JSON object. Also
+# accepts the legacy flat format ("key": 123) so an old committed
+# baseline still gates the first run after this format change.
 parse() {
-    awk -F'"' 'NF >= 3 {
-        v = $3
-        gsub(/[ :,}]/, "", v)
+    awk -F'"' '/"sim_ns":/ || /": *[0-9]+,?$/ {
+        v = $0
+        if (v ~ /"sim_ns":/)
+            sub(/.*"sim_ns":/, "", v)
+        else
+            sub(/.*": */, "", v)
+        sub(/[^0-9].*/, "", v)
         if ($2 != "" && v != "") print $2 "\t" v
     }' "$1"
 }
@@ -76,15 +98,18 @@ if [ -f "$OUT" ]; then
                     fail = 1
                 }
             }
-            for (k in cur)
-                if (!(k in base))
-                    printf "NEW       %s = %s\n", k, cur[k]
+            for (k in cur) {
+                if (!(k in base)) {
+                    printf "NEW       %s = %s (not in baseline)\n", k, cur[k]
+                    fail = 1
+                }
+            }
             exit fail
         }' <(parse "$OUT") <(parse "$new_json"); then
         status=1
     fi
     if [ "$status" -ne 0 ]; then
-        echo "bench_compare: FAILED (>${TOL}% regression or dropped row vs $OUT)" >&2
+        echo "bench_compare: FAILED (>${TOL}% regression, dropped row, or unbaselined row vs $OUT)" >&2
         echo "bench_compare: if intentional, regenerate with: rm $OUT && bash scripts/bench_compare.sh" >&2
         exit 1
     fi

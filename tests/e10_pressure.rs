@@ -132,6 +132,16 @@ fn budget_override() -> Option<u64> {
         .filter(|b| *b > 0)
 }
 
+/// CI sweep hook: `CPUS=<n>` runs the whole suite on an n-CPU world
+/// (default 1). Pressure semantics — invisibility, reconciliation,
+/// deterministic OOM — must hold at any CPU count.
+fn cpus_override() -> u32 {
+    std::env::var("CPUS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
 fn build_pressure_world() -> (World, String) {
     let mut world = World::new();
     world
@@ -193,6 +203,7 @@ fn run_pressure(
     plan: Option<FaultPlan>,
 ) -> (Observables, World) {
     let (mut world, exe) = build_pressure_world();
+    world.set_cpus(cpus_override());
     *world.trace_mut() = TraceBuffer::new(1 << 20);
     if let Some(frames) = budget {
         world.set_frame_budget(frames);
@@ -381,6 +392,7 @@ fn oom_kills_exactly_one_victim_deterministically() {
 
     let run_oom = || {
         let (mut world, exe) = build_pressure_world();
+        world.set_cpus(cpus_override());
         *world.trace_mut() = TraceBuffer::new(1 << 20);
         let image_wid = {
             let bytes = world.kernel.vfs.read_all(&exe).unwrap();
@@ -474,6 +486,7 @@ fn oom_kills_exactly_one_victim_deterministically() {
 #[test]
 fn exhausted_swap_still_kills_deterministically() {
     let (mut world, exe) = build_pressure_world();
+    world.set_cpus(cpus_override());
     let image_wid = {
         let bytes = world.kernel.vfs.read_all(&exe).unwrap();
         hobj::binfmt::decode_image(&bytes)

@@ -36,6 +36,16 @@ fn chaos_seed_offset() -> u64 {
         .unwrap_or(0)
 }
 
+/// CI sweep hook: `CPUS=<n>` runs the whole suite on an n-CPU world
+/// (default 1). Every containment and replay property must hold for
+/// any CPU count — the interleave is deterministic either way.
+fn cpus_override() -> u32 {
+    std::env::var("CPUS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
 /// Scheduler slices before a run counts as unsettled.
 const SETTLE_SLICES: u64 = 400_000;
 
@@ -130,6 +140,7 @@ struct Outcome {
 
 fn run_scenario(plan: Option<FaultPlan>) -> Outcome {
     let (mut world, exe) = build_world();
+    world.set_cpus(cpus_override());
     if let Some(plan) = plan {
         world.arm_faults(plan);
     }
@@ -283,10 +294,14 @@ fn full_rate_per_site_is_contained() {
         let out = run_scenario(Some(plan));
         check_contained(&out, &baseline);
         // The swap sites only fire under memory pressure, which this
-        // scenario (default frame budget) never creates; their
-        // injection coverage lives in e10_pressure.
-        if matches!(site, FaultSite::SwapWrite | FaultSite::SwapRead) {
-            assert_eq!(out.injected, 0, "swap sites need pressure to fire");
+        // scenario (default frame budget) never creates, and the
+        // shootdown site needs both pressure and a multi-CPU world;
+        // their injection coverage lives in e10_pressure / e11_smp.
+        if matches!(
+            site,
+            FaultSite::SwapWrite | FaultSite::SwapRead | FaultSite::ShootdownDrop
+        ) {
+            assert_eq!(out.injected, 0, "these sites need pressure to fire");
             continue;
         }
         assert!(

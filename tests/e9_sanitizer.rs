@@ -22,6 +22,16 @@ use proptest::prelude::*;
 /// Scheduler slices before a run counts as unsettled.
 const SETTLE_SLICES: u64 = 400_000;
 
+/// CI sweep hook: `CPUS=<n>` runs the whole suite on an n-CPU world
+/// (default 1). The sanitizer's verdicts are schedule-dependent but
+/// must stay deterministic and false-positive-free for any CPU count.
+fn cpus_override() -> u32 {
+    std::env::var("CPUS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
 /// The shared data of the counter application: the counter and the
 /// spin-lock word that guards it (cf. `examples/parallel.rs`).
 const SHARED_DATA: &str = r#"
@@ -112,6 +122,7 @@ fn run_counter(
     armed: bool,
 ) -> (Observables, World) {
     let (mut world, exe) = build_counter_world(worker_src);
+    world.set_cpus(cpus_override());
     if armed {
         world.arm_sanitizer();
     }
@@ -377,6 +388,7 @@ fn chaos_with_sanitizer_has_no_false_positives() {
     };
     let run = |seed: u64, sanitize: bool| {
         let (mut world, exe) = build();
+        world.set_cpus(cpus_override());
         world.arm_faults(FaultPlan::new(seed, 50_000));
         if sanitize {
             world.arm_sanitizer();
