@@ -114,8 +114,13 @@ fn build_world() -> (World, String) {
 /// worker's console depends only on its own arithmetic, so it must
 /// survive any budget and any CPU count).
 fn run_budget(budget: Option<u64>, cpus: u32) -> (WorldStats, SimTime, String) {
+    run_budget_cache(budget, cpus, true)
+}
+
+fn run_budget_cache(budget: Option<u64>, cpus: u32, cache: bool) -> (WorldStats, SimTime, String) {
     let (mut world, exe) = build_world();
     world.set_cpus(cpus);
+    world.set_bbcache(cache);
     if let Some(frames) = budget {
         world.set_frame_budget(frames);
     }
@@ -185,6 +190,26 @@ fn simulated_table() {
             ),
         ));
     }
+    // Block-cache identity row: peak/2 pressure with the decoded-block
+    // cache disabled reproduces the consoles *and* the simulated time
+    // exactly — eviction-driven block drops are host-side only (E12).
+    {
+        let budget = (peak / 2).max(1);
+        let on_t = rows
+            .iter()
+            .find(|(label, _, _)| label == "budget peak/2")
+            .map(|(_, t, _)| *t)
+            .unwrap();
+        let (s, t, c) = run_budget_cache(Some(budget), 1, false);
+        assert_eq!(c, consoles, "bbcache changed a guest observable");
+        assert_eq!(t, on_t, "bbcache must not move simulated time");
+        assert!(s.page_evictions > 0, "budget {budget} must bind");
+        rows.push((
+            "budget peak/2 (bbcache off)".into(),
+            t,
+            format!("{budget} frames; identical to cache-on run"),
+        ));
+    }
     // SMP rows: the same peak/2 pressure with the workers spread over
     // N CPUs. The extra simulated time is pure contention cost — the
     // shootdown IPIs reclaim must send when a victim's translations
@@ -226,6 +251,17 @@ fn bench_e10(c: &mut Criterion) {
                     .map(|b| b.max(1));
                 run_budget(arg, 1)
             })
+        });
+    }
+    // E12 wall lane: the peak/2 pressured run with the decoded-block
+    // cache on vs. off — eviction keeps invalidating hot blocks, so
+    // this bounds the cache's worst-case benefit under memory pressure.
+    for (label, cache) in [
+        ("budget_div_bbcache_on", true),
+        ("budget_div_bbcache_off", false),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, 2u64), &2u64, |b, &d| {
+            b.iter(|| run_budget_cache(Some((base_peak / d).max(1)), 1, cache))
         });
     }
     g.finish();

@@ -25,27 +25,7 @@ use hemlock::{ShareClass, SimTime, World};
 fn chain_world(n: usize, touch_depth: usize) -> (World, String) {
     assert!(touch_depth <= n);
     let mut world = World::new();
-    for i in 0..n {
-        let body = if i + 1 < n {
-            // Each module calls the next *conditionally*: it decrements
-            // the depth argument in a0 and stops at zero, so a run only
-            // executes (and therefore only needs) the first `depth`
-            // modules. The reference to the next module still exists —
-            // that is the big reachability graph.
-            format!(
-                ".module mod{i}\n.uses mod{next}\n.text\n.globl mod{i}_fn\n\
-                 mod{i}_fn: addi sp, sp, -8\nsw ra, 0(sp)\n\
-                 addi a0, a0, -1\nblez a0, stop\njal mod{next}_fn\n\
-                 b out\nstop: li v0, {i}\nout: lw ra, 0(sp)\naddi sp, sp, 8\njr ra\n",
-                next = i + 1
-            )
-        } else {
-            format!(".module mod{i}\n.text\n.globl mod{i}_fn\nmod{i}_fn: li v0, {i}\njr ra\n")
-        };
-        world
-            .install_template(&format!("/shared/lib/mod{i}.o"), &body)
-            .unwrap();
-    }
+    install_chain(&mut world, n, false);
     world
         .install_template(
             "/src/main.o",
@@ -67,9 +47,84 @@ fn chain_world(n: usize, touch_depth: usize) -> (World, String) {
     (world, exe)
 }
 
+/// Installs the `n`-module `.uses` chain. `dense` modules fold their
+/// argument into a running checksum before passing the call on — the
+/// per-call work a real library function does — so an interpretation-
+/// bound loop over the chain measures execution, not just call
+/// dispatch. The sim table uses the sparse chain (linking costs are
+/// the story there); the E12 wall lane uses the dense one.
+fn install_chain(world: &mut World, n: usize, dense: bool) {
+    for i in 0..n {
+        let body = if i + 1 < n {
+            // Each module calls the next *conditionally*: it decrements
+            // the depth argument in a0 and stops at zero, so a run only
+            // executes (and therefore only needs) the first `depth`
+            // modules. The reference to the next module still exists —
+            // that is the big reachability graph.
+            let work = if dense {
+                "sll r9, a0, 3\nxor a1, a1, r9\naddi a1, a1, 7\n\
+                 slt r9, a1, a0\nadd a2, a2, r9\nsll r9, a1, 1\n\
+                 xor a2, a2, r9\nadd a1, a1, a0\n\
+                 srl r9, a1, 2\nadd a2, a2, r9\nxor a1, a1, a2\n\
+                 sll r9, a2, 4\nsub a1, a1, r9\nslt r9, a0, a2\n\
+                 add a1, a1, r9\nxor a2, a2, a0\n"
+            } else {
+                ""
+            };
+            format!(
+                ".module mod{i}\n.uses mod{next}\n.text\n.globl mod{i}_fn\n\
+                 mod{i}_fn: addi sp, sp, -8\nsw ra, 0(sp)\n{work}\
+                 addi a0, a0, -1\nblez a0, stop\njal mod{next}_fn\n\
+                 b out\nstop: li v0, {i}\nout: lw ra, 0(sp)\naddi sp, sp, 8\njr ra\n",
+                next = i + 1
+            )
+        } else {
+            format!(".module mod{i}\n.text\n.globl mod{i}_fn\nmod{i}_fn: li v0, {i}\njr ra\n")
+        };
+        world
+            .install_template(&format!("/shared/lib/mod{i}.o"), &body)
+            .unwrap();
+    }
+}
+
+/// Like [`chain_world`], but `main` drives the whole (dense) chain
+/// `reps` times. After the first pass everything is linked; the
+/// remaining passes are pure call-heavy interpretation — the
+/// wall-clock shape for the decoded-block cache comparison (E12).
+fn chain_loop_world(n: usize, touch_depth: usize, reps: u32) -> (World, String) {
+    let mut world = World::new();
+    install_chain(&mut world, n, true);
+    world
+        .install_template(
+            "/src/mainloop.o",
+            &format!(
+                ".module mainloop\n.text\n.globl main\nmain: addi sp, sp, -8\nsw ra, 0(sp)\n\
+                 li r15, {reps}\nagain: li a0, {touch_depth}\njal mod0_fn\n\
+                 addi r15, r15, -1\nbgtz r15, again\n\
+                 lw ra, 0(sp)\naddi sp, sp, 8\njr ra\n"
+            ),
+        )
+        .unwrap();
+    let exe = world
+        .link(
+            "/bin/chainloop",
+            &[
+                ("/src/mainloop.o", ShareClass::StaticPrivate),
+                ("/shared/lib/mod0.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    (world, exe)
+}
+
 fn run_measured(n: usize, depth: usize, eager: bool) -> (SimTime, u64, u64) {
+    run_measured_cache(n, depth, eager, true)
+}
+
+fn run_measured_cache(n: usize, depth: usize, eager: bool, cache: bool) -> (SimTime, u64, u64) {
     let (mut world, exe) = chain_world(n, depth);
     world.eager = eager;
+    world.set_bbcache(cache);
     let t0 = sim_time(&world);
     let pid = world.spawn(&exe).unwrap();
     run_ok(&mut world);
@@ -124,6 +179,15 @@ fn simulated_table() {
             jt_t,
         ));
     }
+    // Block-cache identity row: the deepest lazy run with the decoded-
+    // block cache disabled is simulated-time identical (E12 property).
+    let (on_t, _, _) = run_measured(n, n, false);
+    let (off_t, _, _) = run_measured_cache(n, n, false, false);
+    assert_eq!(off_t, on_t, "bbcache must not move simulated time");
+    rows.push((
+        format!("lazy run total      (N={n}, touched={n}) (bbcache off)"),
+        off_t,
+    ));
     report(
         "E2",
         "linking discipline — startup+run cost vs. fraction of graph used",
@@ -166,6 +230,28 @@ fn bench_e2(c: &mut Criterion) {
                         world.exit_code(pid).unwrap()
                     },
                 )
+            },
+        );
+    }
+    // E12 wall lane: the eager chain driven end to end 1000 times in
+    // one process (everything linked after pass one, so the loop is
+    // pure call-heavy interpretation), block cache on vs. off.
+    for (label, cache) in [
+        ("eager_loop_bbcache_on", true),
+        ("eager_loop_bbcache_off", false),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(label, "n40_touch40"),
+            &(40usize, 40usize),
+            |b, &(n, depth)| {
+                let (mut world, exe) = chain_loop_world(n, depth, 1000);
+                world.eager = true;
+                world.set_bbcache(cache);
+                b.iter(|| {
+                    let pid = world.spawn(&exe).unwrap();
+                    run_ok(&mut world);
+                    world.exit_code(pid).unwrap()
+                })
             },
         );
     }

@@ -108,6 +108,16 @@ pub struct WorldStats {
     /// Runnable processes taken by an idle CPU away from their home CPU
     /// at a round boundary (each steal costs the context its warm TLB).
     pub cross_cpu_steals: u64,
+    /// Decoded basic blocks built by the block cache (DESIGN.md §12).
+    /// Pure host-speed diagnostics: like the sanitizer counters, the
+    /// three `bblock` fields contribute nothing to simulated time, and
+    /// they are the *only* fields allowed to differ between a cache-on
+    /// and cache-off run of the same workload.
+    pub bblocks_built: u64,
+    /// Block entries served from the cache (`hits + built` = entries).
+    pub bblock_hits: u64,
+    /// Cached blocks dropped by TLB-parity invalidation events.
+    pub bblock_invalidations: u64,
 }
 
 impl WorldStats {

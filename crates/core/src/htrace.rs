@@ -152,6 +152,20 @@ pub enum TraceEvent {
         /// The CPU the process last ran on.
         from_cpu: u32,
     },
+    /// A TLB-parity event dropped decoded basic blocks from a process's
+    /// block cache (DESIGN.md §12). Pure host-speed diagnostics: zero
+    /// cost, and emitted only when blocks were actually dropped (a
+    /// cache-off run records none).
+    BlockInvalidated {
+        /// First affected virtual address (page-aligned; 0 for
+        /// whole-cache events like fork or migration).
+        addr: u32,
+        /// Decoded blocks dropped by this event.
+        blocks: u64,
+        /// Which invalidation edge fired (`"unmap"`, `"mprotect"`,
+        /// `"evict"`, `"fork"`, `"migrate"`, `"store-exec"`, ...).
+        cause: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -174,6 +188,7 @@ impl TraceEvent {
             TraceEvent::FsckRepaired { .. } => "FsckRepaired",
             TraceEvent::TlbShootdown { .. } => "TlbShootdown",
             TraceEvent::CpuSteal { .. } => "CpuSteal",
+            TraceEvent::BlockInvalidated { .. } => "BlockInvalidated",
         }
     }
 }
@@ -250,6 +265,16 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::CpuSteal { cpu, from_cpu } => {
                 write!(f, "CpuSteal cpu{cpu} <- cpu{from_cpu}")
+            }
+            TraceEvent::BlockInvalidated {
+                addr,
+                blocks,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "BlockInvalidated addr={addr:#010x} blocks={blocks} cause={cause}"
+                )
             }
         }
     }

@@ -262,6 +262,14 @@ impl World {
     /// Creates a world with the conventional directory skeleton.
     pub fn new() -> World {
         let mut kernel = Kernel::new();
+        // `HVM_BBCACHE=off|0|false` disables the decoded basic-block
+        // cache (DESIGN.md §12) — the CI identity lanes re-prove every
+        // suite against the pure fetch+decode interpreter this way.
+        if let Ok(v) = std::env::var("HVM_BBCACHE") {
+            if matches!(v.as_str(), "off" | "0" | "false") {
+                kernel.set_bbcache(false);
+            }
+        }
         for dir in [
             "/src",
             "/bin",
@@ -418,6 +426,32 @@ impl World {
             };
             self.trace.record(pid, cost, event);
         }
+    }
+
+    /// Drains every block cache's invalidation journal into the trace
+    /// ring. Zero-cost diagnostics (the cache must not move simulated
+    /// time), attributed to the owning pid; a cache-off run drains
+    /// nothing, so these records never perturb the identity suites'
+    /// filtered streams.
+    fn pump_bb(&mut self) {
+        for (pid, ev) in self.kernel.drain_bb_events() {
+            self.trace.record(
+                pid,
+                0,
+                TraceEvent::BlockInvalidated {
+                    addr: ev.addr,
+                    blocks: ev.blocks,
+                    cause: ev.cause,
+                },
+            );
+        }
+    }
+
+    /// Enables or disables the decoded basic-block cache at runtime
+    /// (overrides the `HVM_BBCACHE` environment hook; the differential
+    /// suite uses this to run the same workload both ways).
+    pub fn set_bbcache(&mut self, enabled: bool) {
+        self.kernel.set_bbcache(enabled);
     }
 
     /// Drains the frame pool's pressure journal into the trace ring,
@@ -725,6 +759,7 @@ impl World {
                     self.drain_injections(0);
                     self.pump_pressure();
                     self.pump_smp();
+                    self.pump_bb();
                     self.drain_sanitizer();
                     return WorldExit::AllExited;
                 }
@@ -732,6 +767,7 @@ impl World {
                     self.drain_injections(0);
                     self.pump_pressure();
                     self.pump_smp();
+                    self.pump_bb();
                     self.drain_sanitizer();
                     return WorldExit::Deadlock;
                 }
@@ -762,11 +798,13 @@ impl World {
             self.drain_injections(ev_pid);
             self.pump_pressure();
             self.pump_smp();
+            self.pump_bb();
             self.drain_sanitizer();
         }
         self.drain_injections(0);
         self.pump_pressure();
         self.pump_smp();
+        self.pump_bb();
         self.drain_sanitizer();
         WorldExit::StepLimit
     }
@@ -1444,6 +1482,7 @@ impl World {
             None => (0, 0, 0),
         };
         let pool = self.kernel.frame_pool().stats();
+        let bb = self.kernel.bb_stats();
         WorldStats {
             kernel: self.kernel.stats,
             root_fs: self.kernel.vfs.root.stats,
@@ -1470,6 +1509,9 @@ impl World {
             shootdowns: self.kernel.stats.shootdowns,
             ipis: self.kernel.stats.ipis,
             cross_cpu_steals: self.kernel.stats.cross_cpu_steals,
+            bblocks_built: bb.built,
+            bblock_hits: bb.hits,
+            bblock_invalidations: bb.invalidations,
         }
     }
 }

@@ -17,8 +17,9 @@ use hsfs::fs::{LockKind, NodeKind};
 use hsfs::path as fspath;
 use hsfs::vfs::{Mount, Vfs, Vnode};
 use hsfs::{FsError, PAGE_SIZE};
-use hvm::{Cpu, Fault, Reg, StepOutcome};
+use hvm::{Cpu, Fault, Instr, Reg, StepOutcome};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// A minimal executable description, independent of the linker's richer
 /// on-disk format (the core crate lowers a `hobj::LoadImage` to this).
@@ -215,6 +216,15 @@ pub struct Kernel {
     round_active: bool,
     /// Cross-CPU scheduler events since the last drain.
     smp_journal: Vec<SmpEvent>,
+    /// Decoded basic-block caching (DESIGN.md §12): on by default,
+    /// switched per-space at spawn/exec/fork time.
+    bb_enabled: bool,
+    /// Address-space id generator: every fresh space (spawn, exec,
+    /// fork child) gets the next id, deterministically.
+    next_asid: u32,
+    /// Block-cache counters accumulated from reaped processes (the
+    /// live remainder is summed from `procs` by [`Kernel::bb_stats`]).
+    reaped_bb: hvm::BbStats,
 }
 
 /// A stable identity for a mutual-exclusion lock object, for
@@ -262,7 +272,56 @@ impl Kernel {
             cur_cpu: 0,
             round_active: false,
             smp_journal: Vec::new(),
+            bb_enabled: true,
+            next_asid: 1,
+            reaped_bb: hvm::BbStats::default(),
         }
+    }
+
+    /// Enables or disables decoded basic-block caching for spaces
+    /// created from now on, and reconfigures every live space (a
+    /// disabled cache clears silently, so switching is unobservable).
+    pub fn set_bbcache(&mut self, enabled: bool) {
+        self.bb_enabled = enabled;
+        for proc in self.procs.values_mut() {
+            let asid = proc.aspace.bbcache().asid();
+            proc.aspace.bbcache_mut().configure(asid, enabled);
+        }
+    }
+
+    /// True if new address spaces get an enabled block cache.
+    pub fn bbcache_enabled(&self) -> bool {
+        self.bb_enabled
+    }
+
+    /// Tags a fresh address space with the next asid and the current
+    /// enable flag.
+    fn bb_configure(bb_enabled: bool, next_asid: &mut u32, aspace: &mut AddressSpace) {
+        let asid = *next_asid;
+        *next_asid += 1;
+        aspace.bbcache_mut().configure(asid, bb_enabled);
+    }
+
+    /// Block-cache counters summed across reaped and live processes.
+    pub fn bb_stats(&self) -> hvm::BbStats {
+        let mut total = self.reaped_bb;
+        for proc in self.procs.values() {
+            total.accumulate(proc.aspace.bbcache().stats());
+        }
+        total
+    }
+
+    /// Drains every live cache's invalidation journal, in pid order
+    /// (deterministic), tagging each event with its owner.
+    pub fn drain_bb_events(&mut self) -> Vec<(Pid, hvm::BbInvalidation)> {
+        let mut out = Vec::new();
+        for (&pid, proc) in self.procs.iter_mut() {
+            let bb = proc.aspace.bbcache_mut();
+            if !bb.journal_is_empty() {
+                out.extend(bb.drain_journal().into_iter().map(|ev| (pid, ev)));
+            }
+        }
+        out
     }
 
     /// Sets the number of simulated CPUs (clamped to `1..=64`). The
@@ -336,6 +395,7 @@ impl Kernel {
         let mut proc = Process::new(pid, 0, uid);
         proc.aspace.arm_faults(self.faults.clone());
         proc.aspace.attach_pool(&self.pool);
+        Self::bb_configure(self.bb_enabled, &mut self.next_asid, &mut proc.aspace);
         self.procs.insert(pid, proc);
         pid
     }
@@ -351,6 +411,7 @@ impl Kernel {
         proc.aspace = AddressSpace::new();
         proc.aspace.arm_faults(self.faults.clone());
         proc.aspace.attach_pool(&self.pool);
+        Self::bb_configure(self.bb_enabled, &mut self.next_asid, &mut proc.aspace);
         proc.cpu = Cpu::new();
         proc.image_name = image.name.clone();
         if !image.text.is_empty() {
@@ -726,6 +787,14 @@ impl Kernel {
         let retried = self.faults.should_inject(hfault::FaultSite::ShootdownDrop);
         self.stats.ipis += if retried { 2 } else { 1 };
         self.stats.shootdowns += pages as u64;
+        // The remote CPU's decoded blocks for those pages die with its
+        // translations, billed under the same IPI (no extra sim cost —
+        // the drop rides the notification that was already priced).
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.aspace
+                .bbcache_mut()
+                .invalidate_vpns(addr / PAGE_SIZE, pages, "shootdown");
+        }
         self.smp_journal.push(SmpEvent::Shootdown {
             from_cpu: BOOT_CPU,
             to_cpu: victim_cpu,
@@ -774,8 +843,18 @@ impl Kernel {
     /// without incident).
     fn run_slice_counted(&mut self, pid: Pid, budget: u64, cpu: u32) -> (u64, Option<RunEvent>) {
         let mut steps = 0u64;
+        // One-entry dispatch memo: `(entry_pc, mutation_stamp, code)`
+        // from the last `bb_block` call. A tight guest loop re-enters
+        // the same block every iteration; while the cache's mutation
+        // stamp stands still, `lookup` would provably return this same
+        // `Arc`, so we skip the map walk and only account the hit. The
+        // memo lives strictly within this slice (no other process runs
+        // mid-slice) and is dropped on any non-retiring outcome —
+        // syscalls and faults can mutate mappings and files without
+        // touching this address space's stamp.
+        let mut memo: Option<(u32, u64, Arc<[Instr]>)> = None;
         while steps < budget {
-            let outcome = {
+            let (block_ran, outcome) = {
                 let proc = match self.procs.get_mut(&pid) {
                     Some(p) if matches!(p.state, ProcState::Runnable) => p,
                     _ => return (steps, Some(RunEvent::Blocked(pid))),
@@ -792,8 +871,63 @@ impl Kernel {
                     }
                     None => MemBus::attributed(&mut proc.aspace, &mut self.vfs.shared, ctx),
                 };
-                proc.cpu.step(&mut bus)
+                // Fast path: replay decoded blocks, capped at the
+                // remaining budget so blocks never straddle a (sub-)
+                // quantum boundary — SMP interleaving is unchanged.
+                // A block that retires completely chains straight into
+                // the next lookup *inside this same borrow*: the
+                // per-dispatch proc/bus setup is paid once per chain,
+                // not once per block (call-heavy code averages a
+                // handful of instructions per block). `fetch_check`
+                // re-stamps the access context every instruction, so
+                // attribution follows the chain. State transitions
+                // only happen inside syscalls, which terminate blocks
+                // and end the chain, so the Runnable check above holds
+                // for every instruction the chain retires. `None` from
+                // the cache falls back to the classic fetch+decode
+                // step, one instruction per setup, exactly as before.
+                let mut ran = 0u64;
+                let outcome = loop {
+                    if steps + ran >= budget {
+                        break None;
+                    }
+                    let pc = proc.cpu.pc;
+                    let memo_code = memo.as_ref().and_then(|(mpc, stamp, code)| {
+                        (*mpc == pc && *stamp == bus.bb_stamp()).then(|| code.clone())
+                    });
+                    let (n, out) = match memo_code {
+                        Some(code) => {
+                            bus.bb_count_hit();
+                            proc.cpu.run_block(&mut bus, &code, budget - steps - ran)
+                        }
+                        None => match bus.bb_block(pc) {
+                            Some(code) => {
+                                // Stamp *before* running: a drop
+                                // triggered by the block's own stores
+                                // (store-to-exec) must invalidate the
+                                // memo, and re-stamping afterwards
+                                // would hide it.
+                                memo = Some((pc, bus.bb_stamp(), code.clone()));
+                                proc.cpu.run_block(&mut bus, &code, budget - steps - ran)
+                            }
+                            None => break Some(proc.cpu.step(&mut bus)),
+                        },
+                    };
+                    ran += n;
+                    if out.is_some() {
+                        break out;
+                    }
+                };
+                (ran, outcome)
             };
+            steps += block_ran;
+            self.stats.instructions += block_ran;
+            let Some(outcome) = outcome else {
+                continue;
+            };
+            // Any outcome other than plain block completion can change
+            // mappings or file contents out from under the memo.
+            memo = None;
             match outcome {
                 StepOutcome::Retired => {
                     steps += 1;
@@ -950,6 +1084,7 @@ impl Kernel {
                 parent.cpu.set_reg(Reg::V0, child_pid);
                 let mut child = parent.fork_into(child_pid);
                 child.cpu.set_reg(Reg::V0, 0);
+                Self::bb_configure(self.bb_enabled, &mut self.next_asid, &mut child.aspace);
                 self.procs.insert(child_pid, child);
                 self.edge(SyncEdge::Fork {
                     parent: pid,
@@ -1504,6 +1639,7 @@ impl Kernel {
             self.stats.cow_copies += p.aspace.stats.cow_copies;
             self.stats.tlb_hits += p.aspace.stats.tlb_hits;
             self.stats.tlb_misses += p.aspace.stats.tlb_misses;
+            self.reaped_bb.accumulate(p.aspace.bbcache().stats());
         }
         self.edge(SyncEdge::Join {
             parent,

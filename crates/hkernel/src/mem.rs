@@ -33,7 +33,8 @@ use crate::layout::{
 };
 use crate::monitor::{AccessCtx, MonitorRef};
 use hsfs::{FsError, Ino, SharedFs, PAGE_SIZE, SLOT_SIZE};
-use hvm::{Access, Bus, Fault};
+use hvm::bbcache::BbCache;
+use hvm::{Access, Bus, Fault, Instr};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -539,9 +540,26 @@ impl Default for Tlb {
 }
 
 impl Tlb {
+    /// Home index of a vpn: the low bits XOR-folded with every higher
+    /// group of index bits. Plain low-bit indexing is pathological for
+    /// shared segments — they live in 1 MB slots, so the text pages of
+    /// distinct public modules have vpns differing by multiples of 256
+    /// and *all alias to one entry*; a 40-module call chain then misses
+    /// on every transition. Folding keeps consecutive pages (sequential
+    /// scans) conflict-free within an aligned block while spreading any
+    /// power-of-two stride: segment-slot neighbors land 4 indices
+    /// apart. Misses cost host time, never simulated time, so the
+    /// index choice is invisible to the cost model.
+    #[inline]
+    fn index(vpn: u32) -> usize {
+        const BITS: u32 = (TLB_ENTRIES as u32).trailing_zeros();
+        let folded = vpn ^ (vpn >> BITS) ^ (vpn >> (2 * BITS)) ^ (vpn >> (3 * BITS));
+        folded as usize & (TLB_ENTRIES - 1)
+    }
+
     #[inline]
     fn lookup(&self, vpn: u32) -> Option<u32> {
-        let i = vpn as usize & (TLB_ENTRIES - 1);
+        let i = Tlb::index(vpn);
         if self.tags[i] == vpn {
             Some(self.slots[i])
         } else {
@@ -551,7 +569,7 @@ impl Tlb {
 
     #[inline]
     fn fill(&mut self, vpn: u32, slot: u32) {
-        let i = vpn as usize & (TLB_ENTRIES - 1);
+        let i = Tlb::index(vpn);
         self.tags[i] = vpn;
         self.slots[i] = slot;
     }
@@ -564,7 +582,7 @@ impl Tlb {
     /// this a single compare: only `vpn`'s home index can hold it.
     #[inline]
     fn invalidate(&mut self, vpn: u32) {
-        let i = vpn as usize & (TLB_ENTRIES - 1);
+        let i = Tlb::index(vpn);
         if self.tags[i] == vpn {
             self.tags[i] = TLB_INVALID;
         }
@@ -613,7 +631,13 @@ pub struct AddressSpace {
     resident: u64,
     /// Pages carrying `F_PINNED` (skips the unpin sweep when zero).
     pinned: u32,
+    /// Decoded basic-block cache (DESIGN.md §12). Disabled until the
+    /// kernel configures it; invalidated in lock-step with the TLB.
+    bb: BbCache,
 }
+
+// The default `BbCache` assumes this geometry; keep them in sync.
+const _: () = assert!(PAGE_SIZE == 4096);
 
 impl Clone for AddressSpace {
     fn clone(&self) -> AddressSpace {
@@ -637,6 +661,8 @@ impl Clone for AddressSpace {
             pool: self.pool.clone(),
             resident: self.resident,
             pinned: self.pinned,
+            // Like the TLB on fork: the clone starts with a cold cache.
+            bb: self.bb.fresh_like(),
         }
     }
 }
@@ -720,6 +746,9 @@ impl AddressSpace {
         self.entries.clear();
         self.free.clear();
         self.tlb.flush();
+        // Teardown drops blocks silently, like the uncounted TLB flush
+        // above (lazy ASID-style reuse; nothing will run here again).
+        self.bb.flush(None);
         self.pinned = 0;
         self.stats.pages_unmapped += mapped;
     }
@@ -831,6 +860,7 @@ impl AddressSpace {
             faults,
             pool,
             resident,
+            bb,
             ..
         } = self;
         let entry = entries[slot as usize].as_mut().expect("live slot");
@@ -888,6 +918,7 @@ impl AddressSpace {
             PageKind::Zero | PageKind::Swapped { .. } => return EvictOutcome::NotResident,
         }
         tlb.invalidate(page_vpn);
+        bb.invalidate_page(page_vpn, "evict");
         *resident -= 1;
         pool.credit(1);
         EvictOutcome::Evicted
@@ -934,6 +965,20 @@ impl AddressSpace {
     /// unreachable there, and the new CPU starts cold.
     pub(crate) fn tlb_migrate_flush(&mut self) {
         self.tlb.flush();
+        // Decoded blocks are CPU-local state in spirit: a migration
+        // starts cold on the new CPU, and the drop is observable.
+        self.bb.flush(Some("migrate"));
+    }
+
+    /// The decoded basic-block cache (counters, journal, test hooks).
+    pub fn bbcache(&self) -> &BbCache {
+        &self.bb
+    }
+
+    /// Mutable access to the block cache (kernel configuration and the
+    /// wraparound test hook).
+    pub fn bbcache_mut(&mut self) -> &mut BbCache {
+        &mut self.bb
     }
 
     fn check_range(addr: u32, len: u32) -> Result<(u32, u32), MemError> {
@@ -964,6 +1009,9 @@ impl AddressSpace {
         }
         self.stats.pages_mapped += pages as u64;
         self.tlb.flush();
+        // Parity with the TLB event; the range was unmapped, so this
+        // can never drop a block (and so never journals).
+        self.bb.invalidate_vpns(first, pages, "map");
         Ok(())
     }
 
@@ -1002,6 +1050,7 @@ impl AddressSpace {
         }
         self.stats.pages_mapped += pages as u64;
         self.tlb.flush();
+        self.bb.invalidate_vpns(first, pages, "map");
         Ok(())
     }
 
@@ -1030,6 +1079,7 @@ impl AddressSpace {
         }
         self.stats.pages_unmapped += pages as u64;
         self.tlb.flush();
+        self.bb.invalidate_vpns(first, pages, "unmap");
         Ok(())
     }
 
@@ -1048,6 +1098,7 @@ impl AddressSpace {
             self.entry_at_slot_mut(slot).prot = prot;
         }
         self.tlb.invalidate_range(first, pages);
+        self.bb.invalidate_vpns(first, pages, "mprotect");
         Ok(())
     }
 
@@ -1077,6 +1128,10 @@ impl AddressSpace {
     /// translations predate the COW sharing) and the child's is empty.
     pub fn fork_clone(&mut self) -> AddressSpace {
         self.tlb.flush();
+        // COW un-sharing: the parent's decoded blocks predate the
+        // sharing, exactly like its cached translations. The child's
+        // cache starts cold via `Clone`.
+        self.bb.flush(Some("fork"));
         // `Clone` charges the pool for the child's resident mappings and
         // bumps swap-slot refcounts; the child also draws from the same
         // injection stream, so chaos decisions stay a single
@@ -1189,11 +1244,15 @@ impl AddressSpace {
                         .copy_from_slice(&data[written..written + take]);
                 }
                 PageKind::Shared { ino, page } => {
+                    // Page-precise epoch stamp: this iteration writes
+                    // only within file page `page`, so blocks decoded
+                    // from the file's *other* pages stay valid.
+                    let page = *page;
                     let bytes = shared
                         .fs
-                        .file_bytes_mut(*ino)
+                        .file_bytes_mut_stamped(*ino, page)
                         .map_err(MemError::BadBacking)?;
-                    let start = (*page * PAGE_SIZE) as usize + off;
+                    let start = (page * PAGE_SIZE) as usize + off;
                     if start + take > bytes.len() {
                         return Err(MemError::BadBacking(FsError::BadAddress));
                     }
@@ -1202,6 +1261,15 @@ impl AddressSpace {
             }
             written += take;
             a = a.wrapping_add(take as u32);
+        }
+        // A host poke can patch text in place (the linkers do, for
+        // trampolines and GOT slots): drop any decoded blocks covering
+        // the written range. Other spaces mapping the same shared pages
+        // catch the stamped write epoch at their next block entry.
+        if !data.is_empty() {
+            let first = vpn(addr);
+            let pages = vpn(addr + (data.len() as u32 - 1)) - first + 1;
+            self.bb.invalidate_vpns(first, pages, "host-store");
         }
         Ok(())
     }
@@ -1457,6 +1525,8 @@ impl MemBus<'_> {
             off + data.len() <= PAGE_SIZE as usize,
             "CPU enforces alignment"
         );
+        let can_exec = entry.prot.can_exec();
+        let mut shared_dst: Option<(Ino, u32)> = None;
         match &mut entry.kind {
             PageKind::Zero | PageKind::Swapped { .. } => {
                 unreachable!("translate made the page resident")
@@ -1474,7 +1544,9 @@ impl MemBus<'_> {
                 // writeback first.
                 entry.flags |= F_DIRTY;
                 let ino = *ino;
-                let start = (*page * PAGE_SIZE) as usize + off;
+                let fpage = *page;
+                shared_dst = Some((ino, fpage));
+                let start = (fpage * PAGE_SIZE) as usize + off;
                 // Protection-transition check: would the file's *current*
                 // sfs mode grant this uid write access? (The page mapping
                 // may predate a chmod.) Only consulted when armed; the
@@ -1487,10 +1559,13 @@ impl MemBus<'_> {
                         .unwrap_or(true),
                     None => true,
                 };
+                // Page-precise write-epoch stamp: other spaces with
+                // blocks decoded from this file page notice at their
+                // next block entry; blocks from its other pages live on.
                 let file = self
                     .shared
                     .fs
-                    .file_bytes_mut(ino)
+                    .file_bytes_mut_stamped(ino, fpage)
                     .map_err(|_| Fault::Unmapped { addr, access })?;
                 if start + data.len() > file.len() {
                     return Err(Fault::Unmapped { addr, access });
@@ -1509,13 +1584,116 @@ impl MemBus<'_> {
                 }
             }
         }
+        // W^X-style dirty hook: a store that can alter executable bytes
+        // (the page is executable, or it aliases a shared file page some
+        // cached block was decoded from) drops the affected blocks and
+        // moves the store epoch, so a block in flight aborts before its
+        // next instruction (`Cpu::run_block` re-checks per instruction).
+        if self.aspace.bb.enabled()
+            && (can_exec
+                || shared_dst.is_some_and(|(ino, fpage)| self.aspace.bb.has_src_page(ino, fpage)))
+        {
+            self.aspace.bb.bump_store_epoch();
+            self.aspace.bb.invalidate_page(vpn(addr), "store-exec");
+            if let Some((ino, fpage)) = shared_dst {
+                self.aspace.bb.invalidate_src_page(ino, fpage, "store-exec");
+            }
+        }
         Ok(())
+    }
+
+    /// Looks up — or decodes and caches — the basic block entered at
+    /// `pc`. Returns `None` (caller falls back to [`hvm::Cpu::step`]) when
+    /// the cache is disabled, the page is non-resident or non-executable
+    /// (the slow path must surface the exact fault or do the residency
+    /// work), or the first word does not decode.
+    ///
+    /// The build peeks at resident bytes without side effects: no TLB
+    /// traffic, no reference bits, no chaos decisions, no fs stats —
+    /// those all happen (identically to the slow path) when the block
+    /// executes through [`hvm::Bus::fetch_check`].
+    pub fn bb_block(&mut self, pc: u32) -> Option<Arc<[Instr]>> {
+        let MemBus { aspace, shared, .. } = self;
+        if !aspace.bb.enabled() || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let fs = &shared.fs;
+        let fs_stamp = fs.content_stamp();
+        if let Some(code) = aspace
+            .bb
+            .lookup(pc, fs_stamp, |ino, page| fs.write_epoch(ino, page))
+        {
+            return Some(code);
+        }
+        let vp = vpn(pc);
+        let slot = *aspace.pages.get(&vp)?;
+        let entry = aspace.entries[slot as usize].as_ref()?;
+        if entry.flags & F_RESIDENT == 0 || !entry.prot.can_exec() {
+            return None;
+        }
+        let off = (pc % PAGE_SIZE) as usize;
+        let (bytes, src): (&[u8], Option<(u32, u32, u64)>) = match &entry.kind {
+            PageKind::Anon(frame) => (&frame[off..], None),
+            PageKind::Shared { ino, page } => {
+                let file = fs.file_bytes(*ino).ok()?;
+                let start = (*page * PAGE_SIZE) as usize + off;
+                let end = ((*page + 1) * PAGE_SIZE) as usize;
+                if start >= file.len() {
+                    return None;
+                }
+                (
+                    &file[start..end.min(file.len())],
+                    Some((*ino, *page, fs.write_epoch(*ino, *page))),
+                )
+            }
+            PageKind::Zero | PageKind::Swapped { .. } => return None,
+        };
+        let code = hvm::bbcache::decode_run(bytes);
+        if code.is_empty() {
+            return None;
+        }
+        let code: Arc<[Instr]> = code.into();
+        aspace.bb.insert(pc, code.clone(), src, fs_stamp);
+        Some(code)
+    }
+
+    /// The block cache's mutation stamp — see
+    /// [`hvm::bbcache::BbCache::mutation_stamp`]. A dispatcher may
+    /// reuse a previous [`MemBus::bb_block`] result without re-entering
+    /// the cache strictly while this stamp stands still. Mid-slice,
+    /// only the running process mutates its own address space, and
+    /// every path that could stale a cached block (stores to source
+    /// pages, map changes, evictions, flushes) moves the stamp; cross-
+    /// process mutations happen between slices, outside any memo's
+    /// lifetime.
+    pub fn bb_stamp(&self) -> u64 {
+        self.aspace.bb.mutation_stamp()
+    }
+
+    /// Accounts a memoized block dispatch as a cache hit.
+    pub fn bb_count_hit(&mut self) {
+        self.aspace.bb.count_hit();
     }
 }
 
 impl Bus for MemBus<'_> {
     fn fetch(&mut self, addr: u32) -> Result<u32, Fault> {
         self.load(addr, 4, Access::Exec)
+    }
+    /// Every side effect of `fetch` except reading the bytes out: the
+    /// translation (TLB hit/miss counters, page walk, residency faults,
+    /// chaos decisions, reference bit) and the protection check. The
+    /// bytes themselves were validated when the block was built, and a
+    /// backing-file truncation since then moves the write epoch, which
+    /// evicts the block before it can re-enter. Also refreshes the
+    /// access context's PC so monitor attribution (hsan race reports)
+    /// stays per-instruction inside a block.
+    fn fetch_check(&mut self, addr: u32) -> Result<(), Fault> {
+        self.ctx.pc = addr;
+        self.translate(addr, Access::Exec).map(|_| ())
+    }
+    fn text_epoch(&mut self) -> u64 {
+        self.aspace.bb.store_epoch()
     }
     fn load8(&mut self, addr: u32) -> Result<u8, Fault> {
         Ok(self.load(addr, 1, Access::Read)? as u8)

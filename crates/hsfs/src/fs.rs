@@ -129,6 +129,25 @@ pub struct FileSystem {
     pub stats: FsStats,
     /// Chaos hook: unarmed (inert) unless a fault plan is installed.
     faults: FaultHandle,
+    /// Per-file write epochs (see [`FileSystem::write_epoch`]): a cheap
+    /// "did these bytes change?" stamp consumed by the block cache.
+    write_epochs: BTreeMap<Ino, WriteEpochs>,
+    /// Global content stamp: moves whenever *any* file's bytes could
+    /// have changed (a superset of every per-page epoch movement). Lets
+    /// the block cache skip per-page epoch queries entirely while no
+    /// write happened anywhere — see [`FileSystem::content_stamp`].
+    content_stamp: u64,
+}
+
+/// Write-epoch state for one file. `whole` moves on any write through a
+/// path that does not know which pages it touched (`file_bytes_mut`,
+/// `truncate`); `pages` moves per file page for the paths that do
+/// (`write_at`, the kernel bus store). A page's effective epoch is the
+/// sum, so a coarse bump invalidates every page at once.
+#[derive(Clone, Debug, Default)]
+struct WriteEpochs {
+    whole: u64,
+    pages: BTreeMap<u32, u64>,
 }
 
 /// The root directory's inode number.
@@ -156,6 +175,8 @@ impl FileSystem {
             live: 1,
             stats: FsStats::default(),
             faults: FaultHandle::unarmed(),
+            write_epochs: BTreeMap::new(),
+            content_stamp: 0,
         }
     }
 
@@ -546,6 +567,17 @@ impl FileSystem {
         } else {
             None
         };
+        if !data.is_empty() {
+            // Stamp the touched pages (the full attempted range even
+            // when torn — over-invalidation is always safe).
+            self.content_stamp += 1;
+            let epochs = self.write_epochs.entry(ino).or_default();
+            let first = (offset / crate::PAGE_SIZE as u64) as u32;
+            let last = ((end - 1) / crate::PAGE_SIZE as u64) as u32;
+            for page in first..=last {
+                *epochs.pages.entry(page).or_default() += 1;
+            }
+        }
         match &mut self.inode_mut(ino)?.node {
             Node::File { content } => {
                 let wrote = torn.unwrap_or(data.len());
@@ -571,6 +603,8 @@ impl FileSystem {
         if size > self.config.max_file_size {
             return Err(FsError::FileTooLarge);
         }
+        self.content_stamp += 1;
+        self.write_epochs.entry(ino).or_default().whole += 1;
         match &mut self.inode_mut(ino)?.node {
             Node::File { content } => {
                 content.resize(size as usize, 0);
@@ -590,10 +624,49 @@ impl FileSystem {
 
     /// Direct mutable view of a file's bytes (for mapped stores). The
     /// length cannot be changed through this view.
+    ///
+    /// Bumps the file's *whole-file* write epoch — this path cannot know
+    /// which pages the caller will touch, so it conservatively stamps
+    /// them all. Callers that do know should use
+    /// [`FileSystem::file_bytes_mut_stamped`] instead.
     pub fn file_bytes_mut(&mut self, ino: Ino) -> Result<&mut [u8], FsError> {
+        self.content_stamp += 1;
+        self.write_epochs.entry(ino).or_default().whole += 1;
         match &mut self.inode_mut(ino)?.node {
             Node::File { content } => Ok(content),
             _ => Err(FsError::IsADirectory),
+        }
+    }
+
+    /// [`FileSystem::file_bytes_mut`] for callers that will write only
+    /// within the given file page: stamps that page's epoch instead of
+    /// the whole file, so a store into a data page does not invalidate
+    /// cached blocks decoded from the file's text pages.
+    pub fn file_bytes_mut_stamped(&mut self, ino: Ino, page: u32) -> Result<&mut [u8], FsError> {
+        self.content_stamp += 1;
+        let epochs = self.write_epochs.entry(ino).or_default();
+        *epochs.pages.entry(page).or_default() += 1;
+        match &mut self.inode_mut(ino)?.node {
+            Node::File { content } => Ok(content),
+            _ => Err(FsError::IsADirectory),
+        }
+    }
+
+    /// The write epoch of one page of a file: moves (monotonically)
+    /// whenever any mutating view could have touched that page's bytes.
+    /// Inode-number reuse keeps the old stamps — epochs only ever grow,
+    /// which is all a staleness check needs. Absent entry ⇒ 0.
+    /// The global content stamp: unchanged between two reads ⇒ no file's
+    /// bytes changed in between (the converse does not hold — it also
+    /// moves for writes the caller does not care about). Monotonic.
+    pub fn content_stamp(&self) -> u64 {
+        self.content_stamp
+    }
+
+    pub fn write_epoch(&self, ino: Ino, page: u32) -> u64 {
+        match self.write_epochs.get(&ino) {
+            Some(epochs) => epochs.whole + epochs.pages.get(&page).copied().unwrap_or(0),
+            None => 0,
         }
     }
 

@@ -30,6 +30,24 @@ pub trait Bus {
     fn store16(&mut self, addr: u32, val: u16) -> Result<(), Fault>;
     /// Stores a word.
     fn store32(&mut self, addr: u32, val: u32) -> Result<(), Fault>;
+
+    /// Performs the side effects of an instruction fetch at `addr`
+    /// (translation, protection, residency, reference bits) *without*
+    /// returning the bytes — the block-cache fast path, where the word
+    /// was already decoded. Must be observably identical to
+    /// [`Bus::fetch`] minus the data. The default is exactly that.
+    fn fetch_check(&mut self, addr: u32) -> Result<(), Fault> {
+        self.fetch(addr).map(|_| ())
+    }
+
+    /// A stamp that moves whenever a store through this bus could have
+    /// altered executable bytes. [`Cpu::run_block`] re-checks it before
+    /// each cached instruction and aborts the block on movement
+    /// (self-modifying code falls back to the fetch+decode path).
+    /// Buses without a block cache never move it.
+    fn text_epoch(&mut self) -> u64 {
+        0
+    }
 }
 
 /// What happened when the CPU attempted one instruction.
@@ -117,6 +135,47 @@ impl Cpu {
             }
         };
         self.execute(instr, bus)
+    }
+
+    /// Executes a decoded basic block (see [`crate::bbcache`]) of at most
+    /// `max` *retiring* instructions, returning `(retired_in_block,
+    /// outcome)`. The caller accounts the returned count exactly as it
+    /// would `max` individual [`Cpu::step`] calls that returned
+    /// [`StepOutcome::Retired`], and handles the final outcome (if any)
+    /// as one more `step` — so `None` means "budget exhausted or block
+    /// aborted mid-run; re-enter at `self.pc`".
+    ///
+    /// Per instruction this replays the slow path in order: budget
+    /// check, [`Bus::text_epoch`] check (abort if a store invalidated
+    /// the text under us — PC is correct, nothing is lost),
+    /// [`Bus::fetch_check`] (every fetch side effect except the bytes),
+    /// then [`Cpu::execute`]. A fault leaves PC at the faulting
+    /// instruction; `Syscall`/`Break` have already advanced it —
+    /// identical to `step`.
+    pub fn run_block<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        code: &[Instr],
+        max: u64,
+    ) -> (u64, Option<StepOutcome>) {
+        let mut ran = 0u64;
+        let epoch = bus.text_epoch();
+        for instr in code {
+            if ran >= max {
+                return (ran, None);
+            }
+            if bus.text_epoch() != epoch {
+                return (ran, None);
+            }
+            if let Err(fault) = bus.fetch_check(self.pc) {
+                return (ran, Some(StepOutcome::Fault(fault)));
+            }
+            match self.execute(*instr, bus) {
+                StepOutcome::Retired => ran += 1,
+                outcome => return (ran, Some(outcome)),
+            }
+        }
+        (ran, None)
     }
 
     /// Executes an already-decoded instruction.

@@ -18,6 +18,7 @@
 //! architectural change and can be restarted after a handler maps the
 //! page — the mechanism Hemlock's lazy linker is built on.
 
+pub mod bbcache;
 pub mod cpu;
 pub mod decode;
 pub mod disasm;
@@ -25,6 +26,7 @@ pub mod encode;
 pub mod isa;
 pub mod regs;
 
+pub use bbcache::{BbCache, BbInvalidation, BbStats};
 pub use cpu::{Bus, Cpu, StepOutcome};
 pub use decode::{decode, DecodeError};
 pub use encode::encode;

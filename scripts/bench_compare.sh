@@ -82,6 +82,23 @@ parse() {
 }
 
 if [ -f "$OUT" ]; then
+    # Shape-check the committed baseline before comparing. A truncated,
+    # hand-edited, or merge-mangled file would otherwise surface as a
+    # confusing MISSING/NEW storm — or an abrupt `set -e` death with no
+    # hint — so name the offending lines and the fix instead. Accepts
+    # the current per-row-object format and the legacy flat format.
+    bad=$(awk '
+        /^[{}],?$/ { next }
+        /^  "[^"]+": \{"sim_ns":[0-9]+(,"detail":"[^"]*")?\},?$/ { next }
+        /^  "[^"]+": [0-9]+,?$/ { next }
+        { printf "  line %d: %s\n", NR, $0 }' "$OUT")
+    if ! [ -s "$OUT" ] || [ -n "$bad" ]; then
+        echo "bench_compare: baseline $OUT is malformed (empty or unparseable rows):" >&2
+        [ -n "$bad" ] && echo "$bad" | head -5 >&2
+        echo "bench_compare: regenerate it with: rm $OUT && bash scripts/bench_compare.sh" >&2
+        echo "bench_compare: then commit the regenerated baseline" >&2
+        exit 1
+    fi
     echo "==> comparing against $OUT (tolerance ${TOL}%)"
     status=0
     if ! awk -F'\t' -v tol="$TOL" '

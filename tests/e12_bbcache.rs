@@ -1,0 +1,708 @@
+//! E12 — the decoded basic-block cache (DESIGN.md §12) is semantically
+//! invisible.
+//!
+//! The cache is a host-speed optimization: `Cpu::run_block` executes
+//! straight-line decoded runs instead of fetch→decode→dispatch per
+//! instruction, and `hkernel` drops cached blocks on exactly the events
+//! that already invalidate the TLB. Nothing the guest — or the cost
+//! model, or the sanitizer, or the chaos engine — can observe is allowed
+//! to change. Four claims are tested here:
+//!
+//! 1. **Differential property**: over quantum × cpus ∈ {1,4} ×
+//!    frame-budget, a cache-on run and a cache-off run of the same
+//!    pressured multi-worker scenario produce identical observables,
+//!    identical simulated time, an identical `htrace` stream (modulo the
+//!    0-cost `BlockInvalidated` diagnostics the cache itself emits), and
+//!    identical `WorldStats` modulo the three `bblock` counters; the
+//!    counters themselves reconcile (`hits + built = entries`,
+//!    `invalidations ≤ built`).
+//! 2. **Chaos and sanitizer identity**: an armed fault plan injects the
+//!    same failures with the same outcomes either way, and hsan reports
+//!    the same races from the same PCs — the observed `MemBus` sees
+//!    every load and store whether or not decode was skipped.
+//! 3. **Invalidation edges**: a guest store into a cached executable
+//!    page aborts the in-flight block (self-modifying code executes the
+//!    *new* bytes), clock eviction under SMP pressure drops the victim's
+//!    blocks, fork flushes the parent and starts the child cold, and a
+//!    generation-counter wraparound flushes rather than ABA-matching.
+//! 4. **Pinning**: a block never outlives a text-epoch movement — the
+//!    partial run retires exactly the instructions that executed and
+//!    hands control back to the dispatch loop.
+
+use hemlock::{
+    CostModel, FaultPlan, FaultSite, ShareClass, TraceBuffer, Unsettled, World, WorldExit,
+};
+use proptest::prelude::*;
+
+/// Scheduler slices before a run counts as unsettled.
+const SETTLE_SLICES: u64 = 400_000;
+
+/// Workers in the pressure scenario.
+const WORKERS: usize = 4;
+
+/// Shared data for the pressure workers (cf. `tests/e11_smp.rs`).
+const SHARED_DATA: &str = r#"
+.module shared_data
+.data
+.globl results
+results: .space 64
+.globl done_count
+done_count: .word 0
+.globl done_lock
+done_lock: .word 0
+"#;
+
+/// The pressure worker (cf. `tests/e11_smp.rs`): dirties its shared
+/// slot, churns a 4-page anon buffer, publishes under the TAS lock.
+const WORKER: &str = r#"
+.module worker
+.text
+.globl main
+main:   la   r8, wid
+        lw   r16, 0(r8)
+        la   r8, results
+        sll  r12, r16, 2
+        add  r8, r8, r12
+        sw   r0, 0(r8)
+        li   r13, 3
+pass:   la   r8, buf
+        li   r9, 0
+        li   r10, 16384
+fill:   add  r11, r8, r9
+        add  r12, r9, r16
+        sw   r12, 0(r11)
+        addi r9, r9, 256
+        slt  r12, r9, r10
+        bne  r12, r0, fill
+        li   r17, 0
+        li   r9, 0
+sum:    add  r11, r8, r9
+        lw   r12, 0(r11)
+        add  r17, r17, r12
+        addi r9, r9, 256
+        slt  r12, r9, r10
+        bne  r12, r0, sum
+        addi r13, r13, -1
+        bgtz r13, pass
+        la   r8, results
+        sll  r12, r16, 2
+        add  r8, r8, r12
+        sw   r17, 0(r8)
+acq:    la   a0, done_lock
+        li   a1, 1
+        li   v0, 102           ; SVC_TAS
+        syscall
+        bne  v0, r0, acq
+        la   r8, done_count
+        lw   r9, 0(r8)
+        addi r9, r9, 1
+        sw   r9, 0(r8)
+        la   r8, done_lock
+        sw   r0, 0(r8)
+        or   a0, r17, r0
+        li   v0, 106           ; print_int(checksum)
+        syscall
+        li   v0, 0
+        jr   ra
+.data
+.globl wid
+wid:    .word 0
+.globl buf
+buf:    .space 16384
+"#;
+
+/// Everything a run is judged on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observables {
+    settled: Result<WorldExit, Unsettled>,
+    exits: Vec<Option<i32>>,
+    consoles: Vec<String>,
+    shared: Option<(u32, Vec<u32>)>,
+}
+
+/// Full fidelity for the cache-on/cache-off comparison: observables,
+/// the simulated clock, the filtered trace stream, and `WorldStats`
+/// with the three `bblock` counters zeroed (they are the only fields
+/// allowed to differ).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Replay {
+    obs: Observables,
+    sim_ns: u64,
+    trace: Vec<String>,
+    stats: String,
+}
+
+fn build_pressure_world() -> (World, String) {
+    let mut world = World::new();
+    world
+        .install_template("/shared/lib/shared_data.o", SHARED_DATA)
+        .unwrap();
+    world.install_template("/src/worker.o", WORKER).unwrap();
+    let exe = world
+        .link(
+            "/bin/worker",
+            &[
+                ("/src/worker.o", ShareClass::StaticPrivate),
+                ("/shared/lib/shared_data.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    (world, exe)
+}
+
+/// Final shared memory of the pressure scenario.
+fn shared_words(world: &mut World) -> Option<(u32, Vec<u32>)> {
+    let inst = "/shared/lib/shared_data";
+    let ino = world.kernel.vfs.resolve(inst).ok()?.ino;
+    let base = {
+        let meta = world.registry.get(&mut world.kernel.vfs, ino)?;
+        meta.find_export("results").unwrap() - meta.base
+    };
+    let done = world.peek_shared_word(inst, "done_count").unwrap();
+    let bytes = world.kernel.vfs.shared.fs.file_bytes(ino).unwrap();
+    let results = (0..WORKERS)
+        .map(|i| {
+            let off = base as usize + 4 * i;
+            u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+        })
+        .collect();
+    Some((done, results))
+}
+
+/// `WorldStats` with the three `bblock` counters masked off, as a
+/// comparable string (the struct deliberately has no `PartialEq`).
+fn masked_stats(world: &World) -> String {
+    let mut stats = world.stats();
+    stats.bblocks_built = 0;
+    stats.bblock_hits = 0;
+    stats.bblock_invalidations = 0;
+    format!("{stats:?}")
+}
+
+/// The trace stream for comparison. `BlockInvalidated` records are the
+/// cache's own 0-cost diagnostics — they exist only on a cache-on run
+/// and occupy sequence slots, so the comparison drops them and compares
+/// (pid, cost, event) in stream order rather than by `seq`.
+fn comparable_trace(world: &World) -> Vec<String> {
+    world
+        .trace()
+        .records()
+        .filter(|r| r.event.kind() != "BlockInvalidated")
+        .map(|r| format!("{} {} {}", r.pid, r.cost_ns, r.event))
+        .collect()
+}
+
+fn trace_cause_count(world: &World, cause: &str) -> u64 {
+    world
+        .trace()
+        .records()
+        .filter(|r| match &r.event {
+            hemlock::TraceEvent::BlockInvalidated { cause: c, .. } => *c == cause,
+            _ => false,
+        })
+        .count() as u64
+}
+
+/// Runs the pressure scenario and collects every observable.
+fn run_pressured(
+    cache: bool,
+    quantum: u64,
+    cpus: u32,
+    budget: Option<u64>,
+    plan: Option<FaultPlan>,
+) -> (Replay, World) {
+    let (mut world, exe) = build_pressure_world();
+    *world.trace_mut() = TraceBuffer::new(1 << 20);
+    world.set_bbcache(cache);
+    world.set_cpus(cpus);
+    if let Some(frames) = budget {
+        world.set_frame_budget(frames);
+    }
+    if let Some(plan) = plan {
+        world.arm_faults(plan);
+    }
+    let image_wid = {
+        let bytes = world.kernel.vfs.read_all(&exe).unwrap();
+        hobj::binfmt::decode_image(&bytes)
+            .unwrap()
+            .find_export("wid")
+            .unwrap()
+    };
+    let mut pids = Vec::new();
+    for id in 0..WORKERS {
+        let pid = world.spawn(&exe).unwrap();
+        let proc = world.kernel.procs.get_mut(&pid).unwrap();
+        proc.aspace
+            .write_bytes(
+                &mut world.kernel.vfs.shared,
+                image_wid,
+                &(id as u32).to_le_bytes(),
+            )
+            .unwrap();
+        pids.push(pid);
+    }
+    world.quantum = quantum;
+    let settled = world.run_to_settle(SETTLE_SLICES);
+    let shared = shared_words(&mut world);
+    let obs = Observables {
+        settled,
+        exits: pids.iter().map(|p| world.exit_code(*p)).collect(),
+        consoles: pids.iter().map(|p| world.console(*p)).collect(),
+        shared,
+    };
+    let replay = Replay {
+        obs,
+        sim_ns: CostModel::default().time(&world.stats()).0,
+        trace: comparable_trace(&world),
+        stats: masked_stats(&world),
+    };
+    (replay, world)
+}
+
+/// The unbounded peak working set, used to pick a binding budget.
+fn calibrated_half_budget() -> u64 {
+    let (_, world) = run_pressured(true, 300, 1, None, None);
+    (world.stats().peak_resident_frames / 2).max(1)
+}
+
+// --- 1. the differential property -------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// For any quantum, cpus ∈ {1,4}, pressured or not: cache-on and
+    /// cache-off runs are indistinguishable in every observable, the
+    /// simulated clock, the trace stream, and `WorldStats` modulo the
+    /// three `bblock` counters — and the counters reconcile.
+    #[test]
+    fn cache_is_semantically_invisible(
+        quantum in 100u64..500,
+        four_cpus in 0u32..2,
+        pressured in 0u32..2,
+    ) {
+        let cpus = if four_cpus == 1 { 4 } else { 1 };
+        let budget = (pressured == 1).then(calibrated_half_budget);
+        let (on, on_world) = run_pressured(true, quantum, cpus, budget, None);
+        let (off, off_world) = run_pressured(false, quantum, cpus, budget, None);
+        prop_assert_eq!(&on, &off, "cache must be invisible (cpus={})", cpus);
+
+        // The cache must actually have been exercised on / idle off.
+        let bb = on_world.kernel.bb_stats();
+        prop_assert!(bb.hits > 0, "fast path never taken: {bb:?}");
+        prop_assert!(bb.built > 0);
+        prop_assert_eq!(bb.hits + bb.built, bb.entries, "{:?}", bb);
+        prop_assert!(bb.invalidations <= bb.built, "{bb:?}");
+        let idle = off_world.kernel.bb_stats();
+        prop_assert_eq!(idle.entries, 0, "disabled cache moved: {:?}", idle);
+
+        // The WorldStats counters are the kernel's, verbatim.
+        let stats = on_world.stats();
+        prop_assert_eq!(stats.bblocks_built, bb.built);
+        prop_assert_eq!(stats.bblock_hits, bb.hits);
+        prop_assert_eq!(stats.bblock_invalidations, bb.invalidations);
+    }
+}
+
+// --- 2. chaos + sanitizer identity ------------------------------------
+
+/// An armed fault plan injects the same failures and the world takes the
+/// same recoveries with the cache on or off — chaos outcomes replay
+/// across the fast path, not just across host runs.
+#[test]
+fn chaos_outcomes_are_identical_with_cache_off() {
+    let budget = calibrated_half_budget();
+    let plan = || FaultPlan::new(7, 1_000_000).only(&[FaultSite::ShootdownDrop]);
+    let (on, on_world) = run_pressured(true, 300, 4, Some(budget), Some(plan()));
+    let (off, _) = run_pressured(false, 300, 4, Some(budget), Some(plan()));
+    assert_eq!(on, off, "chaos must be cache-blind");
+    assert!(on_world.stats().faults_injected > 0, "plan must inject");
+    assert!(on_world.kernel.bb_stats().hits > 0);
+}
+
+/// hsan sees every load and store on the fast path: the lock-elided
+/// racy counter (cf. `tests/e11_smp.rs`) is reported identically — same
+/// verdict, same racing PCs — with the cache on or off.
+#[test]
+fn sanitizer_verdicts_are_identical_with_cache_off() {
+    const COUNTER_DATA: &str = r#"
+.module shcount
+.data
+.globl count
+count:  .word 0
+"#;
+    const COUNTER_ELIDED: &str = r#"
+.module worker
+.text
+.globl main
+main:   li   r16, 5
+loop:   la   r8, count
+        lw   r9, 0(r8)
+        addi r9, r9, 1
+        sw   r9, 0(r8)
+        addi r16, r16, -1
+        bgtz r16, loop
+        li   v0, 0
+        jr   ra
+"#;
+    let run = |cache: bool| {
+        let mut world = World::new();
+        world.set_bbcache(cache);
+        world
+            .install_template("/shared/lib/shcount.o", COUNTER_DATA)
+            .unwrap();
+        world
+            .install_template("/src/worker.o", COUNTER_ELIDED)
+            .unwrap();
+        let exe = world
+            .link(
+                "/bin/worker",
+                &[
+                    ("/src/worker.o", ShareClass::StaticPrivate),
+                    ("/shared/lib/shcount.o", ShareClass::DynamicPublic),
+                ],
+            )
+            .unwrap();
+        world.set_cpus(4);
+        world.arm_sanitizer();
+        for _ in 0..4 {
+            world.spawn(&exe).unwrap();
+        }
+        world.quantum = 50;
+        assert_eq!(
+            world.run_to_settle(SETTLE_SLICES).expect("settles"),
+            WorldExit::AllExited
+        );
+        let races = world.races().to_vec();
+        (world.stats().races_detected, races, world)
+    };
+    let (on_count, on_races, on_world) = run(true);
+    let (off_count, off_races, _) = run(false);
+    assert!(on_count >= 1, "elided lock must race");
+    assert_eq!(on_count, off_count, "same verdict count");
+    assert_eq!(on_races, off_races, "same races, same PCs");
+    assert!(on_world.kernel.bb_stats().hits > 0, "fast path must run");
+}
+
+// --- 3. invalidation edges --------------------------------------------
+
+/// Self-modifying code: private text is W^X (a guest store into it
+/// segfaults, cache or no cache), but a lazily-linked public module's
+/// text is mapped RWX — so a guest can patch a function it has already
+/// executed *and cached*. The store must drop the stale block (the
+/// bus's W^X dirty hook) and abort the in-flight run (text epoch), so
+/// the second call executes the *patched* bytes, exactly as it does
+/// with the cache off. Without the hook the stale decoded `addi v0, 1`
+/// would win and the run would exit 1.
+#[test]
+fn store_into_cached_executable_page_aborts_the_running_block() {
+    const PATCHMOD: &str = r#"
+.module patchmod
+.text
+.globl func
+func:   addi v0, r0, 1
+        jr   ra
+.globl donor
+donor:  addi v0, r0, 77
+"#;
+    const MAIN: &str = r#"
+.module main
+.text
+.globl main
+main:   addi sp, sp, -8
+        sw   ra, 0(sp)
+        jal  func           ; warm the cache: v0 = 1
+        la   r9, donor
+        lw   r10, 0(r9)
+        la   r8, func
+        sw   r10, 0(r8)     ; patch func's first instruction
+        jal  func           ; must run the patched bytes: v0 = 77
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        jr   ra
+"#;
+    let run = |cache: bool| {
+        let mut world = World::new();
+        world.set_bbcache(cache);
+        world
+            .install_template("/shared/lib/patchmod.o", PATCHMOD)
+            .unwrap();
+        world.install_template("/src/main.o", MAIN).unwrap();
+        let exe = world
+            .link(
+                "/bin/smc",
+                &[
+                    ("/src/main.o", ShareClass::StaticPrivate),
+                    ("/shared/lib/patchmod.o", ShareClass::DynamicPublic),
+                ],
+            )
+            .unwrap();
+        let pid = world.spawn(&exe).unwrap();
+        assert_eq!(world.run_to_completion(), WorldExit::AllExited);
+        (world.exit_code(pid), world)
+    };
+    let (on_code, on_world) = run(true);
+    let (off_code, _) = run(false);
+    assert_eq!(off_code, Some(77), "reference semantics: patched byte wins");
+    assert_eq!(on_code, off_code, "cached run executed stale bytes");
+    // The W^X dirty hook fired and dropped the warmed block.
+    assert!(
+        trace_cause_count(&on_world, "store-exec") > 0,
+        "store-exec invalidation missing:\n{}",
+        on_world.trace_dump()
+    );
+    assert!(on_world.kernel.bb_stats().invalidations > 0);
+}
+
+/// Clock eviction under SMP pressure: the reclaim (running on the boot
+/// CPU) evicts text pages whose blocks were built by victims on other
+/// CPUs. The blocks drop with the page — visibly, via `BlockInvalidated
+/// cause=evict` — and the victims re-fault, re-page, rebuild, and still
+/// compute the same answers. Blocks are budget-capped so none is ever
+/// mid-flight across a sub-quantum when a remote reclaim runs: the
+/// "pinning" discipline is that eviction always lands between blocks.
+#[test]
+fn eviction_drops_cached_blocks_built_on_other_cpus() {
+    let budget = calibrated_half_budget();
+    let (on, on_world) = run_pressured(true, 300, 4, Some(budget), None);
+    assert_eq!(on.obs.settled, Ok(WorldExit::AllExited));
+    let stats = on_world.stats();
+    assert!(stats.page_evictions > 0, "budget {budget} must bind");
+    assert!(stats.shootdowns > 0, "reclaim must cross CPUs");
+    assert!(
+        trace_cause_count(&on_world, "evict") > 0,
+        "evictions must drop cached blocks"
+    );
+    // And the pressured, evicting, multi-CPU run still matches cache-off.
+    let (off, _) = run_pressured(false, 300, 4, Some(budget), None);
+    assert_eq!(on, off);
+}
+
+/// `run_block` pins nothing across a text-epoch movement: the moment
+/// the bus reports a moved epoch (here, the block's own store — the
+/// same signal a cross-CPU invalidation raises), the partial run stops,
+/// retires exactly the instructions that executed, and returns control
+/// to the dispatch loop with no outcome pending.
+#[test]
+fn run_block_aborts_and_partially_retires_on_epoch_movement() {
+    use hvm::{Bus, Cpu, Fault, Reg};
+
+    /// 64 KB flat memory whose text epoch moves on every store.
+    struct EpochBus {
+        mem: Vec<u8>,
+        epoch: u64,
+    }
+    impl Bus for EpochBus {
+        fn fetch(&mut self, addr: u32) -> Result<u32, Fault> {
+            self.load32(addr)
+        }
+        fn load8(&mut self, addr: u32) -> Result<u8, Fault> {
+            Ok(self.mem[addr as usize])
+        }
+        fn load16(&mut self, addr: u32) -> Result<u16, Fault> {
+            let a = addr as usize;
+            Ok(u16::from_le_bytes(self.mem[a..a + 2].try_into().unwrap()))
+        }
+        fn load32(&mut self, addr: u32) -> Result<u32, Fault> {
+            let a = addr as usize;
+            Ok(u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()))
+        }
+        fn store8(&mut self, addr: u32, val: u8) -> Result<(), Fault> {
+            self.mem[addr as usize] = val;
+            self.epoch += 1;
+            Ok(())
+        }
+        fn store16(&mut self, addr: u32, val: u16) -> Result<(), Fault> {
+            self.mem[addr as usize..addr as usize + 2].copy_from_slice(&val.to_le_bytes());
+            self.epoch += 1;
+            Ok(())
+        }
+        fn store32(&mut self, addr: u32, val: u32) -> Result<(), Fault> {
+            self.mem[addr as usize..addr as usize + 4].copy_from_slice(&val.to_le_bytes());
+            self.epoch += 1;
+            Ok(())
+        }
+        fn text_epoch(&mut self) -> u64 {
+            self.epoch
+        }
+    }
+
+    // addi r8,r8,1 ×3; sw r8,0x100(r0); addi r8,r8,1 ×2; jr ra — the
+    // store moves the epoch, so the block must stop after 4 retired.
+    let asm = "\
+.module t\n.text\n.globl main\n\
+main: addi r8, r8, 1\naddi r8, r8, 1\naddi r8, r8, 1\n\
+sw r8, 256(r0)\naddi r8, r8, 1\naddi r8, r8, 1\njr ra\n";
+    let obj = hobj::hasm::assemble("t", asm).unwrap();
+    let code = hvm::bbcache::decode_run(&obj.text);
+    assert_eq!(code.len(), 7, "whole run decodes up to the terminator");
+
+    let mut bus = EpochBus {
+        mem: vec![0u8; 1 << 16],
+        epoch: 0,
+    };
+    bus.mem[..obj.text.len()].copy_from_slice(&obj.text);
+    let mut cpu = Cpu::new();
+    cpu.pc = 0;
+    let (ran, outcome) = cpu.run_block(&mut bus, &code, 1_000);
+    assert_eq!(ran, 4, "3 addis + the store retire, then the abort");
+    assert_eq!(outcome, None, "abort is not an outcome — redispatch");
+    assert_eq!(cpu.reg(Reg(8)), 3, "post-store addis did not run");
+    assert_eq!(cpu.pc, 16, "pc parked on the first unexecuted instruction");
+
+    // The dispatch loop re-enters from the parked pc and finishes.
+    let tail = hvm::bbcache::decode_run(&obj.text[16..]);
+    let (ran2, outcome2) = cpu.run_block(&mut bus, &tail, 1_000);
+    assert_eq!((ran2, outcome2), (3, None), "2 addis + the retiring jr");
+}
+
+/// Fork COW un-sharing: the parent's cache is flushed at the fork (its
+/// pages un-share underneath it) and the child starts cold — and the
+/// forked world still computes exactly what the cache-off twin does.
+#[test]
+fn fork_flushes_parent_blocks_and_matches_cache_off() {
+    const SHARED_CELL: &str = r#"
+.module cell
+.data
+.globl cell
+cell:   .word 0
+"#;
+    // Parent spins enough to cache its loop, forks; child bumps the
+    // shared cell and exits 7; parent waits and exits with cell+10.
+    const FORKER: &str = r#"
+.module main
+.text
+.globl main
+main:   li   r16, 6
+warm:   addi r16, r16, -1
+        bgtz r16, warm
+        li   v0, 6          ; fork
+        syscall
+        bne  v0, r0, parent
+        la   r8, cell
+        li   r9, 7
+        sw   r9, 0(r8)
+        li   v0, 1          ; exit(7)
+        li   a0, 7
+        syscall
+parent: li   v0, 16         ; waitpid(any)
+        li   a0, 0
+        syscall
+        la   r8, cell
+        lw   r9, 0(r8)
+        addi a0, r9, 10
+        li   v0, 1          ; exit(cell + 10)
+        syscall
+"#;
+    let run = |cache: bool| {
+        let mut world = World::new();
+        world.set_bbcache(cache);
+        world
+            .install_template("/shared/lib/cell.o", SHARED_CELL)
+            .unwrap();
+        world.install_template("/src/main.o", FORKER).unwrap();
+        let exe = world
+            .link(
+                "/bin/forker",
+                &[
+                    ("/src/main.o", ShareClass::StaticPrivate),
+                    ("/shared/lib/cell.o", ShareClass::DynamicPublic),
+                ],
+            )
+            .unwrap();
+        let pid = world.spawn(&exe).unwrap();
+        assert_eq!(world.run_to_completion(), WorldExit::AllExited);
+        (world.exit_code(pid), world)
+    };
+    let (on_code, on_world) = run(true);
+    let (off_code, _) = run(false);
+    assert_eq!(off_code, Some(17), "child's 7 + 10");
+    assert_eq!(on_code, off_code);
+    assert!(
+        trace_cause_count(&on_world, "fork") > 0,
+        "fork must flush the parent's warmed cache:\n{}",
+        on_world.trace_dump()
+    );
+}
+
+/// Generation-counter wraparound: when a page's generation stamp wraps,
+/// the cache must flush (epoch bump) rather than let a stale block
+/// ABA-match the reset stamp. We warm the cache, pin the hot page's
+/// generation to `u32::MAX` (restamping its live blocks), force one
+/// more invalidation to wrap it, and the world still finishes correctly
+/// with the whole cache demonstrably rebuilt.
+#[test]
+fn generation_wraparound_flushes_instead_of_aba_matching() {
+    const SPINNER: &str = r#"
+.module spin
+.text
+.globl main
+main:   li   r16, 50000
+loop:   addi r16, r16, -1
+        bgtz r16, loop
+        li   v0, 0
+        jr   ra
+"#;
+    let mut world = World::new();
+    world.install_template("/src/spin.o", SPINNER).unwrap();
+    let exe = world
+        .link("/bin/spin", &[("/src/spin.o", ShareClass::StaticPrivate)])
+        .unwrap();
+    let pid = world.spawn(&exe).unwrap();
+    world.quantum = 50;
+    assert_eq!(world.run(40), WorldExit::StepLimit, "still mid-loop");
+
+    let proc = world.kernel.procs.get_mut(&pid).unwrap();
+    let vp = proc.cpu.pc / hsfs::PAGE_SIZE;
+    let bb = proc.aspace.bbcache_mut();
+    assert!(!bb.is_empty(), "the loop must be cached by now");
+    let epoch_before = bb.flush_epoch();
+    let built_before = bb.stats().built;
+    bb.force_gen(vp, u32::MAX);
+    bb.invalidate_page(vp, "wrap-test"); // MAX + 1 wraps ⇒ full flush
+    assert!(
+        bb.flush_epoch() > epoch_before,
+        "wraparound must bump the flush epoch"
+    );
+    assert!(bb.is_empty(), "nothing may survive the wrap");
+
+    assert_eq!(world.run_to_completion(), WorldExit::AllExited);
+    assert_eq!(world.exit_code(pid), Some(0));
+    let bb = world.kernel.bb_stats();
+    assert!(
+        bb.built > built_before,
+        "the loop must have been rebuilt after the wrap: {bb:?}"
+    );
+    assert_eq!(bb.hits + bb.built, bb.entries);
+}
+
+// --- 4. the switches --------------------------------------------------
+
+/// `World::set_bbcache(false)` reconfigures *live* processes too: a
+/// world switched off mid-run stops building and still finishes with
+/// the same answers.
+#[test]
+fn cache_can_be_disabled_mid_run() {
+    let (mut world, exe) = build_pressure_world();
+    let pid = world.spawn(&exe).unwrap();
+    world.quantum = 50;
+    assert_eq!(world.run(20), WorldExit::StepLimit);
+    let warm = world.kernel.bb_stats();
+    assert!(warm.entries > 0, "cache must be warm before the switch");
+    world.set_bbcache(false);
+    assert_eq!(world.run_to_completion(), WorldExit::AllExited);
+    assert_eq!(world.exit_code(pid), Some(0), "log: {:?}", world.log);
+    let cold = world.kernel.bb_stats();
+    assert_eq!(cold.entries, warm.entries, "no entries after the switch");
+}
+
+/// The `HVM_BBCACHE` env hook: `off` disables the cache at `World::new`
+/// (the CI nightly lane runs the whole suite this way).
+#[test]
+fn env_hook_disables_the_cache() {
+    // Env mutation is process-global; keep the window tiny and restore.
+    std::env::set_var("HVM_BBCACHE", "off");
+    let world = World::new();
+    std::env::remove_var("HVM_BBCACHE");
+    assert!(!world.kernel.bbcache_enabled());
+    assert!(World::new().kernel.bbcache_enabled(), "default is on");
+}
