@@ -118,6 +118,19 @@ pub struct WorldStats {
     pub bblock_hits: u64,
     /// Cached blocks dropped by TLB-parity invalidation events.
     pub bblock_invalidations: u64,
+    /// Power cuts taken (DESIGN.md §13). A crash-free run has 0 in all
+    /// four crash fields, so the pipeline + journal add zero simulated
+    /// cost unless a crash actually happens.
+    pub crashes: u64,
+    /// Reboots that found (and replayed) a non-empty journal.
+    pub journal_replays: u64,
+    /// Disk block writes discarded by power cuts (the un-flushed
+    /// suffix of the write pipeline).
+    pub blocks_discarded: u64,
+    /// Simulated time spent in crash recovery: journal replay I/O plus
+    /// the boot-time scan of the surviving partition. Accumulated at
+    /// reboot, already in nanoseconds (cost-model priced).
+    pub recovery_ns: u64,
 }
 
 impl WorldStats {
@@ -220,6 +233,9 @@ impl CostModel {
         // are 0 on a single-CPU world, so existing runs are unchanged.
         ns += s.ipis * self.ipi_ns;
         ns += s.shootdowns * self.shootdown_ns;
+        // Crash recovery: priced once at reboot (journal-replay I/O +
+        // boot scan), accumulated here. Zero on crash-free runs.
+        ns += s.recovery_ns;
         SimTime(ns)
     }
 

@@ -152,6 +152,22 @@ pub enum TraceEvent {
         /// The CPU the process last ran on.
         from_cpu: u32,
     },
+    /// The machine lost power (DESIGN.md §13): every process died, all
+    /// volatile kernel state was dropped, and any disk write not yet
+    /// flushed by a barrier was discarded.
+    CrashTaken {
+        /// Disk block writes discarded by the cut (the un-flushed
+        /// suffix of the write pipeline).
+        blocks_discarded: u64,
+    },
+    /// Reboot replayed the metadata write-ahead journal onto the
+    /// surviving disk image before the boot scan.
+    JournalReplayed {
+        /// Journal records replayed (committed, checksum-valid prefix).
+        records: u64,
+        /// Data-block images among them (the rest are metadata).
+        blocks: u64,
+    },
     /// A TLB-parity event dropped decoded basic blocks from a process's
     /// block cache (DESIGN.md §12). Pure host-speed diagnostics: zero
     /// cost, and emitted only when blocks were actually dropped (a
@@ -186,6 +202,8 @@ impl TraceEvent {
             TraceEvent::PageSwappedIn { .. } => "PageSwappedIn",
             TraceEvent::WritebackTaken { .. } => "WritebackTaken",
             TraceEvent::FsckRepaired { .. } => "FsckRepaired",
+            TraceEvent::CrashTaken { .. } => "CrashTaken",
+            TraceEvent::JournalReplayed { .. } => "JournalReplayed",
             TraceEvent::TlbShootdown { .. } => "TlbShootdown",
             TraceEvent::CpuSteal { .. } => "CpuSteal",
             TraceEvent::BlockInvalidated { .. } => "BlockInvalidated",
@@ -250,6 +268,12 @@ impl fmt::Display for TraceEvent {
                 write!(f, "WritebackTaken addr={addr:#010x}")
             }
             TraceEvent::FsckRepaired { detail } => write!(f, "FsckRepaired {detail}"),
+            TraceEvent::CrashTaken { blocks_discarded } => {
+                write!(f, "CrashTaken blocks_discarded={blocks_discarded}")
+            }
+            TraceEvent::JournalReplayed { records, blocks } => {
+                write!(f, "JournalReplayed records={records} blocks={blocks}")
+            }
             TraceEvent::TlbShootdown {
                 from_cpu,
                 to_cpu,

@@ -166,6 +166,8 @@ pub enum WorldError {
     NoSuchProcess,
     /// A symbol was not found where expected.
     NoSuchSymbol(String),
+    /// The machine is between a power cut and the next reboot.
+    PoweredOff,
 }
 
 impl From<LinkError> for WorldError {
@@ -204,6 +206,7 @@ impl std::fmt::Display for WorldError {
             WorldError::Bin(e) => write!(f, "bad executable: {e}"),
             WorldError::NoSuchProcess => write!(f, "no such process"),
             WorldError::NoSuchSymbol(s) => write!(f, "no such symbol `{s}`"),
+            WorldError::PoweredOff => write!(f, "machine is powered off"),
         }
     }
 }
@@ -246,6 +249,17 @@ pub struct World {
     sanitizer: Option<Arc<Mutex<Sanitizer>>>,
     /// Races drained from the sanitizer, decorated with segment paths.
     races: Vec<RaceRecord>,
+    /// False between a [`World::power_cut`] and the next
+    /// [`World::reboot`] — the machine is off; nothing can run.
+    powered: bool,
+    /// Power cuts taken (DESIGN.md §13).
+    crashes: u64,
+    /// Reboots that replayed a non-empty journal.
+    journal_replays: u64,
+    /// Disk block writes discarded by power cuts.
+    blocks_discarded: u64,
+    /// Simulated nanoseconds spent in crash recovery (journal replay).
+    recovery_ns: u64,
 }
 
 impl Default for World {
@@ -268,6 +282,15 @@ impl World {
         if let Ok(v) = std::env::var("HVM_BBCACHE") {
             if matches!(v.as_str(), "off" | "0" | "false") {
                 kernel.set_bbcache(false);
+            }
+        }
+        // `HSFS_JOURNAL=off|0|false` disables the shared partition's
+        // block-write pipeline + journal (DESIGN.md §13) — the CI
+        // identity lane re-proves that a crash-free run is observably
+        // identical (and identically priced) either way.
+        if let Ok(v) = std::env::var("HSFS_JOURNAL") {
+            if matches!(v.as_str(), "off" | "0" | "false") {
+                kernel.vfs.shared.fs.set_durability(false);
             }
         }
         for dir in [
@@ -305,6 +328,11 @@ impl World {
             recovered: 0,
             sanitizer: None,
             races: Vec::new(),
+            powered: true,
+            crashes: 0,
+            journal_replays: 0,
+            blocks_discarded: 0,
+            recovery_ns: 0,
         }
     }
 
@@ -700,6 +728,9 @@ impl World {
         uid: u32,
         env: &[(&str, &str)],
     ) -> Result<Pid, WorldError> {
+        if !self.powered {
+            return Err(WorldError::PoweredOff);
+        }
         let bytes = self.kernel.vfs.read_all(exe_path)?;
         let image = binfmt::decode_image(&bytes)?;
         let injected_before = self.faults.injected();
@@ -1329,25 +1360,156 @@ impl World {
 
     // --- system administration ---
 
-    /// Simulates a crash and reboot: every process dies, all volatile
-    /// kernel state (the in-memory address table, the module-metadata
-    /// cache, linker state) is discarded — then the boot-time scan
-    /// rebuilds the address table from the surviving file systems,
-    /// exactly as §3 describes ("We initialize the table at boot time by
-    /// scanning the entire shared file system"). Public module instances
-    /// and their on-disk metadata survive; programs can be spawned again
-    /// immediately.
-    pub fn reboot(&mut self) {
-        self.kernel.procs.clear();
-        self.link.clear();
+    /// Everything that dies when the machine stops, cleanly or not:
+    /// processes (their cumulative counters folded in first, as a reap
+    /// would), linker state, cached images, semaphores, the scheduler
+    /// round, frame and swap residency, all advisory locks, the
+    /// in-kernel address table, and the module-metadata cache. On a
+    /// clean halt the shared partition is flushed first, so nothing in
+    /// the write pipeline is lost; on a crash the un-flushed suffix is
+    /// discarded (and counted).
+    fn halt(&mut self, crash: bool) {
+        // Get pending diagnostics into the ring before the state that
+        // produced them disappears.
+        self.drain_injections(0);
+        self.pump_pressure();
+        self.pump_smp();
+        self.pump_bb();
+        self.drain_sanitizer();
+        if !crash {
+            self.kernel.vfs.shared.fs.barrier();
+        }
+        for (_, s) in self.link.drain() {
+            self.reaped_ldl.faults_resolved += s.stats.faults_resolved;
+            self.reaped_ldl.lazy_links += s.stats.lazy_links;
+            self.reaped_ldl.init_links += s.stats.init_links;
+            self.reaped_ldl.segments_mapped += s.stats.segments_mapped;
+            self.reaped_ldl.symbols_resolved += s.stats.symbols_resolved;
+            self.reaped_ldl.symbols_unresolved += s.stats.symbols_unresolved;
+            self.reaped_ldl.trampolines += s.stats.trampolines;
+            self.reaped_ldl.dir_scans += s.stats.dir_scans;
+            self.reaped_ldl.cross_domain_resolutions += s.stats.cross_domain_resolutions;
+            self.reaped_ldl.resolve_cache_hits += s.stats.resolve_cache_hits;
+            self.reaped_ldl.link_retries += s.stats.link_retries;
+            self.reaped_ldl.retry_backoff_steps += s.stats.retry_backoff_steps;
+        }
+        let discarded = self.kernel.vfs.shared.fs.power_cut();
+        self.kernel.power_cut();
         self.images.clear();
         self.fault_guard.clear();
         self.kernel.vfs.shared.linear_table_clear_for_test();
         self.registry.clear_cache();
+        self.powered = false;
+        if crash {
+            self.crashes += 1;
+            self.blocks_discarded += discarded;
+            self.trace.record(
+                0,
+                0,
+                TraceEvent::CrashTaken {
+                    blocks_discarded: discarded,
+                },
+            );
+            self.log.push(format!(
+                "power cut: {discarded} un-flushed block writes lost"
+            ));
+        }
+    }
+
+    /// Pulls the plug (DESIGN.md §13): every process dies mid-
+    /// instruction, all volatile kernel state — TLBs, block caches,
+    /// advisory locks, frame pool, swap slots, the in-kernel address
+    /// table — vanishes, and any disk write not yet flushed by a
+    /// barrier is discarded. The simulated disk (the flushed prefix of
+    /// the write stream plus the on-disk journal) survives for
+    /// [`World::reboot`]. Nothing can run until then.
+    pub fn power_cut(&mut self) {
+        self.halt(true);
+    }
+
+    /// Brings the machine back up: replays the metadata journal onto
+    /// the surviving disk image (idempotent — a reboot that crashes
+    /// during recovery just replays again), rebuilds the address table
+    /// by the boot-time scan of §3, then runs `fsck` and self-heals any
+    /// residual damage (including crash-orphaned swap files). Called on
+    /// a running machine it is a *clean* reboot: the pipeline is
+    /// flushed first, so no journal replay is needed and nothing is
+    /// lost. Public module instances and their on-disk metadata
+    /// survive; programs can be spawned again immediately.
+    pub fn reboot(&mut self) {
+        if self.powered {
+            self.halt(false);
+        }
+        let rs = self.kernel.vfs.shared.fs.replay_journal();
+        if rs.records > 0 {
+            // Recovery is billed once, here: reading the journal (one
+            // block per record) plus writing the block images home.
+            let ns = (rs.records + rs.blocks) * self.costs.disk_block_ns;
+            self.journal_replays += 1;
+            self.recovery_ns += ns;
+            self.trace.record(
+                0,
+                ns,
+                TraceEvent::JournalReplayed {
+                    records: rs.records,
+                    blocks: rs.blocks,
+                },
+            );
+            self.log.push(format!(
+                "journal replay: {} records ({} block images) applied",
+                rs.records, rs.blocks
+            ));
+        }
         self.kernel.vfs.shared.boot_scan();
         self.fsck_at_boot();
+        self.powered = true;
         self.log
             .push("system rebooted; address table rebuilt by scan".to_string());
+    }
+
+    /// True unless a [`World::power_cut`] has not yet been followed by a
+    /// [`World::reboot`].
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Flushes the shared partition's write pipeline (mapped-store dirt
+    /// included) and checkpoints its journal — the machine-level
+    /// `sync`. Data flushed by a completed barrier survives any later
+    /// crash. Returns the disk write index after the flush.
+    pub fn barrier(&mut self) -> u64 {
+        self.kernel.vfs.shared.fs.barrier()
+    }
+
+    /// The shared disk's write index: how many block writes the device
+    /// has accepted. Crash-point enumeration runs the workload once to
+    /// learn the final index, then re-runs killing the device at each
+    /// earlier index.
+    pub fn disk_seq(&self) -> u64 {
+        self.kernel.vfs.shared.fs.disk_seq()
+    }
+
+    /// Arms a deterministic crash point: the shared disk dies at write
+    /// `k` (0-based), discarding that write and everything after it.
+    /// With `tear`, the first discarded write is half-applied — the
+    /// torn-block case. The death is invisible until [`World::power_cut`]
+    /// makes it matter.
+    pub fn set_crash_at(&mut self, k: u64, tear: bool) {
+        self.kernel.vfs.shared.fs.set_crash_at(k, tear);
+    }
+
+    /// Enables or disables the shared partition's durability pipeline
+    /// (see the `HSFS_JOURNAL` environment hook). Disabling makes every
+    /// write immediately durable — the pre-§13 behavior.
+    pub fn set_durability(&mut self, on: bool) {
+        self.kernel.vfs.shared.fs.set_durability(on);
+    }
+
+    /// Order-insensitive digest of the shared partition's logical state
+    /// (metadata + bytes; locks and counters excluded). Two worlds with
+    /// equal digests relink identically.
+    pub fn shared_digest(&self) -> u64 {
+        self.kernel.vfs.shared.fs.state_digest()
     }
 
     /// Boot-time `fsck`: after the address-table scan, check the shared
@@ -1357,24 +1519,15 @@ impl World {
     /// guests; the address-table counters the check perturbs are
     /// restored afterward, so simulated time is unchanged).
     fn fsck_at_boot(&mut self) {
-        use hsfs::tools::FsckIssue;
         let sfs = &mut self.kernel.vfs.shared;
         let (lookups, probes) = (sfs.addr_lookups, sfs.addr_probe_steps);
-        let issues = hsfs::tools::fsck_shared(sfs);
-        for issue in issues {
-            let detail = match issue {
-                // The boot scan already re-registered every file, so a
-                // missing entry here means the table itself is broken.
-                FsckIssue::MissingTableEntry { ino, path } => {
-                    format!("re-registered {path} (#{ino}) missing from address table")
-                }
-                FsckIssue::StaleTableEntry { ino } => {
-                    format!("dropped stale address-table entry #{ino}")
-                }
-                FsckIssue::Oversized { ino, size } => {
-                    let _ = sfs.fs.truncate(ino, u64::from(hsfs::SLOT_SIZE));
-                    format!("truncated oversized segment #{ino} ({size} bytes) to its slot")
-                }
+        let fs_stats = sfs.fs.stats;
+        let issues = hsfs::tools::fsck_boot(sfs);
+        for issue in &issues {
+            let verdict = hsfs::tools::fsck_repair(&mut self.kernel.vfs.shared, issue);
+            let detail = match verdict {
+                hsfs::tools::RepairVerdict::Repaired(d) => d,
+                hsfs::tools::RepairVerdict::Unrepaired(d) => format!("UNREPAIRED: {d}"),
             };
             self.log.push(format!("fsck: {detail}"));
             self.trace.record(0, 0, TraceEvent::FsckRepaired { detail });
@@ -1382,6 +1535,7 @@ impl World {
         let sfs = &mut self.kernel.vfs.shared;
         sfs.addr_lookups = lookups;
         sfs.addr_probe_steps = probes;
+        sfs.fs.stats = fs_stats;
     }
 
     /// Enumerates every shared segment, annotated with whether it is a
@@ -1420,12 +1574,12 @@ impl World {
             .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
         let off = (addr - meta.base) as usize;
         let bytes = self.kernel.vfs.shared.fs.file_bytes(v.ino)?;
-        Ok(u32::from_le_bytes([
-            bytes[off],
-            bytes[off + 1],
-            bytes[off + 2],
-            bytes[off + 3],
-        ]))
+        // A crash can recover the instance with its metadata committed
+        // but its content still short of this symbol's slot.
+        let word = bytes
+            .get(off..off + 4)
+            .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
+        Ok(u32::from_le_bytes(word.try_into().unwrap()))
     }
 
     /// Writes the word at an exported symbol of a public module instance.
@@ -1443,9 +1597,12 @@ impl World {
         let addr = meta
             .find_export(symbol)
             .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
-        let off = addr - meta.base;
+        let off = addr as usize - meta.base as usize;
         let bytes = self.kernel.vfs.shared.fs.file_bytes_mut(v.ino)?;
-        bytes[off as usize..off as usize + 4].copy_from_slice(&value.to_le_bytes());
+        let slot = bytes
+            .get_mut(off..off + 4)
+            .ok_or_else(|| WorldError::NoSuchSymbol(symbol.to_string()))?;
+        slot.copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
 
@@ -1512,6 +1669,10 @@ impl World {
             bblocks_built: bb.built,
             bblock_hits: bb.hits,
             bblock_invalidations: bb.invalidations,
+            crashes: self.crashes,
+            journal_replays: self.journal_replays,
+            blocks_discarded: self.blocks_discarded,
+            recovery_ns: self.recovery_ns,
         }
     }
 }

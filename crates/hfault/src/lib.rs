@@ -60,10 +60,20 @@ pub enum FaultSite {
     /// observable is an extra IPI in the stats. Only reachable on a
     /// multi-CPU world whose eviction victim sits on a remote CPU.
     ShootdownDrop,
+    /// Block-write pipeline in `hsfs::journal`: the simulated disk dies
+    /// *at this write* — it and every later write are discarded, exactly
+    /// as if power were cut at this point in the write stream. Invisible
+    /// until `World::power_cut`/`reboot` exposes the surviving prefix.
+    CrashPoint,
+    /// Power cut in `hsfs::journal`: the first discarded write is torn —
+    /// a half-block prefix lands on the dying device. A torn journal
+    /// record fails its checksum at replay (the transaction is void); a
+    /// torn home block is rewritten by replay of its committed record.
+    CrashTear,
 }
 
 /// All sites, in a stable order (used for per-site counters).
-pub const ALL_SITES: [FaultSite; 9] = [
+pub const ALL_SITES: [FaultSite; 11] = [
     FaultSite::FrameAlloc,
     FaultSite::InodeAlloc,
     FaultSite::TornWrite,
@@ -73,6 +83,8 @@ pub const ALL_SITES: [FaultSite; 9] = [
     FaultSite::SwapWrite,
     FaultSite::SwapRead,
     FaultSite::ShootdownDrop,
+    FaultSite::CrashPoint,
+    FaultSite::CrashTear,
 ];
 
 impl FaultSite {
@@ -88,6 +100,8 @@ impl FaultSite {
             FaultSite::SwapWrite => "swap_write",
             FaultSite::SwapRead => "swap_read",
             FaultSite::ShootdownDrop => "shootdown_drop",
+            FaultSite::CrashPoint => "crash_point",
+            FaultSite::CrashTear => "crash_tear",
         }
     }
 
@@ -110,6 +124,8 @@ impl FaultSite {
             FaultSite::SwapWrite => 6,
             FaultSite::SwapRead => 7,
             FaultSite::ShootdownDrop => 8,
+            FaultSite::CrashPoint => 9,
+            FaultSite::CrashTear => 10,
         }
     }
 }
@@ -145,7 +161,7 @@ impl FaultPlan {
                 seed
             },
             rate_ppm: rate_ppm.min(1_000_000),
-            enabled: 0b1_1111_1111,
+            enabled: 0b111_1111_1111,
             injected: 0,
             decisions: 0,
             by_site: [0; ALL_SITES.len()],

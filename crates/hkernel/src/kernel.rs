@@ -354,6 +354,32 @@ impl Kernel {
         &self.pool
     }
 
+    /// The power cut, kernel side: every process dies instantly (their
+    /// per-space counters are folded into the cumulative stats first,
+    /// as a reap would), semaphores, the scheduler round, the clock
+    /// hand, and all frame/swap residency vanish. Configuration (CPU
+    /// count, budgets, cache enablement) and the monotonic pid/asid
+    /// generators survive — they model the machine, not its RAM.
+    pub fn power_cut(&mut self) {
+        let procs = std::mem::take(&mut self.procs);
+        for (_, p) in procs {
+            self.stats.cow_copies += p.aspace.stats.cow_copies;
+            self.stats.tlb_hits += p.aspace.stats.tlb_hits;
+            self.stats.tlb_misses += p.aspace.stats.tlb_misses;
+            self.reaped_bb.accumulate(p.aspace.bbcache().stats());
+        }
+        self.sems.clear();
+        self.rr_cursor = 0;
+        self.clock = None;
+        let n = self.slots.len();
+        self.slots = vec![CpuSlot::default(); n];
+        self.cur_cpu = 0;
+        self.round_active = false;
+        self.smp_journal.clear();
+        self.pool.reset_volatile();
+        self.vfs.unlock_everything();
+    }
+
     /// Arms deterministic fault injection across the whole kernel: both
     /// file systems and every present *and future* address space share
     /// the one handle (and so one decision stream). See DESIGN.md §8.

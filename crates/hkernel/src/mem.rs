@@ -405,6 +405,22 @@ impl FramePool {
         std::mem::take(&mut self.lock().journal)
     }
 
+    /// Power-cut reset: frames and swap slots are volatile, so nothing
+    /// is resident and no swap slot is allocated after a crash (the
+    /// swap *files* on the shared partition are reclaimed separately by
+    /// boot-time fsck). Configuration (capacity, swap budget, quota)
+    /// and cumulative counters survive — they describe the machine and
+    /// its history, not the lost state.
+    pub fn reset_volatile(&self) {
+        let mut inner = self.lock();
+        inner.resident = 0;
+        inner.next_slot = 0;
+        inner.free_slots.clear();
+        inner.slot_refs.clear();
+        inner.swap_files.clear();
+        inner.journal.clear();
+    }
+
     /// Counts a deterministic OOM kill.
     pub fn count_oom_kill(&self) {
         self.lock().oom_kills += 1;

@@ -7,6 +7,7 @@
 //! can derive each file's virtual address directly from its inode number.
 
 use crate::error::FsError;
+use crate::journal::{fnv1a, Durable, Payload, RecKind, ReplayStats};
 use crate::path as fspath;
 use crate::stats::FsStats;
 use hfault::{FaultHandle, FaultSite};
@@ -137,6 +138,10 @@ pub struct FileSystem {
     /// the block cache skip per-page epoch queries entirely while no
     /// write happened anywhere — see [`FileSystem::content_stamp`].
     content_stamp: u64,
+    /// The block-write pipeline + write-ahead journal (DESIGN.md §13).
+    /// `None` (the root file system, and the durable twin itself) means
+    /// write-through: mutations are durable the instant they happen.
+    durable: Option<Box<Durable>>,
 }
 
 /// Write-epoch state for one file. `whole` moves on any write through a
@@ -177,6 +182,7 @@ impl FileSystem {
             faults: FaultHandle::unarmed(),
             write_epochs: BTreeMap::new(),
             content_stamp: 0,
+            durable: None,
         }
     }
 
@@ -349,6 +355,11 @@ impl FileSystem {
         if self.dir_entries(dir)?.contains_key(name) {
             return Err(FsError::AlreadyExists);
         }
+        let kind = match &node {
+            Node::File { .. } => RecKind::File,
+            Node::Dir { .. } => RecKind::Dir,
+            Node::Symlink { target } => RecKind::Symlink(target.clone()),
+        };
         let ino = self.alloc(Inode {
             node,
             nlink: 1,
@@ -365,6 +376,23 @@ impl FileSystem {
             _ => unreachable!("checked above"),
         }
         self.stats.creates += 1;
+        if self.durable.is_some() {
+            self.durable_tx(vec![
+                Payload::SetInode {
+                    ino,
+                    kind,
+                    mode,
+                    uid,
+                    parent: dir,
+                    name: name.to_string(),
+                },
+                Payload::DirAdd {
+                    dir,
+                    name: name.to_string(),
+                    ino,
+                },
+            ]);
+        }
         Ok(ino)
     }
 
@@ -448,11 +476,22 @@ impl FileSystem {
         }
         match &mut self.inode_mut(dir)?.node {
             Node::Dir { entries } => {
-                entries.insert(name, target);
+                entries.insert(name.clone(), target);
             }
             _ => unreachable!(),
         }
         self.inode_mut(target)?.nlink += 1;
+        if self.durable.is_some() {
+            let nlink = self.inode(target)?.nlink;
+            self.durable_tx(vec![
+                Payload::DirAdd {
+                    dir,
+                    name,
+                    ino: target,
+                },
+                Payload::SetNlink { ino: target, nlink },
+            ]);
+        }
         Ok(())
     }
 
@@ -471,10 +510,20 @@ impl FileSystem {
         }
         let inode = self.inode_mut(ino)?;
         inode.nlink -= 1;
-        if inode.nlink == 0 {
+        let nlink = inode.nlink;
+        if nlink == 0 {
             self.release(ino);
         }
         self.stats.removes += 1;
+        if self.durable.is_some() {
+            let mut payloads = vec![Payload::DirRemove { dir, name }];
+            payloads.push(if nlink == 0 {
+                Payload::ClearInode { ino }
+            } else {
+                Payload::SetNlink { ino, nlink }
+            });
+            self.durable_tx(payloads);
+        }
         Ok(())
     }
 
@@ -495,6 +544,12 @@ impl FileSystem {
         }
         self.release(ino);
         self.stats.removes += 1;
+        if self.durable.is_some() {
+            self.durable_tx(vec![
+                Payload::DirRemove { dir, name },
+                Payload::ClearInode { ino },
+            ]);
+        }
         Ok(())
     }
 
@@ -530,7 +585,25 @@ impl FileSystem {
         }
         let inode = self.inode_mut(ino)?;
         inode.parent = ndir;
-        inode.name = nname;
+        inode.name = nname.clone();
+        if self.durable.is_some() {
+            self.durable_tx(vec![
+                Payload::DirRemove {
+                    dir: odir,
+                    name: oname,
+                },
+                Payload::DirAdd {
+                    dir: ndir,
+                    name: nname.clone(),
+                    ino,
+                },
+                Payload::SetMeta {
+                    ino,
+                    parent: ndir,
+                    name: nname,
+                },
+            ]);
+        }
         Ok(())
     }
 
@@ -560,8 +633,10 @@ impl FileSystem {
         }
         // Chaos: a torn write lands a prefix of the data, then the
         // device errors out. The caller sees `ShortWrite` and must roll
-        // back or retry; the file really is left torn, as on a crashed
-        // disk (DESIGN.md §8).
+        // back or retry; the *live* file really is left torn, as on a
+        // crashed disk (DESIGN.md §8) — but the write-ahead journal
+        // below carries the full intended data, so reboot recovery
+        // restores atomicity at exactly this site (DESIGN.md §13).
         let torn = if self.faults.should_inject(FaultSite::TornWrite) {
             Some(data.len() / 2)
         } else {
@@ -590,12 +665,53 @@ impl FileSystem {
             Node::Dir { .. } => return Err(FsError::IsADirectory),
             Node::Symlink { .. } => return Err(FsError::Invalid),
         }
+        self.durable_write_tx(ino, offset, data, torn.is_some());
         if let Some(wrote) = torn {
             self.stats.record_write(offset, wrote as u64);
             return Err(FsError::ShortWrite);
         }
         self.stats.record_write(offset, data.len() as u64);
         Ok(())
+    }
+
+    /// Journals one `write_at` as a transaction of block images. When
+    /// the live write was torn, the images are patched with the *full*
+    /// intended data — the caller still sees `ShortWrite` and a torn
+    /// live file, but a crash–reboot cycle replays the committed record
+    /// and restores the write's atomicity.
+    fn durable_write_tx(&mut self, ino: Ino, offset: u64, data: &[u8], torn: bool) {
+        if self.durable.is_none() || data.is_empty() {
+            return;
+        }
+        let bs = crate::BLOCK_SIZE as u64;
+        let end = offset + data.len() as u64;
+        let Ok(inode) = self.inode(ino) else { return };
+        let Node::File { content } = &inode.node else {
+            return;
+        };
+        let patched: Option<Vec<u8>> = if torn {
+            let mut c = content.clone();
+            let need = offset as usize + data.len();
+            if c.len() < need {
+                c.resize(need, 0);
+            }
+            c[offset as usize..need].copy_from_slice(data);
+            Some(c)
+        } else {
+            None
+        };
+        let view: &[u8] = patched.as_deref().unwrap_or(content);
+        let mut payloads = Vec::new();
+        for b in offset / bs..=(end - 1) / bs {
+            let s = (b * bs) as usize;
+            let e = ((b + 1) * bs) as usize;
+            payloads.push(Payload::WriteBlock {
+                ino,
+                offset: b * bs,
+                bytes: view[s..e.min(view.len())].to_vec(),
+            });
+        }
+        self.durable_tx(payloads);
     }
 
     /// Sets the file's length, truncating or zero-extending.
@@ -608,9 +724,25 @@ impl FileSystem {
         match &mut self.inode_mut(ino)?.node {
             Node::File { content } => {
                 content.resize(size as usize, 0);
-                Ok(())
             }
-            _ => Err(FsError::IsADirectory),
+            _ => return Err(FsError::IsADirectory),
+        }
+        if self.durable.is_some() {
+            self.durable_tx(vec![Payload::SetSize { ino, size }]);
+        }
+        Ok(())
+    }
+
+    /// Sets a file's length *bypassing* the size cap and the write
+    /// pipeline — simulates on-disk corruption (an oversized segment)
+    /// for fsck tests. Test/diagnostic use only.
+    pub fn force_size_for_test(&mut self, ino: Ino, size: u64) {
+        self.content_stamp += 1;
+        self.write_epochs.entry(ino).or_default().whole += 1;
+        if let Ok(inode) = self.inode_mut(ino) {
+            if let Node::File { content } = &mut inode.node {
+                content.resize(size as usize, 0);
+            }
         }
     }
 
@@ -632,6 +764,9 @@ impl FileSystem {
     pub fn file_bytes_mut(&mut self, ino: Ino) -> Result<&mut [u8], FsError> {
         self.content_stamp += 1;
         self.write_epochs.entry(ino).or_default().whole += 1;
+        if let Some(d) = self.durable.as_deref_mut() {
+            d.mark_whole(ino);
+        }
         match &mut self.inode_mut(ino)?.node {
             Node::File { content } => Ok(content),
             _ => Err(FsError::IsADirectory),
@@ -646,6 +781,9 @@ impl FileSystem {
         self.content_stamp += 1;
         let epochs = self.write_epochs.entry(ino).or_default();
         *epochs.pages.entry(page).or_default() += 1;
+        if let Some(d) = self.durable.as_deref_mut() {
+            d.mark_page(ino, page);
+        }
         match &mut self.inode_mut(ino)?.node {
             Node::File { content } => Ok(content),
             _ => Err(FsError::IsADirectory),
@@ -699,6 +837,9 @@ impl FileSystem {
     /// Changes permission bits.
     pub fn chmod(&mut self, ino: Ino, mode: u16) -> Result<(), FsError> {
         self.inode_mut(ino)?.mode = mode;
+        if self.durable.is_some() {
+            self.durable_tx(vec![Payload::SetMode { ino, mode }]);
+        }
         Ok(())
     }
 
@@ -788,6 +929,371 @@ impl FileSystem {
                 f(i as Ino, &kind);
             }
         }
+    }
+
+    // --- durability: block-write pipeline + write-ahead journal ---
+
+    /// Emits one journaled transaction into the block-write pipeline
+    /// (no-op when durability is off).
+    fn durable_tx(&mut self, payloads: Vec<Payload>) {
+        if let Some(mut d) = self.durable.take() {
+            d.tx(&self.faults, payloads);
+            self.durable = Some(d);
+        }
+    }
+
+    /// A volatile-stripped copy of the current tree: the disk image a
+    /// fresh [`Durable`] twin starts from. Locks, stats, epochs, and the
+    /// fault plan are all RAM-side state and do not survive onto disk.
+    fn snapshot_for_disk(&self) -> FileSystem {
+        let mut slots = self.slots.clone();
+        for s in slots.iter_mut().flatten() {
+            s.lock = LockState::Unlocked;
+        }
+        FileSystem {
+            config: self.config,
+            slots,
+            free: self.free.clone(),
+            live: self.live,
+            stats: FsStats::default(),
+            faults: FaultHandle::unarmed(),
+            write_epochs: BTreeMap::new(),
+            content_stamp: 0,
+            durable: None,
+        }
+    }
+
+    /// Turns the block-write pipeline + journal on, snapshotting the
+    /// current tree as the initial disk image. Idempotent.
+    pub fn enable_durability(&mut self) {
+        if self.durable.is_none() {
+            self.durable = Some(Box::new(Durable::new(self.snapshot_for_disk())));
+        }
+    }
+
+    /// Enables or disables the pipeline (`(crash off)` bench mode).
+    pub fn set_durability(&mut self, on: bool) {
+        if on {
+            self.enable_durability();
+        } else {
+            self.durable = None;
+        }
+    }
+
+    /// Whether the pipeline is on.
+    pub fn durability_enabled(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Disk writes applied so far (the crash-point enumerator's clock).
+    pub fn disk_seq(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.disk_seq())
+    }
+
+    /// Schedules deterministic device death at disk write `k`; `tear`
+    /// additionally half-lands the straddling block.
+    pub fn set_crash_at(&mut self, k: u64, tear: bool) {
+        if let Some(d) = self.durable.as_deref_mut() {
+            d.set_crash_at(k, tear);
+        }
+    }
+
+    /// Whether the simulated device has already died.
+    pub fn device_dead(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.is_dead())
+    }
+
+    /// Records currently in the on-disk journal (tests/observability).
+    pub fn journal_records(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.journal.len() as u64)
+    }
+
+    /// Flushes mapped-store dirt as one journaled transaction, then
+    /// checkpoints (clears) the journal — the pipeline's `fsync`. Data
+    /// written before a completed barrier survives any later crash.
+    /// Returns the disk write index after the flush.
+    pub fn barrier(&mut self) -> u64 {
+        let Some(mut d) = self.durable.take() else {
+            return 0;
+        };
+        let (whole, pages) = d.take_dirt();
+        let bs = crate::BLOCK_SIZE as u64;
+        let mut payloads = Vec::new();
+        let capture = |ino: Ino, only: Option<&BTreeSet<u32>>, out: &mut Vec<Payload>| {
+            let Some(Some(inode)) = self.slots.get(ino as usize) else {
+                return;
+            };
+            // Swap-file content is dead after any crash (the processes
+            // whose pages it holds died with them) — never journal it.
+            if inode.name.starts_with(&crate::SWAP_PATH_PREFIX[1..]) {
+                return;
+            }
+            let Node::File { content } = &inode.node else {
+                return;
+            };
+            if only.is_none() {
+                out.push(Payload::SetSize {
+                    ino,
+                    size: content.len() as u64,
+                });
+            }
+            let blocks = (content.len() as u64).div_ceil(bs);
+            for b in 0..blocks {
+                if only.is_some_and(|set| !set.contains(&(b as u32))) {
+                    continue;
+                }
+                let s = (b * bs) as usize;
+                let e = ((b + 1) * bs) as usize;
+                out.push(Payload::WriteBlock {
+                    ino,
+                    offset: b * bs,
+                    bytes: content[s..e.min(content.len())].to_vec(),
+                });
+            }
+        };
+        for &ino in &whole {
+            capture(ino, None, &mut payloads);
+        }
+        for (ino, pgs) in &pages {
+            if !whole.contains(ino) {
+                capture(*ino, Some(pgs), &mut payloads);
+            }
+        }
+        if !payloads.is_empty() {
+            d.tx(&self.faults, payloads);
+        }
+        d.checkpoint(&self.faults);
+        let seq = d.disk_seq();
+        self.durable = Some(d);
+        seq
+    }
+
+    /// The power cut: adopts the disk image (the live tree's un-flushed
+    /// RAM state is gone), clears all advisory locks, and re-twins. The
+    /// on-disk journal survives for [`FileSystem::replay_journal`].
+    /// Returns the number of discarded block writes.
+    pub fn power_cut(&mut self) -> u64 {
+        self.unlock_everything();
+        let Some(d) = self.durable.take() else {
+            return 0;
+        };
+        let discarded = d.discarded();
+        let twin = *d.disk;
+        self.content_stamp = self.content_stamp.max(twin.content_stamp) + 1;
+        self.slots = twin.slots;
+        self.free = twin.free;
+        self.live = twin.live;
+        self.write_epochs.clear();
+        let mut nd = Durable::new(self.snapshot_for_disk());
+        nd.journal = d.journal;
+        self.durable = Some(Box::new(nd));
+        discarded
+    }
+
+    /// Replays every committed, checksum-valid transaction in the
+    /// on-disk journal, in order, onto both the live tree and the disk
+    /// image. Records are unconditional state writes, so replay is
+    /// idempotent: recovering twice equals recovering once. The journal
+    /// itself is kept (cleared by the next barrier's checkpoint).
+    pub fn replay_journal(&mut self) -> ReplayStats {
+        let Some(mut d) = self.durable.take() else {
+            return ReplayStats::default();
+        };
+        let mut stats = ReplayStats::default();
+        let mut pending: Vec<Payload> = Vec::new();
+        let mut apply: Vec<Payload> = Vec::new();
+        for rec in &d.journal {
+            if !rec.valid() {
+                // A torn record is always the journal's last write;
+                // its transaction never committed and is void.
+                break;
+            }
+            stats.records += 1;
+            if matches!(rec.payload(), Payload::Commit) {
+                stats.txs += 1;
+                apply.append(&mut pending);
+            } else {
+                pending.push(rec.payload().clone());
+            }
+        }
+        for p in &apply {
+            if matches!(p, Payload::WriteBlock { .. }) {
+                stats.blocks += 1;
+            } else {
+                stats.meta += 1;
+            }
+            self.apply_phys(p);
+            d.disk.apply_phys(p);
+        }
+        self.durable = Some(d);
+        stats
+    }
+
+    /// Releases every advisory lock (locks are volatile kernel state).
+    pub fn unlock_everything(&mut self) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.lock = LockState::Unlocked;
+        }
+    }
+
+    /// Applies one physical record, last-writer-wins. Used for home
+    /// writes on the disk image and for journal replay; never consults
+    /// the fault plan and never touches [`FsStats`].
+    pub(crate) fn apply_phys(&mut self, p: &Payload) {
+        self.content_stamp += 1;
+        match p {
+            Payload::SetInode {
+                ino,
+                kind,
+                mode,
+                uid,
+                parent,
+                name,
+            } => {
+                let idx = *ino as usize;
+                if self.slots.len() <= idx {
+                    self.slots.resize_with(idx + 1, || None);
+                }
+                let refresh = match (&mut self.slots[idx], kind) {
+                    (Some(inode), RecKind::File) if matches!(inode.node, Node::File { .. }) => true,
+                    (Some(inode), RecKind::Dir) if matches!(inode.node, Node::Dir { .. }) => true,
+                    (Some(inode), RecKind::Symlink(t)) => {
+                        if let Node::Symlink { target } = &mut inode.node {
+                            *target = t.clone();
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if refresh {
+                    let inode = self.slots[idx].as_mut().expect("checked above");
+                    inode.mode = *mode;
+                    inode.uid = *uid;
+                    inode.parent = *parent;
+                    inode.name = name.clone();
+                } else {
+                    if self.slots[idx].is_none() {
+                        self.live += 1;
+                        self.free.retain(|&i| i != *ino);
+                    }
+                    let node = match kind {
+                        RecKind::File => Node::File {
+                            content: Vec::new(),
+                        },
+                        RecKind::Dir => Node::Dir {
+                            entries: BTreeMap::new(),
+                        },
+                        RecKind::Symlink(t) => Node::Symlink { target: t.clone() },
+                    };
+                    self.slots[idx] = Some(Inode {
+                        node,
+                        nlink: 1,
+                        mode: *mode,
+                        uid: *uid,
+                        parent: *parent,
+                        name: name.clone(),
+                        lock: LockState::Unlocked,
+                    });
+                }
+            }
+            Payload::ClearInode { ino } => self.release(*ino),
+            Payload::DirAdd { dir, name, ino } => {
+                if let Ok(inode) = self.inode_mut(*dir) {
+                    if let Node::Dir { entries } = &mut inode.node {
+                        entries.insert(name.clone(), *ino);
+                    }
+                }
+            }
+            Payload::DirRemove { dir, name } => {
+                if let Ok(inode) = self.inode_mut(*dir) {
+                    if let Node::Dir { entries } = &mut inode.node {
+                        entries.remove(name);
+                    }
+                }
+            }
+            Payload::SetSize { ino, size } => {
+                self.write_epochs.entry(*ino).or_default().whole += 1;
+                if let Ok(inode) = self.inode_mut(*ino) {
+                    if let Node::File { content } = &mut inode.node {
+                        content.resize(*size as usize, 0);
+                    }
+                }
+            }
+            Payload::SetMode { ino, mode } => {
+                if let Ok(inode) = self.inode_mut(*ino) {
+                    inode.mode = *mode;
+                }
+            }
+            Payload::SetMeta { ino, parent, name } => {
+                if let Ok(inode) = self.inode_mut(*ino) {
+                    inode.parent = *parent;
+                    inode.name = name.clone();
+                }
+            }
+            Payload::SetNlink { ino, nlink } => {
+                if let Ok(inode) = self.inode_mut(*ino) {
+                    inode.nlink = *nlink;
+                }
+            }
+            Payload::WriteBlock { ino, offset, bytes } => {
+                self.write_epochs.entry(*ino).or_default().whole += 1;
+                if let Ok(inode) = self.inode_mut(*ino) {
+                    if let Node::File { content } = &mut inode.node {
+                        let need = *offset as usize + bytes.len();
+                        if content.len() < need {
+                            content.resize(need, 0);
+                        }
+                        content[*offset as usize..need].copy_from_slice(bytes);
+                    }
+                }
+            }
+            Payload::Commit => {}
+        }
+    }
+
+    /// An order-stable digest of the durable tree state: slot index,
+    /// metadata, names, directory entries, symlink targets, and file
+    /// contents. Volatile state (locks, stats, epochs, the journal) is
+    /// excluded — two digests match iff the recoverable trees match.
+    pub fn state_digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(inode) = slot else { continue };
+            buf.extend_from_slice(&(i as u32).to_le_bytes());
+            buf.extend_from_slice(&inode.nlink.to_le_bytes());
+            buf.extend_from_slice(&inode.mode.to_le_bytes());
+            buf.extend_from_slice(&inode.uid.to_le_bytes());
+            buf.extend_from_slice(&inode.parent.to_le_bytes());
+            buf.extend_from_slice(&(inode.name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(inode.name.as_bytes());
+            match &inode.node {
+                Node::File { content } => {
+                    buf.push(1);
+                    buf.extend_from_slice(&(content.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(&fnv1a(content).to_le_bytes());
+                }
+                Node::Dir { entries } => {
+                    buf.push(2);
+                    for (n, ino) in entries {
+                        buf.extend_from_slice(&(n.len() as u32).to_le_bytes());
+                        buf.extend_from_slice(n.as_bytes());
+                        buf.extend_from_slice(&ino.to_le_bytes());
+                    }
+                }
+                Node::Symlink { target } => {
+                    buf.push(3);
+                    buf.extend_from_slice(target.as_bytes());
+                }
+            }
+        }
+        fnv1a(&buf)
+    }
+
+    /// Digest of the disk image (what a crash right now would leave).
+    pub fn disk_digest(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.disk.state_digest())
     }
 }
 

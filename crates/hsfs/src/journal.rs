@@ -1,0 +1,495 @@
+//! The block-write pipeline and metadata write-ahead journal.
+//!
+//! The paper's durability story is a boot-time scan that rebuilds the
+//! name↔address table — which is only sound if the file system under the
+//! scan is itself crash-consistent. This module makes hsfs crash-
+//! consistent by construction: every mutation of the live (in-memory)
+//! file system also flows, as an ordered stream of single-block *disk
+//! writes*, onto a durable twin image. A power cut discards any suffix
+//! of that stream (and, under a chaos flag, tears the block straddling
+//! the cut), so torn state is a first-class, enumerable artifact: crash
+//! at write `k` for every `k` and you have visited every reachable
+//! on-disk state.
+//!
+//! Write-ahead journaling makes multi-block operations atomic. Each
+//! logical operation becomes one *transaction*: its physical records are
+//! appended to the on-disk journal (one block write per record, each
+//! checksummed), then a commit record, then the home-location writes.
+//! Replay at reboot applies, in order, every transaction whose commit
+//! record landed with valid checksums — re-applying a record that
+//! already reached its home location rewrites the same bytes, so replay
+//! is idempotent and recovering twice equals recovering once. A torn
+//! journal record fails its checksum and voids its (uncommitted)
+//! transaction; a torn home block is rewritten by replay of its
+//! committed record. `barrier()` flushes mapped-store dirt and
+//! checkpoints (clears) the journal; data written before a completed
+//! barrier is guaranteed intact after any later crash.
+//!
+//! None of this touches [`crate::stats::FsStats`] or draws simulated
+//! time: the pipeline prices at exactly zero in crash-free runs
+//! (ISSUE 8's `(crash off)` bench identity), and recovery cost is billed
+//! separately by the World at reboot.
+
+use crate::fs::{FileSystem, Ino};
+use hfault::{FaultHandle, FaultSite};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One physical journal/home record: a state *write*, not an action.
+///
+/// Records are last-writer-wins and unconditional, so replaying a
+/// prefix-complete journal in order onto any intermediate disk state
+/// converges on the newest recorded state — the property that makes
+/// replay idempotent even when some home writes already landed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Materialize (or refresh the metadata of) inode `ino`. Keeps the
+    /// existing content when the slot already holds a node of the same
+    /// kind — a later transaction's `WriteBlock`s must not be wiped by
+    /// replaying an older create.
+    SetInode {
+        /// Slot to materialize.
+        ino: Ino,
+        /// Node kind (with the symlink target inline — it is metadata).
+        kind: RecKind,
+        /// Permission bits.
+        mode: u16,
+        /// Owning uid.
+        uid: u32,
+        /// Parent directory inode.
+        parent: Ino,
+        /// Entry name under the parent.
+        name: String,
+    },
+    /// Free inode `ino`'s slot.
+    ClearInode {
+        /// Slot to free.
+        ino: Ino,
+    },
+    /// Insert directory entry `name → ino` under `dir`.
+    DirAdd {
+        /// Directory inode.
+        dir: Ino,
+        /// Entry name.
+        name: String,
+        /// Target inode.
+        ino: Ino,
+    },
+    /// Remove directory entry `name` under `dir`.
+    DirRemove {
+        /// Directory inode.
+        dir: Ino,
+        /// Entry name.
+        name: String,
+    },
+    /// Set file `ino`'s length (truncate or zero-extend).
+    SetSize {
+        /// File inode.
+        ino: Ino,
+        /// New length in bytes.
+        size: u64,
+    },
+    /// Set inode `ino`'s permission bits.
+    SetMode {
+        /// Inode.
+        ino: Ino,
+        /// New mode.
+        mode: u16,
+    },
+    /// Set inode `ino`'s parent pointer and name (rename).
+    SetMeta {
+        /// Inode.
+        ino: Ino,
+        /// New parent directory.
+        parent: Ino,
+        /// New entry name.
+        name: String,
+    },
+    /// Set inode `ino`'s hard-link count.
+    SetNlink {
+        /// Inode.
+        ino: Ino,
+        /// New link count.
+        nlink: u32,
+    },
+    /// Write one block-sized (or EOF-short) image at `offset`,
+    /// zero-extending the file if it is shorter than the write's end.
+    WriteBlock {
+        /// File inode.
+        ino: Ino,
+        /// Byte offset (block-aligned).
+        offset: u64,
+        /// Block image (≤ [`crate::BLOCK_SIZE`] bytes).
+        bytes: Vec<u8>,
+    },
+    /// Transaction commit marker (journal-only; never a home write).
+    Commit,
+}
+
+/// Node kind carried by a [`Payload::SetInode`] record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecKind {
+    /// Regular file (content arrives via `WriteBlock`s).
+    File,
+    /// Directory (entries arrive via `DirAdd`s).
+    Dir,
+    /// Symbolic link with its target.
+    Symlink(String),
+}
+
+impl Payload {
+    /// Canonical byte encoding, checksummed into each journal record.
+    fn encode(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        match self {
+            Payload::SetInode {
+                ino,
+                kind,
+                mode,
+                uid,
+                parent,
+                name,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&ino.to_le_bytes());
+                match kind {
+                    RecKind::File => out.push(0),
+                    RecKind::Dir => out.push(1),
+                    RecKind::Symlink(t) => {
+                        out.push(2);
+                        put_str(out, t);
+                    }
+                }
+                out.extend_from_slice(&mode.to_le_bytes());
+                out.extend_from_slice(&uid.to_le_bytes());
+                out.extend_from_slice(&parent.to_le_bytes());
+                put_str(out, name);
+            }
+            Payload::ClearInode { ino } => {
+                out.push(2);
+                out.extend_from_slice(&ino.to_le_bytes());
+            }
+            Payload::DirAdd { dir, name, ino } => {
+                out.push(3);
+                out.extend_from_slice(&dir.to_le_bytes());
+                put_str(out, name);
+                out.extend_from_slice(&ino.to_le_bytes());
+            }
+            Payload::DirRemove { dir, name } => {
+                out.push(4);
+                out.extend_from_slice(&dir.to_le_bytes());
+                put_str(out, name);
+            }
+            Payload::SetSize { ino, size } => {
+                out.push(5);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&size.to_le_bytes());
+            }
+            Payload::SetMode { ino, mode } => {
+                out.push(6);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&mode.to_le_bytes());
+            }
+            Payload::SetMeta { ino, parent, name } => {
+                out.push(7);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&parent.to_le_bytes());
+                put_str(out, name);
+            }
+            Payload::SetNlink { ino, nlink } => {
+                out.push(8);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&nlink.to_le_bytes());
+            }
+            Payload::WriteBlock { ino, offset, bytes } => {
+                out.push(9);
+                out.extend_from_slice(&ino.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            Payload::Commit => out.push(10),
+        }
+    }
+}
+
+/// FNV-1a 64-bit — the journal's record checksum.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One on-disk journal record: a checksummed payload within a
+/// transaction. `torn` models a record whose block write was cut short —
+/// its stored checksum no longer matches its contents.
+#[derive(Clone, Debug)]
+pub struct Record {
+    txid: u64,
+    payload: Payload,
+    crc: u64,
+    torn: bool,
+}
+
+impl Record {
+    fn sealed(txid: u64, payload: Payload) -> Record {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&txid.to_le_bytes());
+        payload.encode(&mut buf);
+        Record {
+            txid,
+            payload,
+            crc: fnv1a(&buf),
+            torn: false,
+        }
+    }
+
+    /// Checksum verification, as replay performs it.
+    pub fn valid(&self) -> bool {
+        if self.torn {
+            return false;
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.txid.to_le_bytes());
+        self.payload.encode(&mut buf);
+        self.crc == fnv1a(&buf)
+    }
+
+    /// The record's transaction id.
+    pub fn txid(&self) -> u64 {
+        self.txid
+    }
+
+    /// The record's payload.
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+}
+
+/// One entry in the ordered block-write stream.
+#[derive(Clone, Debug)]
+enum Unit {
+    /// Append a record to the on-disk journal area.
+    Journal(Record),
+    /// Apply a record to its home location on the disk image.
+    Home(Payload),
+    /// Clear the journal (barrier checkpoint; one superblock write).
+    Checkpoint,
+}
+
+/// What `replay_journal` did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Checksum-valid journal records scanned (including commits).
+    pub records: u64,
+    /// Committed transactions applied.
+    pub txs: u64,
+    /// Home data blocks rewritten ([`Payload::WriteBlock`]).
+    pub blocks: u64,
+    /// Home metadata records rewritten (everything else).
+    pub meta: u64,
+}
+
+/// The durable side of a [`FileSystem`]: the disk image twin, the
+/// on-disk journal, and the write-stream bookkeeping.
+///
+/// The twin is a plain `FileSystem` (no recursion: its own `durable` is
+/// `None`, its fault handle unarmed, its stats ignored) that receives
+/// the same deterministic record stream as the live tree — so inode
+/// allocation, and therefore every segment's global address, matches
+/// the live file system exactly.
+#[derive(Clone, Debug)]
+pub struct Durable {
+    /// The disk image.
+    pub(crate) disk: Box<FileSystem>,
+    /// The on-disk journal area.
+    pub(crate) journal: Vec<Record>,
+    /// Disk writes applied so far (the crash-point enumerator's `k`).
+    disk_seq: u64,
+    /// Die (silently) once `disk_seq` reaches this write index.
+    crash_at: Option<u64>,
+    /// Tear the first discarded write when the device dies.
+    tear_on_death: bool,
+    /// The device died: every further write is discarded.
+    dead: bool,
+    /// Writes discarded since death.
+    discarded: u64,
+    next_txid: u64,
+    /// Mapped-store dirt, captured lazily at `barrier()`.
+    dirty_pages: BTreeMap<Ino, BTreeSet<u32>>,
+    dirty_whole: BTreeSet<Ino>,
+    /// One-entry memo de-duplicating the per-store page marks.
+    last_mark: Option<(Ino, u32)>,
+}
+
+impl Durable {
+    /// A fresh durable state around `disk` (a volatile-stripped snapshot
+    /// of the live file system at enable time).
+    pub(crate) fn new(disk: FileSystem) -> Durable {
+        Durable {
+            disk: Box::new(disk),
+            journal: Vec::new(),
+            disk_seq: 0,
+            crash_at: None,
+            tear_on_death: false,
+            dead: false,
+            discarded: 0,
+            next_txid: 0,
+            dirty_pages: BTreeMap::new(),
+            dirty_whole: BTreeSet::new(),
+            last_mark: None,
+        }
+    }
+
+    /// Disk writes applied so far.
+    pub(crate) fn disk_seq(&self) -> u64 {
+        self.disk_seq
+    }
+
+    /// Writes discarded after device death.
+    pub(crate) fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Whether the simulated device has died.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Schedules deterministic device death at write index `k`
+    /// (`tear` additionally tears the straddling block).
+    pub(crate) fn set_crash_at(&mut self, k: u64, tear: bool) {
+        self.crash_at = Some(k);
+        self.tear_on_death = tear;
+    }
+
+    /// Marks one file page dirty (mapped store; captured at barrier).
+    pub(crate) fn mark_page(&mut self, ino: Ino, page: u32) {
+        if self.last_mark == Some((ino, page)) {
+            return;
+        }
+        self.last_mark = Some((ino, page));
+        self.dirty_pages.entry(ino).or_default().insert(page);
+    }
+
+    /// Marks a whole file dirty (length-blind mapped view).
+    pub(crate) fn mark_whole(&mut self, ino: Ino) {
+        self.last_mark = None;
+        self.dirty_whole.insert(ino);
+    }
+
+    /// Takes the accumulated mapped-store dirt (barrier capture).
+    pub(crate) fn take_dirt(&mut self) -> (BTreeSet<Ino>, BTreeMap<Ino, BTreeSet<u32>>) {
+        self.last_mark = None;
+        (
+            std::mem::take(&mut self.dirty_whole),
+            std::mem::take(&mut self.dirty_pages),
+        )
+    }
+
+    /// Emits one transaction: journal records, commit, home writes.
+    pub(crate) fn tx(&mut self, faults: &FaultHandle, payloads: Vec<Payload>) {
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        for p in &payloads {
+            let rec = Record::sealed(txid, p.clone());
+            self.push_unit(faults, Unit::Journal(rec));
+        }
+        self.push_unit(faults, Unit::Journal(Record::sealed(txid, Payload::Commit)));
+        for p in payloads {
+            self.push_unit(faults, Unit::Home(p));
+        }
+    }
+
+    /// Emits the barrier's journal checkpoint (one superblock write).
+    pub(crate) fn checkpoint(&mut self, faults: &FaultHandle) {
+        self.push_unit(faults, Unit::Checkpoint);
+    }
+
+    /// Routes one write through the device, honoring scheduled and
+    /// chaos-injected death plus the tear-on-death flag.
+    fn push_unit(&mut self, faults: &FaultHandle, u: Unit) {
+        if !self.dead {
+            let scheduled = self.crash_at.is_some_and(|k| self.disk_seq >= k);
+            if scheduled || faults.should_inject(FaultSite::CrashPoint) {
+                self.dead = true;
+                let tear = self.tear_on_death || faults.should_inject(FaultSite::CrashTear);
+                self.discarded += 1;
+                if tear {
+                    self.apply_torn(u);
+                }
+                return;
+            }
+        }
+        if self.dead {
+            self.discarded += 1;
+            return;
+        }
+        match u {
+            Unit::Journal(rec) => self.journal.push(rec),
+            Unit::Home(p) => self.disk.apply_phys(&p),
+            Unit::Checkpoint => self.journal.clear(),
+        }
+        self.disk_seq += 1;
+    }
+
+    /// A torn (half-landed) write: a journal record arrives with a bad
+    /// checksum; a home data block lands a half prefix (replay of its
+    /// committed record rewrites it); a torn metadata or checkpoint
+    /// block is garbage the disk layer rejects outright, i.e. absent.
+    fn apply_torn(&mut self, u: Unit) {
+        match u {
+            Unit::Journal(mut rec) => {
+                rec.torn = true;
+                self.journal.push(rec);
+            }
+            Unit::Home(Payload::WriteBlock { ino, offset, bytes }) => {
+                let half = bytes[..bytes.len() / 2].to_vec();
+                if !half.is_empty() {
+                    self.disk.apply_phys(&Payload::WriteBlock {
+                        ino,
+                        offset,
+                        bytes: half,
+                    });
+                }
+            }
+            Unit::Home(_) | Unit::Checkpoint => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksums_catch_tears() {
+        let mut r = Record::sealed(
+            7,
+            Payload::WriteBlock {
+                ino: 3,
+                offset: 4096,
+                bytes: vec![1, 2, 3],
+            },
+        );
+        assert!(r.valid());
+        r.torn = true;
+        assert!(!r.valid());
+        let mut s = Record::sealed(7, Payload::Commit);
+        assert!(s.valid());
+        s.txid = 8;
+        assert!(!s.valid(), "payload swap breaks the checksum");
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let a = Record::sealed(1, Payload::ClearInode { ino: 2 });
+        let b = Record::sealed(1, Payload::SetSize { ino: 2, size: 0 });
+        assert_ne!(a.crc, b.crc);
+    }
+}

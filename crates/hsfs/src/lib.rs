@@ -23,6 +23,7 @@
 
 pub mod error;
 pub mod fs;
+pub mod journal;
 pub mod path;
 pub mod shared;
 pub mod stats;
@@ -31,9 +32,17 @@ pub mod vfs;
 
 pub use error::FsError;
 pub use fs::{FileSystem, FsConfig, Ino, LockKind, Metadata, NodeKind};
+pub use journal::ReplayStats;
 pub use shared::{AddrLookup, SharedFs, SHARED_BASE, SHARED_END, SHARED_INODES, SLOT_SIZE};
 pub use stats::FsStats;
 pub use vfs::Vfs;
+
+/// Path prefix of the kernel-owned swap files on the shared partition
+/// (see `hkernel::layout::SWAP_FILE_PREFIX`). Their content is volatile
+/// by definition — the processes whose pages they hold die with the
+/// machine — so the write pipeline never journals it, and boot-time
+/// `fsck` reclaims any such file left by a crash.
+pub const SWAP_PATH_PREFIX: &str = "/.kswap";
 
 /// Simulated page size (bytes); shared with the kernel crate.
 pub const PAGE_SIZE: u32 = 4096;

@@ -66,10 +66,15 @@ impl Default for SharedFs {
 }
 
 impl SharedFs {
-    /// Creates an empty shared partition.
+    /// Creates an empty shared partition. The shared partition is the
+    /// machine's durable disk: its block-write pipeline + write-ahead
+    /// journal (DESIGN.md §13) is on from birth, so every mutation is
+    /// crash-enumerable.
     pub fn new() -> SharedFs {
+        let mut fs = FileSystem::new(FsConfig::shared());
+        fs.enable_durability();
         SharedFs {
-            fs: FileSystem::new(FsConfig::shared()),
+            fs,
             linear: Vec::new(),
             btree: BTreeMap::new(),
             lookup: AddrLookup::Linear,
@@ -216,6 +221,12 @@ impl SharedFs {
     /// Number of registered address slots.
     pub fn slot_count(&self) -> usize {
         self.linear.len()
+    }
+
+    /// Retires a single table entry (both structures) without touching
+    /// the file system — the repair for a stale entry found by fsck.
+    pub(crate) fn drop_table_entry(&mut self, ino: Ino) {
+        self.unregister(ino);
     }
 
     /// Drops the in-kernel address table without touching the file

@@ -10,7 +10,7 @@
 
 use crate::error::FsError;
 use crate::fs::NodeKind;
-use crate::shared::{SharedFs, SHARED_INODES};
+use crate::shared::{SharedFs, SHARED_INODES, SLOT_SIZE};
 use crate::Ino;
 
 /// One row of the segment listing.
@@ -66,6 +66,21 @@ pub enum FsckIssue {
     StaleTableEntry { ino: Ino },
     /// A file exceeds its 1 MB slot (should be impossible).
     Oversized { ino: Ino, size: u64 },
+    /// A kernel-owned swap file (`/.kswap{N}`) survived a crash. Its
+    /// content belonged to processes that died with the machine, so at
+    /// boot it is pure leakage. Reported only by [`fsck_boot`] — during
+    /// normal operation such files are live kernel property.
+    OrphanSwapFile { ino: Ino, path: String },
+}
+
+/// What repairing one [`FsckIssue`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairVerdict {
+    /// The issue was fixed; the detail says how.
+    Repaired(String),
+    /// The issue could not be fixed (currently unreachable — every
+    /// issue class has a repair — but the verdict keeps fsck honest).
+    Unrepaired(String),
 }
 
 /// Checks the address table against the file system, returning every
@@ -103,6 +118,58 @@ pub fn fsck_shared(sfs: &mut SharedFs) -> Vec<FsckIssue> {
         }
     }
     issues
+}
+
+/// The boot-time variant of [`fsck_shared`]: everything it checks, plus
+/// crash-orphaned swap files. At boot, no process can own a swap page,
+/// so any surviving `/.kswap{N}` file is leakage to be reclaimed.
+pub fn fsck_boot(sfs: &mut SharedFs) -> Vec<FsckIssue> {
+    let mut issues = fsck_shared(sfs);
+    let mut files = Vec::new();
+    sfs.fs.for_each_inode(|ino, kind| {
+        if *kind == NodeKind::File {
+            files.push(ino);
+        }
+    });
+    for ino in files {
+        if let Ok(path) = sfs.fs.path_of(ino) {
+            if path.starts_with(crate::SWAP_PATH_PREFIX) {
+                issues.push(FsckIssue::OrphanSwapFile { ino, path });
+            }
+        }
+    }
+    issues
+}
+
+/// Repairs one issue. Every repair is idempotent and convergent:
+/// repair → re-check → clean, and repairing an already-repaired issue
+/// is harmless — the property `tests` pins twice over.
+pub fn fsck_repair(sfs: &mut SharedFs, issue: &FsckIssue) -> RepairVerdict {
+    match issue {
+        FsckIssue::MissingTableEntry { ino, path } => {
+            // Re-register just this slot (the full boot scan would also
+            // work; per-issue repair keeps the verdicts precise).
+            sfs.boot_scan();
+            RepairVerdict::Repaired(format!("reregistered ino {ino} ({path})"))
+        }
+        FsckIssue::StaleTableEntry { ino } => {
+            sfs.drop_table_entry(*ino);
+            RepairVerdict::Repaired(format!("dropped stale table entry for ino {ino}"))
+        }
+        FsckIssue::Oversized { ino, size } => match sfs.fs.truncate(*ino, SLOT_SIZE as u64) {
+            Ok(()) => RepairVerdict::Repaired(format!(
+                "truncated ino {ino} from {size} to {SLOT_SIZE} bytes"
+            )),
+            Err(e) => RepairVerdict::Unrepaired(format!("truncate ino {ino}: {e}")),
+        },
+        FsckIssue::OrphanSwapFile { ino, path } => match sfs.unlink(path) {
+            Ok(()) => RepairVerdict::Repaired(format!("reclaimed orphan swap file {path}")),
+            Err(FsError::NotFound) => {
+                RepairVerdict::Repaired(format!("orphan swap file {path} already gone"))
+            }
+            Err(e) => RepairVerdict::Unrepaired(format!("reclaim {path} (ino {ino}): {e}")),
+        },
+    }
 }
 
 /// Removes every segment under `prefix` — the bulk manual-cleanup
@@ -203,5 +270,106 @@ mod tests {
         let mut s = populated();
         assert_eq!(cleanup_prefix(&mut s, "/").unwrap(), 3);
         assert!(list_segments(&mut s).is_empty());
+    }
+
+    /// Repair → re-check → clean, twice: an `Oversized` segment is
+    /// truncated back to its slot, and repairing again is harmless.
+    #[test]
+    fn oversized_repair_is_idempotent() {
+        let mut s = populated();
+        let ino = s.fs.resolve("/standalone").unwrap();
+        s.fs.force_size_for_test(ino, SLOT_SIZE as u64 + 4096);
+        for round in 0..2 {
+            let issues = fsck_shared(&mut s);
+            if round == 0 {
+                assert_eq!(issues.len(), 1, "{issues:?}");
+                assert!(matches!(issues[0], FsckIssue::Oversized { .. }));
+                let v = fsck_repair(&mut s, &issues[0]);
+                assert!(matches!(v, RepairVerdict::Repaired(_)), "{v:?}");
+                // Repairing the now-fixed issue again must be harmless.
+                let v2 = fsck_repair(
+                    &mut s,
+                    &FsckIssue::Oversized {
+                        ino,
+                        size: SLOT_SIZE as u64 + 4096,
+                    },
+                );
+                assert!(matches!(v2, RepairVerdict::Repaired(_)), "{v2:?}");
+            } else {
+                assert!(issues.is_empty(), "round {round}: {issues:?}");
+            }
+        }
+        assert_eq!(
+            s.fs.metadata(ino).unwrap().size,
+            SLOT_SIZE as u64,
+            "truncated to exactly one slot"
+        );
+    }
+
+    /// Repair → re-check → clean, twice: a `StaleTableEntry` (address
+    /// maps to a dead inode) is dropped from the table, idempotently.
+    #[test]
+    fn stale_table_entry_repair_is_idempotent() {
+        let mut s = populated();
+        let ino = s.fs.resolve("/standalone").unwrap();
+        // Remove the file behind the table's back: the address table
+        // now maps /standalone's old slot to a dead inode.
+        s.fs.unlink("/standalone").unwrap();
+        for round in 0..2 {
+            let issues = fsck_shared(&mut s);
+            if round == 0 {
+                assert_eq!(issues.len(), 1, "{issues:?}");
+                assert_eq!(issues[0], FsckIssue::StaleTableEntry { ino });
+                let v = fsck_repair(&mut s, &issues[0]);
+                assert!(matches!(v, RepairVerdict::Repaired(_)), "{v:?}");
+                // A second repair of the same (now gone) entry is a no-op.
+                let v2 = fsck_repair(&mut s, &FsckIssue::StaleTableEntry { ino });
+                assert!(matches!(v2, RepairVerdict::Repaired(_)), "{v2:?}");
+            } else {
+                assert!(issues.is_empty(), "round {round}: {issues:?}");
+            }
+        }
+        assert_eq!(
+            s.addr_to_ino(SharedFs::addr_of_ino(ino)),
+            Err(FsError::BadAddress)
+        );
+    }
+
+    /// `fsck_boot` flags crash-surviving swap files; `fsck_shared`
+    /// (the online check) does not, because during normal operation
+    /// they are live kernel property.
+    #[test]
+    fn boot_fsck_reclaims_orphan_swap_files() {
+        let mut s = populated();
+        let swap = format!("{}0", crate::SWAP_PATH_PREFIX);
+        s.create_file(&swap, 0o600, 0).unwrap();
+        assert!(fsck_shared(&mut s).is_empty(), "online fsck ignores swap");
+        let issues = fsck_boot(&mut s);
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(matches!(issues[0], FsckIssue::OrphanSwapFile { .. }));
+        let v = fsck_repair(&mut s, &issues[0]);
+        assert!(matches!(v, RepairVerdict::Repaired(_)), "{v:?}");
+        // Idempotent: repairing again reports "already gone".
+        let v2 = fsck_repair(&mut s, &issues[0]);
+        assert!(matches!(v2, RepairVerdict::Repaired(_)), "{v2:?}");
+        assert!(fsck_boot(&mut s).is_empty());
+        assert_eq!(s.stat(&swap), Err(FsError::NotFound));
+    }
+
+    /// `MissingTableEntry` repair restores the mapping and is clean on
+    /// a second pass.
+    #[test]
+    fn missing_entry_repair_is_idempotent() {
+        let mut s = populated();
+        s.linear_table_clear_for_test();
+        let issues = fsck_shared(&mut s);
+        assert!(!issues.is_empty());
+        let first = issues[0].clone();
+        let v = fsck_repair(&mut s, &first);
+        assert!(matches!(v, RepairVerdict::Repaired(_)), "{v:?}");
+        assert!(fsck_shared(&mut s).is_empty());
+        let v2 = fsck_repair(&mut s, &first);
+        assert!(matches!(v2, RepairVerdict::Repaired(_)), "{v2:?}");
+        assert!(fsck_shared(&mut s).is_empty());
     }
 }

@@ -1,0 +1,825 @@
+//! E13 — crash, reboot, recover (DESIGN.md §13): the journaled shared
+//! file system proven by exhaustive crash-point testing.
+//!
+//! The shared partition is the paper's persistent heap — segments must
+//! survive "even across system crashes" (PAPER.md §3). This suite
+//! earns that word. A canonical multi-segment workload (a public
+//! counter module bumped twice, then raw data segments written, with
+//! an explicit acknowledgement barrier in the middle) is run once
+//! crash-free to count its disk writes, then re-run *once per write
+//! index k*, killing the simulated disk at write k — every one of them,
+//! torn and clean — and after each `power_cut` + `reboot` the world
+//! must prove:
+//!
+//! 1. **fsck self-heals**: boot-time fsck leaves zero unrepaired
+//!    issues, at every k.
+//! 2. **Replay converges**: recovering twice is recovering once — a
+//!    second journal replay (and a second full crash/reboot cycle) is
+//!    a digest-identical no-op, and the live tree equals the disk twin.
+//! 3. **Addresses are stable**: every surviving segment keeps the
+//!    address the crash-free run assigned (§3's crash-survivable
+//!    table, rebuilt by scan).
+//! 4. **Acknowledged data is intact**: everything written before a
+//!    completed barrier — mapped counter stores included — reads back
+//!    exactly, and survivors relink and keep counting.
+//! 5. **Unacknowledged data is atomic**: each un-barriered operation
+//!    is all-or-nothing after recovery; no torn sizes, no half-writes.
+//! 6. **The outcome replays from the seed**: the same crash point
+//!    recovers to the byte-identical state every time.
+//!
+//! Plus the satellite regressions: the `TornWrite` chaos site heals
+//! across a reboot (the journal carries the full intended data), crash
+//! under memory pressure reclaims orphaned swap files instead of
+//! resurrecting them, seeded chaos crash points (`CrashPoint` /
+//! `CrashTear`) stay contained, and the whole pipeline adds *zero*
+//! simulated cost to crash-free runs.
+
+use hemlock::{FaultPlan, FaultSite, ShareClass, World, WorldExit};
+use hsfs::FsError;
+
+/// Scheduler slices before a guest run counts as stuck.
+const RUN_SLICES: u64 = 200_000;
+
+/// CI sweep hook: `CRASH_SEED=<n>` folds extra entropy into the seeded
+/// chaos-crash plans, so the nightly matrix explores disjoint death
+/// points while any single run stays fully reproducible.
+fn crash_seed_offset() -> u64 {
+    std::env::var("CRASH_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// CI sweep hook: `CPUS=<n>` runs the seeded-chaos and pressure tests
+/// on an n-CPU world (default 1). The exhaustive enumeration pins both
+/// 1 and 4 CPUs explicitly; recovery must be CPU-count-independent.
+fn cpus_override() -> u32 {
+    std::env::var("CPUS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// CI sweep hook: `PRESSURE_BUDGET=<frames>` overrides the frame
+/// budget of the crash-under-pressure test (cf. e10).
+fn budget_override() -> Option<u64> {
+    std::env::var("PRESSURE_BUDGET")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|b| *b > 0)
+}
+
+/// Deterministic byte pattern: recognizable, offset-sensitive.
+fn pat(tag: u8, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| tag.wrapping_add((i as u8).wrapping_mul(131)))
+        .collect()
+}
+
+// --- the counter module (cf. tests/persistence_and_admin.rs) ---
+
+const COUNTER: &str = r#"
+.module counter
+.text
+.globl bump
+bump:   la   r8, count
+        lw   r9, 0(r8)
+        addi r9, r9, 1
+        sw   r9, 0(r8)
+        or   v0, r9, r0
+        jr   ra
+.data
+.globl count
+count:  .word 0
+"#;
+
+const MAIN: &str = r#"
+.module main
+.text
+.globl main
+main:   addi sp, sp, -8
+        sw   ra, 0(sp)
+        jal  bump
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        jr   ra
+"#;
+
+fn build_counter(world: &mut World) -> String {
+    world
+        .install_template("/shared/lib/counter.o", COUNTER)
+        .unwrap();
+    world.install_template("/src/main.o", MAIN).unwrap();
+    world
+        .link(
+            "/bin/p",
+            &[
+                ("/src/main.o", ShareClass::StaticPrivate),
+                ("/shared/lib/counter.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap()
+}
+
+fn run_prog(world: &mut World, exe: &str) -> i32 {
+    let pid = world.spawn(exe).unwrap();
+    assert_eq!(
+        world.run(RUN_SLICES),
+        WorldExit::AllExited,
+        "log: {:?}",
+        world.log
+    );
+    world.exit_code(pid).unwrap()
+}
+
+// --- the canonical multi-segment workload ---
+
+/// Paths whose recovery is judged (the unlinked `tmp` is judged by its
+/// absence-or-atomicity, separately).
+const SURVIVORS: &[&str] = &[
+    "/shared/lib/counter.o",
+    "/shared/lib/counter",
+    "/shared/data/a",
+    "/shared/data/b",
+    "/shared/data/c",
+];
+
+/// Runs the canonical workload: build and run the counter program
+/// twice (mapped stores into a public module instance), write two raw
+/// data segments, **barrier** (the acknowledgement point — everything
+/// up to here must survive any later crash), then pile on an
+/// unacknowledged suffix: a new segment, an extending overwrite, a
+/// grow-truncate, and a create+write+unlink. Returns the disk write
+/// index of the barrier.
+///
+/// On a world whose disk has been armed to die, the *live* run is
+/// byte-identical (the death is invisible until `power_cut`), but the
+/// returned barrier index freezes at the death point — crash-point
+/// classification must use the crash-free reference run's index.
+fn run_workload(world: &mut World) -> u64 {
+    let exe = build_counter(world);
+    assert_eq!(run_prog(world, &exe), 1);
+    assert_eq!(run_prog(world, &exe), 2);
+    let vfs = &mut world.kernel.vfs;
+    vfs.mkdir_all("/shared/data", 0o755, 0).unwrap();
+    vfs.create_file("/shared/data/a", 0o644, 0).unwrap();
+    vfs.write("/shared/data/a", 2000, &pat(0xA1, 6000)).unwrap();
+    vfs.create_file("/shared/data/b", 0o644, 0).unwrap();
+    vfs.write("/shared/data/b", 0, &pat(0xB2, 3000)).unwrap();
+    let ack = world.barrier();
+    // Unacknowledged from here on: no barrier follows.
+    let vfs = &mut world.kernel.vfs;
+    vfs.create_file("/shared/data/c", 0o644, 0).unwrap();
+    vfs.write("/shared/data/c", 0, &pat(0xC3, 5000)).unwrap();
+    vfs.write("/shared/data/a", 8192, &pat(0xA9, 4100)).unwrap();
+    let b = vfs.resolve("/shared/data/b").unwrap();
+    vfs.truncate_vnode(b, 65_536).unwrap();
+    vfs.create_file("/shared/data/tmp", 0o600, 0).unwrap();
+    vfs.write("/shared/data/tmp", 0, &pat(0x77, 100)).unwrap();
+    vfs.unlink("/shared/data/tmp").unwrap();
+    ack
+}
+
+/// The crash-free reference: write-index landmarks and the address
+/// every segment must keep.
+struct Reference {
+    /// Disk write index when the workload starts (world-setup writes
+    /// precede it; a crash armed below this dies at the first workload
+    /// write anyway).
+    baseline: u64,
+    /// Disk write index of the completed barrier.
+    ack: u64,
+    /// Total disk writes of the full workload.
+    total: u64,
+    /// `(path, segment address)` for every surviving segment.
+    addrs: Vec<(String, u32)>,
+}
+
+fn reference(cpus: u32) -> Reference {
+    let mut world = World::new();
+    world.set_cpus(cpus);
+    let baseline = world.disk_seq();
+    let ack = run_workload(&mut world);
+    let total = world.disk_seq();
+    assert!(
+        baseline < ack && ack < total,
+        "workload must write on both sides of the barrier ({baseline} / {ack} / {total})"
+    );
+    let addrs = SURVIVORS
+        .iter()
+        .map(|p| (p.to_string(), world.kernel.vfs.path_to_addr(p).unwrap()))
+        .collect();
+    Reference {
+        baseline,
+        ack,
+        total,
+        addrs,
+    }
+}
+
+/// Everything a recovered world is judged on — and everything that
+/// must replay byte-identically from the same crash point.
+#[derive(Debug, PartialEq, Eq)]
+struct Recovered {
+    digest: u64,
+    /// `(path, size)` per interesting path; `None` = absent.
+    files: Vec<(String, Option<u64>)>,
+    counter: Option<u32>,
+    crashes: u64,
+    journal_replays: u64,
+    blocks_discarded: u64,
+    recovery_ns: u64,
+    fsck_lines: Vec<String>,
+}
+
+fn observe(world: &mut World) -> Recovered {
+    let stats = world.stats();
+    let mut files = Vec::new();
+    for path in SURVIVORS.iter().chain(&["/shared/data/tmp"]) {
+        let size = world.kernel.vfs.stat(path).ok().map(|m| m.size);
+        files.push((path.to_string(), size));
+    }
+    Recovered {
+        digest: world.shared_digest(),
+        files,
+        counter: world.peek_shared_word("/shared/lib/counter", "count").ok(),
+        crashes: stats.crashes,
+        journal_replays: stats.journal_replays,
+        blocks_discarded: stats.blocks_discarded,
+        recovery_ns: stats.recovery_ns,
+        fsck_lines: world
+            .log
+            .iter()
+            .filter(|l| l.starts_with("fsck:"))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// One full crash run: arm the disk to die at write `k`, run the
+/// workload (live behavior is identical — the death is invisible),
+/// pull the plug, reboot, and snapshot the recovered state.
+fn crash_at(k: u64, tear: bool, cpus: u32) -> (World, Recovered) {
+    let mut world = World::new();
+    world.set_cpus(cpus);
+    world.set_crash_at(k, tear);
+    let _ = run_workload(&mut world);
+    world.power_cut();
+    world.reboot();
+    let rec = observe(&mut world);
+    (world, rec)
+}
+
+fn size_of(world: &mut World, path: &str) -> Option<u64> {
+    world.kernel.vfs.stat(path).ok().map(|m| m.size)
+}
+
+fn read(world: &mut World, path: &str, off: u64, len: usize) -> Vec<u8> {
+    world.kernel.vfs.read(path, off, len).unwrap()
+}
+
+/// Invariants that hold at *every* crash point.
+fn check_invariants(world: &mut World, rec: &Recovered, reference: &Reference, k: u64) {
+    // 1. fsck self-healed everything it found.
+    assert!(
+        !world.log.iter().any(|l| l.contains("UNREPAIRED")),
+        "k={k}: fsck left damage unrepaired: {:?}",
+        rec.fsck_lines
+    );
+    // 2. Replay converged: the live tree equals the disk twin, and a
+    //    second replay of the surviving journal changes nothing.
+    let d1 = world.shared_digest();
+    assert_eq!(
+        world.kernel.vfs.shared.fs.disk_digest(),
+        Some(d1),
+        "k={k}: live tree diverged from the disk image after recovery"
+    );
+    world.kernel.vfs.shared.fs.replay_journal();
+    assert_eq!(
+        world.shared_digest(),
+        d1,
+        "k={k}: journal replay is not idempotent"
+    );
+    // 3. Every surviving segment kept its address.
+    for (path, addr) in &reference.addrs {
+        if let Ok(a) = world.kernel.vfs.path_to_addr(path) {
+            assert_eq!(a, *addr, "k={k}: segment address moved for {path}");
+        }
+    }
+    // Exactly the writes past the death point were lost — the workload
+    // is deterministic, so the discard count is too.
+    assert_eq!(
+        rec.blocks_discarded,
+        reference.total.saturating_sub(k),
+        "k={k}: unexpected discard count"
+    );
+    // 5. Unacknowledged operations recovered atomically.
+    check_atomicity(world, k);
+}
+
+/// Each un-barriered operation is all-or-nothing after recovery: a
+/// file exists with one of the sizes a committed transaction prefix
+/// can produce, and whatever content is present is the full intended
+/// content — never a torn half-write (replay re-applies the committed
+/// block images over any torn home block).
+fn check_atomicity(world: &mut World, k: u64) {
+    match size_of(world, "/shared/data/c") {
+        None | Some(0) => {}
+        Some(5000) => {
+            assert_eq!(
+                read(world, "/shared/data/c", 0, 5000),
+                pat(0xC3, 5000),
+                "k={k}: segment c content torn"
+            );
+        }
+        other => panic!("k={k}: segment c recovered to impossible size {other:?}"),
+    }
+    match size_of(world, "/shared/data/a") {
+        None | Some(0) => {}
+        Some(sz @ (8000 | 12292)) => {
+            assert_eq!(
+                read(world, "/shared/data/a", 2000, 6000),
+                pat(0xA1, 6000),
+                "k={k}: segment a base write torn"
+            );
+            assert!(
+                read(world, "/shared/data/a", 0, 2000)
+                    .iter()
+                    .all(|b| *b == 0),
+                "k={k}: segment a gap not zero-filled"
+            );
+            if sz == 12292 {
+                assert_eq!(
+                    read(world, "/shared/data/a", 8192, 4100),
+                    pat(0xA9, 4100),
+                    "k={k}: segment a extension torn"
+                );
+                assert!(
+                    read(world, "/shared/data/a", 8000, 192)
+                        .iter()
+                        .all(|b| *b == 0),
+                    "k={k}: segment a extension gap not zero-filled"
+                );
+            }
+        }
+        other => panic!("k={k}: segment a recovered to impossible size {other:?}"),
+    }
+    match size_of(world, "/shared/data/b") {
+        None | Some(0) => {}
+        Some(sz @ (3000 | 65_536)) => {
+            assert_eq!(
+                read(world, "/shared/data/b", 0, 3000),
+                pat(0xB2, 3000),
+                "k={k}: segment b content torn"
+            );
+            if sz == 65_536 {
+                assert!(
+                    read(world, "/shared/data/b", 3000, 1000)
+                        .iter()
+                        .all(|b| *b == 0),
+                    "k={k}: segment b grow-truncate not zero-filled"
+                );
+            }
+        }
+        other => panic!("k={k}: segment b recovered to impossible size {other:?}"),
+    }
+    // The create+write+unlink triple: absent, empty, or fully written.
+    match size_of(world, "/shared/data/tmp") {
+        None | Some(0) | Some(100) => {}
+        other => panic!("k={k}: tmp recovered to impossible size {other:?}"),
+    }
+}
+
+/// The acknowledged-data guarantees: once the barrier completed before
+/// the death point, everything before it — mapped counter stores
+/// included — is intact, and the survivors relink and keep counting.
+fn check_acknowledged(world: &mut World, k: u64) {
+    assert_eq!(
+        world.peek_shared_word("/shared/lib/counter", "count").ok(),
+        Some(2),
+        "k={k}: acknowledged counter value lost"
+    );
+    let a = size_of(world, "/shared/data/a");
+    assert!(
+        a == Some(8000) || a == Some(12292),
+        "k={k}: acknowledged segment a lost (size {a:?})"
+    );
+    let b = size_of(world, "/shared/data/b");
+    assert!(
+        b == Some(3000) || b == Some(65_536),
+        "k={k}: acknowledged segment b lost (size {b:?})"
+    );
+    // Survivors relink through ldl and the counter keeps counting.
+    assert_eq!(
+        run_prog(world, "/bin/p"),
+        3,
+        "k={k}: survivor failed to relink and continue"
+    );
+}
+
+/// The tentpole: every crash point, exhaustively.
+fn exhaust(cpus: u32) {
+    let reference = reference(cpus);
+    for k in reference.baseline..=reference.total {
+        // Deterministically mix torn and clean deaths across the range.
+        let tear = k % 3 == 0;
+        let (mut world, rec) = crash_at(k, tear, cpus);
+        check_invariants(&mut world, &rec, &reference, k);
+        // Recover twice ≡ once: an immediate second crash/reboot cycle
+        // (a crash *during* recovery's aftermath) changes nothing.
+        let d1 = world.shared_digest();
+        world.power_cut();
+        world.reboot();
+        assert_eq!(
+            world.shared_digest(),
+            d1,
+            "k={k}: a second crash/reboot cycle changed recovered state"
+        );
+        if k >= reference.ack {
+            check_acknowledged(&mut world, k);
+        }
+        // Byte-identical replay from the crash point (sampled — each
+        // probe doubles that point's cost).
+        if k % 7 == 0 {
+            let (_, again) = crash_at(k, tear, cpus);
+            assert_eq!(rec, again, "k={k}: crash outcome did not replay");
+        }
+    }
+}
+
+#[test]
+fn crash_point_exhaustion() {
+    exhaust(1);
+}
+
+#[test]
+fn crash_point_exhaustion_smp() {
+    exhaust(4);
+}
+
+/// Seeded chaos crash sites: `CrashPoint` draws the death point and
+/// `CrashTear` the torn-block coin at that moment. Every seed must
+/// recover to a state satisfying the same invariants, and replay
+/// byte-identically from its seed.
+#[test]
+fn seeded_chaos_crashes_recover() {
+    let cpus = cpus_override();
+    let reference = reference(cpus);
+    let run = |seed: u64| -> (Recovered, bool) {
+        let mut world = World::new();
+        world.set_cpus(cpus);
+        world.arm_faults(
+            FaultPlan::new(seed, 30_000).only(&[FaultSite::CrashPoint, FaultSite::CrashTear]),
+        );
+        let _ = run_workload(&mut world);
+        let died = world.kernel.vfs.shared.fs.device_dead();
+        world.power_cut();
+        world.reboot();
+        let rec = observe(&mut world);
+        assert!(
+            !world.log.iter().any(|l| l.contains("UNREPAIRED")),
+            "seed {seed}: fsck left damage unrepaired"
+        );
+        let d1 = world.shared_digest();
+        assert_eq!(world.kernel.vfs.shared.fs.disk_digest(), Some(d1));
+        world.kernel.vfs.shared.fs.replay_journal();
+        assert_eq!(
+            world.shared_digest(),
+            d1,
+            "seed {seed}: replay not idempotent"
+        );
+        for (path, addr) in &reference.addrs {
+            if let Ok(a) = world.kernel.vfs.path_to_addr(path) {
+                assert_eq!(a, *addr, "seed {seed}: address moved for {path}");
+            }
+        }
+        check_atomicity(&mut world, seed);
+        if !died {
+            // The plan never fired: nothing was lost, everything holds.
+            assert_eq!(rec.blocks_discarded, 0);
+            check_acknowledged(&mut world, seed);
+        }
+        (rec, died)
+    };
+    let mut deaths = 0;
+    for base in 0..8u64 {
+        let seed = (base + 1) ^ crash_seed_offset();
+        let (rec, died) = run(seed);
+        deaths += died as u64;
+        let (again, _) = run(seed);
+        assert_eq!(rec, again, "seed {seed}: chaos crash did not replay");
+    }
+    assert!(deaths > 0, "a 3%-per-write plan must kill the device");
+}
+
+// --- satellite: the TornWrite chaos site heals across reboot ---
+
+/// The pre-§13 gap: a torn `write_at` leaves the *live* file half
+/// written (the caller sees `ShortWrite`), and nothing could restore
+/// it. Now the write-ahead journal carries the full intended block
+/// images, so a crash–reboot cycle restores the write's atomicity at
+/// exactly the chaos site that tears it.
+#[test]
+fn torn_write_heals_across_reboot() {
+    let mut world = World::new();
+    world
+        .kernel
+        .vfs
+        .mkdir_all("/shared/data", 0o755, 0)
+        .unwrap();
+    world
+        .kernel
+        .vfs
+        .create_file("/shared/data/t", 0o644, 0)
+        .unwrap();
+    world
+        .kernel
+        .vfs
+        .write("/shared/data/t", 0, &pat(0x11, 8192))
+        .unwrap();
+    // One write, torn for certain.
+    world.arm_faults(FaultPlan::new(7, 1_000_000).only(&[FaultSite::TornWrite]));
+    let intended = pat(0x5A, 6000);
+    assert_eq!(
+        world.kernel.vfs.write("/shared/data/t", 1000, &intended),
+        Err(FsError::ShortWrite)
+    );
+    world.arm_faults(FaultPlan::new(7, 0));
+    // The live file really is torn: a prefix landed, the tail is stale.
+    let live = read(&mut world, "/shared/data/t", 1000, 6000);
+    assert_eq!(live[..3000], intended[..3000], "torn write lands a prefix");
+    assert_ne!(
+        live[3000..],
+        intended[3000..],
+        "torn write must not complete"
+    );
+    // Crash and reboot: the journaled full intent is replayed home.
+    world.power_cut();
+    world.reboot();
+    assert_eq!(size_of(&mut world, "/shared/data/t"), Some(8192));
+    assert_eq!(
+        read(&mut world, "/shared/data/t", 1000, 6000),
+        intended,
+        "reboot recovery must restore the torn write's atomicity"
+    );
+    assert_eq!(
+        read(&mut world, "/shared/data/t", 0, 1000),
+        pat(0x11, 8192)[..1000],
+        "bytes before the torn range are untouched"
+    );
+    assert!(!world.log.iter().any(|l| l.contains("UNREPAIRED")));
+    let d = world.shared_digest();
+    assert_eq!(world.kernel.vfs.shared.fs.disk_digest(), Some(d));
+}
+
+// --- satellite: crash under pressure recycles swap files ---
+
+const SHARED_DATA: &str = r#"
+.module shared_data
+.data
+.globl results
+results: .space 64
+.globl done_count
+done_count: .word 0
+.globl done_lock
+done_lock: .word 0
+"#;
+
+const PRESSURE_WORKER: &str = r#"
+.module worker
+.text
+.globl main
+main:   la   r8, wid
+        lw   r16, 0(r8)
+        la   r8, results
+        sll  r12, r16, 2
+        add  r8, r8, r12
+        sw   r0, 0(r8)
+        li   r13, 3
+pass:   la   r8, buf
+        li   r9, 0
+        li   r10, 16384
+fill:   add  r11, r8, r9
+        add  r12, r9, r16
+        sw   r12, 0(r11)
+        addi r9, r9, 256
+        slt  r12, r9, r10
+        bne  r12, r0, fill
+        li   r17, 0
+        li   r9, 0
+sum:    add  r11, r8, r9
+        lw   r12, 0(r11)
+        add  r17, r17, r12
+        addi r9, r9, 256
+        slt  r12, r9, r10
+        bne  r12, r0, sum
+        addi r13, r13, -1
+        bgtz r13, pass
+        la   r8, results
+        sll  r12, r16, 2
+        add  r8, r8, r12
+        sw   r17, 0(r8)
+acq:    la   a0, done_lock
+        li   a1, 1
+        li   v0, 102           ; SVC_TAS
+        syscall
+        bne  v0, r0, acq
+        la   r8, done_count
+        lw   r9, 0(r8)
+        addi r9, r9, 1
+        sw   r9, 0(r8)
+        la   r8, done_lock
+        sw   r0, 0(r8)
+        or   a0, r17, r0
+        li   v0, 106           ; print_int(checksum)
+        syscall
+        li   v0, 0
+        jr   ra
+.data
+.globl wid
+wid:    .word 0
+.globl buf
+buf:    .space 16384
+"#;
+
+const PRESSURE_WORKERS: usize = 4;
+
+/// The checksum worker `id` prints (cf. e10): Σ over offsets of
+/// (offset + id), with a 256-byte stride over 16 KiB.
+fn expected_checksum(id: u32) -> u32 {
+    let touches = 16_384 / 256;
+    256 * (touches * (touches - 1) / 2) + touches * id
+}
+
+/// One pressured cycle on an already-built world: spawn the workers,
+/// run to completion, assert every checksum. Swap traffic is forced by
+/// the tight frame budget set at build time.
+fn pressure_cycle(world: &mut World, exe: &str) {
+    let image_wid = {
+        let bytes = world.kernel.vfs.read_all(exe).unwrap();
+        hobj::binfmt::decode_image(&bytes)
+            .unwrap()
+            .find_export("wid")
+            .unwrap()
+    };
+    let mut pids = Vec::new();
+    for id in 0..PRESSURE_WORKERS {
+        let pid = world.spawn(exe).unwrap();
+        let proc = world.kernel.procs.get_mut(&pid).unwrap();
+        proc.aspace
+            .write_bytes(
+                &mut world.kernel.vfs.shared,
+                image_wid,
+                &(id as u32).to_le_bytes(),
+            )
+            .unwrap();
+        pids.push(pid);
+    }
+    world.quantum = 300;
+    assert_eq!(world.run(400_000), WorldExit::AllExited);
+    for (id, pid) in pids.iter().enumerate() {
+        assert_eq!(world.exit_code(*pid), Some(0));
+        assert_eq!(
+            world.console(*pid),
+            format!("{}\n", expected_checksum(id as u32))
+        );
+    }
+}
+
+fn swap_entries(world: &mut World) -> Vec<String> {
+    world
+        .kernel
+        .vfs
+        .readdir("/shared")
+        .unwrap()
+        .into_iter()
+        .filter(|e| e.starts_with(".kswap"))
+        .collect()
+}
+
+/// The pre-§13 leak: a crash strands `/.kswap{N}` files whose content
+/// is dead (the processes whose pages they held died with the power).
+/// Boot-time fsck must *reclaim* them — and a fresh pressured run must
+/// *recycle* the name with fresh content, not resurrect the old file.
+#[test]
+fn crash_under_pressure_recycles_swap_files() {
+    let mut world = World::new();
+    world.set_cpus(cpus_override());
+    world.set_frame_budget(budget_override().unwrap_or(12));
+    world
+        .install_template("/shared/lib/shared_data.o", SHARED_DATA)
+        .unwrap();
+    world
+        .install_template("/src/worker.o", PRESSURE_WORKER)
+        .unwrap();
+    let exe = world
+        .link(
+            "/bin/worker",
+            &[
+                ("/src/worker.o", ShareClass::StaticPrivate),
+                ("/shared/lib/shared_data.o", ShareClass::DynamicPublic),
+            ],
+        )
+        .unwrap();
+    pressure_cycle(&mut world, &exe);
+    let s1 = world.stats();
+    assert!(s1.swap_outs > 0, "the budget must force swap traffic");
+    assert_eq!(s1.oom_kills, 0, "swap absorbs the pressure");
+    assert!(
+        !swap_entries(&mut world).is_empty(),
+        "the thrash must leave a swap file on the shared partition"
+    );
+    // Pull the plug with the swap file in place.
+    world.power_cut();
+    world.reboot();
+    // Reclaimed, not resurrected: the crash-orphaned swap inodes are
+    // gone, fsck is clean, and nothing dangles in the address table.
+    assert!(
+        swap_entries(&mut world).is_empty(),
+        "orphan swap files must not survive reboot"
+    );
+    assert!(
+        world
+            .log
+            .iter()
+            .any(|l| l.contains("reclaimed orphan swap file")),
+        "fsck must report the reclaim: {:?}",
+        world.log
+    );
+    assert!(hsfs::tools::fsck_boot(&mut world.kernel.vfs.shared).is_empty());
+    assert!(!world.log.iter().any(|l| l.contains("UNREPAIRED")));
+    // Recycled: the same world thrashes again from a cold start, and
+    // the swap path works with a brand-new file under the old name.
+    pressure_cycle(&mut world, &exe);
+    let s2 = world.stats();
+    assert!(s2.swap_outs > s1.swap_outs, "the re-run swaps again");
+    // And a *crashed disk* mid-thrash still comes back clean: the swap
+    // file's metadata may or may not have survived the death point,
+    // but either way the reboot leaves no orphans.
+    let k = world.disk_seq() + 3;
+    world.set_crash_at(k, true);
+    pressure_cycle(&mut world, &exe);
+    world.power_cut();
+    world.reboot();
+    assert!(swap_entries(&mut world).is_empty());
+    assert!(hsfs::tools::fsck_boot(&mut world.kernel.vfs.shared).is_empty());
+    assert!(!world.log.iter().any(|l| l.contains("UNREPAIRED")));
+}
+
+// --- satellite: the pipeline is free when nothing crashes ---
+
+/// The acceptance bar for the whole subsystem: with the journal on,
+/// a crash-free run costs *exactly* the same simulated time as with
+/// the journal off, produces the same guest observables, and the same
+/// logical file-system state. Durability is paid for only at recovery.
+#[test]
+fn pipeline_adds_zero_simulated_cost_when_crash_free() {
+    let run = |durable: bool| {
+        let mut world = World::new();
+        if !durable {
+            world.set_durability(false);
+        }
+        let _ = run_workload(&mut world);
+        let stats = world.stats();
+        assert_eq!(stats.crashes, 0);
+        assert_eq!(stats.journal_replays, 0);
+        assert_eq!(stats.recovery_ns, 0);
+        (
+            world.costs.time(&stats),
+            world.shared_digest(),
+            world
+                .peek_shared_word("/shared/lib/counter", "count")
+                .unwrap(),
+            stats.shared_fs,
+            stats.kernel.instructions,
+        )
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.0, off.0, "the journal must not move simulated time");
+    assert_eq!(on.1, off.1, "the journal must not change logical state");
+    assert_eq!(on.2, off.2);
+    assert_eq!(on.3, off.3, "the journal must not touch FsStats");
+    assert_eq!(on.4, off.4);
+}
+
+/// A clean reboot (no power cut) flushes the pipeline first: nothing
+/// is lost, nothing needs replay at the next boot, and the un-barriered
+/// suffix survives in full — the contract `persistence_and_admin`'s
+/// reboot test has always relied on.
+#[test]
+fn clean_reboot_loses_nothing() {
+    let mut world = World::new();
+    let _ = run_workload(&mut world);
+    let digest = world.shared_digest();
+    world.reboot();
+    assert_eq!(world.shared_digest(), digest, "clean reboot lost state");
+    assert_eq!(
+        world.peek_shared_word("/shared/lib/counter", "count").ok(),
+        Some(2)
+    );
+    assert_eq!(size_of(&mut world, "/shared/data/c"), Some(5000));
+    assert_eq!(size_of(&mut world, "/shared/data/a"), Some(12292));
+    assert_eq!(size_of(&mut world, "/shared/data/b"), Some(65_536));
+    assert_eq!(run_prog(&mut world, "/bin/p"), 3);
+}

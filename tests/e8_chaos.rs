@@ -297,9 +297,15 @@ fn full_rate_per_site_is_contained() {
         // scenario (default frame budget) never creates, and the
         // shootdown site needs both pressure and a multi-CPU world;
         // their injection coverage lives in e10_pressure / e11_smp.
+        // CrashTear is drawn only at the moment the simulated disk
+        // dies, which needs a CrashPoint hit or an armed crash point —
+        // its coverage lives in e13_crash.
         if matches!(
             site,
-            FaultSite::SwapWrite | FaultSite::SwapRead | FaultSite::ShootdownDrop
+            FaultSite::SwapWrite
+                | FaultSite::SwapRead
+                | FaultSite::ShootdownDrop
+                | FaultSite::CrashTear
         ) {
             assert_eq!(out.injected, 0, "these sites need pressure to fire");
             continue;

@@ -2,7 +2,10 @@
 //! programs are assembled, linked, and run. Whatever the *guest* does —
 //! wild stores, bad jumps, runaway loops, divide by zero — the *host*
 //! must never panic, and every object the assembler accepts must
-//! validate and round-trip through the binary format.
+//! validate and round-trip through the binary format. The same bar
+//! holds across *crash boundaries*: random interleavings of writes,
+//! barriers, armed disk deaths, power cuts, and reboots must keep the
+//! host panic-free and every recovery convergent (DESIGN.md §13).
 
 use hemlock::{ShareClass, World};
 use hobj::binfmt;
@@ -135,5 +138,123 @@ proptest! {
         world.quantum = 500;
         let _ = world.run(150);
         let _ = world.exit_code(pid);
+    }
+
+    /// Random interleavings of the crash-lifecycle surface: guest runs
+    /// (mapped stores into a public module), raw segment writes,
+    /// barriers, armed disk deaths, power cuts, and reboots, in any
+    /// order. The host never panics, spawning while powered off is
+    /// refused (not honored late), and every reboot recovers to a
+    /// state where the live tree equals the disk image, a second
+    /// journal replay is a no-op, and fsck finds nothing it cannot
+    /// repair.
+    #[test]
+    fn crash_lifecycle_interleavings_recover(
+        ops in proptest::collection::vec(
+            (0u8..7, any::<u8>(), any::<u16>(), any::<bool>()),
+            1..24,
+        )
+    ) {
+        let mut world = World::new();
+        world
+            .install_template(
+                "/shared/lib/cell.o",
+                ".module cell\n.text\n.globl poke\npoke: la r8, word\nsw a0, 0(r8)\n\
+                 lw v0, 0(r8)\njr ra\n.data\n.globl word\nword: .word 0\n",
+            )
+            .unwrap();
+        world
+            .install_template(
+                "/src/main.o",
+                ".module main\n.text\n.globl main\nmain: addi sp, sp, -8\nsw ra, 0(sp)\n\
+                 li a0, 9\njal poke\nlw ra, 0(sp)\naddi sp, sp, 8\nli v0, 0\njr ra\n",
+            )
+            .unwrap();
+        let exe = world
+            .link(
+                "/bin/fuzz",
+                &[
+                    ("/src/main.o", ShareClass::StaticPrivate),
+                    ("/shared/lib/cell.o", ShareClass::DynamicPublic),
+                ],
+            )
+            .unwrap();
+        let check_recovered = |world: &mut World| {
+            assert!(
+                !world.log.iter().any(|l| l.contains("UNREPAIRED")),
+                "fsck left damage unrepaired: {:?}", world.log
+            );
+            let digest = world.shared_digest();
+            assert_eq!(
+                world.kernel.vfs.shared.fs.disk_digest(),
+                Some(digest),
+                "live tree diverged from the disk image"
+            );
+            world.kernel.vfs.shared.fs.replay_journal();
+            assert_eq!(
+                world.shared_digest(), digest,
+                "journal replay is not idempotent"
+            );
+        };
+        for (op, a, imm, flag) in ops {
+            match op {
+                0 => {
+                    // Spawn + run: relinking may legitimately fail if a
+                    // crash ate the template; it must not panic.
+                    if world.powered() {
+                        if let Ok(pid) = world.spawn(&exe) {
+                            let _ = world.run(u64::from(imm % 64) + 1);
+                            let _ = world.exit_code(pid);
+                        }
+                    }
+                }
+                1 => {
+                    if world.powered() {
+                        let path = format!("/shared/data/f{}", a % 3);
+                        let _ = world.kernel.vfs.mkdir_all("/shared/data", 0o755, 0);
+                        let _ = world.kernel.vfs.create_file(&path, 0o644, 0);
+                        let data = vec![a; usize::from(imm % 2048) + 1];
+                        let _ = world.kernel.vfs.write(&path, u64::from(imm % 8192), &data);
+                    }
+                }
+                2 => {
+                    if world.powered() {
+                        world.barrier();
+                    }
+                }
+                3 => {
+                    if world.powered() {
+                        let k = world.disk_seq() + u64::from(a % 48);
+                        world.set_crash_at(k, flag);
+                    }
+                }
+                4 => {
+                    if world.powered() {
+                        world.power_cut();
+                    }
+                }
+                5 => {
+                    if !world.powered() {
+                        world.reboot();
+                        check_recovered(&mut world);
+                    }
+                }
+                _ => {
+                    // Spawning into a powered-off world must be refused.
+                    if !world.powered() {
+                        prop_assert!(world.spawn(&exe).is_err());
+                    }
+                }
+            }
+        }
+        // However the schedule left the machine, it comes back — a
+        // clean reboot if it was still powered (flushing the pipeline),
+        // a recovery if it was not.
+        world.reboot();
+        check_recovered(&mut world);
+        if let Ok(pid) = world.spawn(&exe) {
+            let _ = world.run(500);
+            let _ = world.exit_code(pid);
+        }
     }
 }
