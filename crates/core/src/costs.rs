@@ -131,6 +131,16 @@ pub struct WorldStats {
     /// the boot-time scan of the surviving partition. Accumulated at
     /// reboot, already in nanoseconds (cost-model priced).
     pub recovery_ns: u64,
+    /// Blocks verified by explicit scrub passes (DESIGN.md §14). A run
+    /// that never scrubs has 0 in all four integrity fields, so the
+    /// checksum machinery adds zero simulated cost by default.
+    pub blocks_scrubbed: u64,
+    /// Corrupt blocks detected (by scrub or boot-time verification).
+    pub corruptions_detected: u64,
+    /// Corrupt blocks healed from the replica region or the journal.
+    pub blocks_repaired: u64,
+    /// Processes killed by an uncorrectable-corruption `Eio` fault.
+    pub eio_kills: u64,
 }
 
 impl WorldStats {
@@ -184,6 +194,12 @@ pub struct CostModel {
     pub ipi_ns: u64,
     /// Remote invalidation of one page's TLB entry once the IPI lands.
     pub shootdown_ns: u64,
+    /// Verifying one block in a scrub pass: read + checksum, cheaper
+    /// than a cold block I/O (sequential scan, no seek per block).
+    pub scrub_block_ns: u64,
+    /// Healing one corrupt block: read the replica, rewrite the home
+    /// location, re-verify — a couple of block I/Os.
+    pub repair_ns: u64,
 }
 
 impl Default for CostModel {
@@ -198,11 +214,13 @@ impl Default for CostModel {
             resolve_ns: 8_000,
             cow_ns: 30_000,
             map_ns: 25_000,
-            evict_ns: 25_000,      // page-table + TLB bookkeeping
-            swap_io_ns: 2_000_000, // one 4 KB page to disk
-            swap_in_ns: 2_000_000, // one 4 KB page from disk
-            ipi_ns: 5_000,         // cross-CPU interrupt + ack
-            shootdown_ns: 2_000,   // one remote TLB-entry invalidation
+            evict_ns: 25_000,        // page-table + TLB bookkeeping
+            swap_io_ns: 2_000_000,   // one 4 KB page to disk
+            swap_in_ns: 2_000_000,   // one 4 KB page from disk
+            ipi_ns: 5_000,           // cross-CPU interrupt + ack
+            shootdown_ns: 2_000,     // one remote TLB-entry invalidation
+            scrub_block_ns: 500_000, // sequential verify, 1/4 of a cold block
+            repair_ns: 4_000_000,    // replica read + home rewrite
         }
     }
 }
@@ -236,6 +254,11 @@ impl CostModel {
         // Crash recovery: priced once at reboot (journal-replay I/O +
         // boot scan), accumulated here. Zero on crash-free runs.
         ns += s.recovery_ns;
+        // Integrity: scrub passes and block repairs. Both counters are
+        // 0 on a run that never scrubs and never sees corruption, so
+        // the checksum machinery is free until it has work to do.
+        ns += s.blocks_scrubbed * self.scrub_block_ns;
+        ns += s.blocks_repaired * self.repair_ns;
         SimTime(ns)
     }
 
@@ -278,6 +301,25 @@ mod tests {
         assert_eq!(SimTime(1_500).to_string(), "1.5 µs");
         assert_eq!(SimTime(2_500_000).to_string(), "2.500 ms");
         assert_eq!(SimTime(3_000_000_000).to_string(), "3.000 s");
+    }
+
+    #[test]
+    fn scrub_and_repair_are_priced() {
+        let m = CostModel::default();
+        let s = WorldStats {
+            blocks_scrubbed: 10,
+            blocks_repaired: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.time(&s).0, 10 * m.scrub_block_ns + 2 * m.repair_ns);
+        // Detection alone (corruptions found, nothing scrubbed or
+        // repaired yet) is free: pricing rides the scan and the heal.
+        let d = WorldStats {
+            corruptions_detected: 5,
+            eio_kills: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.time(&d), SimTime(0));
     }
 
     #[test]

@@ -168,6 +168,37 @@ pub enum TraceEvent {
         /// Data-block images among them (the rest are metadata).
         blocks: u64,
     },
+    /// End-to-end verification found a block whose on-medium bytes do
+    /// not match the checksum region (DESIGN.md §14) — bit rot, a lost
+    /// write, or a misdirected write reached the platter silently.
+    CorruptionDetected {
+        /// The damaged file's inode.
+        ino: u32,
+        /// Block-aligned byte offset within the file.
+        block: u64,
+        /// Detection signature (`"checksum"` or `"address-stamp"`).
+        reason: &'static str,
+    },
+    /// A corrupt block was healed in place from an intact copy.
+    BlockRepaired {
+        /// The healed file's inode.
+        ino: u32,
+        /// Block-aligned byte offset within the file.
+        block: u64,
+        /// Where the good bytes came from (`"replica"` or `"journal"`).
+        source: &'static str,
+    },
+    /// One deterministic scrub pass over the shared partition completed
+    /// (explicit `World::scrub` or the every-N-slices kernel hook).
+    ScrubPass {
+        /// Stamped blocks verified.
+        blocks: u64,
+        /// Corrupt blocks found this pass.
+        corrupt: u64,
+        /// How many of those were healed (the rest are contained by
+        /// poisoning — reads fail typed, maps raise `Eio`).
+        repaired: u64,
+    },
     /// A TLB-parity event dropped decoded basic blocks from a process's
     /// block cache (DESIGN.md §12). Pure host-speed diagnostics: zero
     /// cost, and emitted only when blocks were actually dropped (a
@@ -206,6 +237,9 @@ impl TraceEvent {
             TraceEvent::JournalReplayed { .. } => "JournalReplayed",
             TraceEvent::TlbShootdown { .. } => "TlbShootdown",
             TraceEvent::CpuSteal { .. } => "CpuSteal",
+            TraceEvent::CorruptionDetected { .. } => "CorruptionDetected",
+            TraceEvent::BlockRepaired { .. } => "BlockRepaired",
+            TraceEvent::ScrubPass { .. } => "ScrubPass",
             TraceEvent::BlockInvalidated { .. } => "BlockInvalidated",
         }
     }
@@ -289,6 +323,25 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::CpuSteal { cpu, from_cpu } => {
                 write!(f, "CpuSteal cpu{cpu} <- cpu{from_cpu}")
+            }
+            TraceEvent::CorruptionDetected { ino, block, reason } => {
+                write!(
+                    f,
+                    "CorruptionDetected ino={ino} block={block} reason={reason}"
+                )
+            }
+            TraceEvent::BlockRepaired { ino, block, source } => {
+                write!(f, "BlockRepaired ino={ino} block={block} source={source}")
+            }
+            TraceEvent::ScrubPass {
+                blocks,
+                corrupt,
+                repaired,
+            } => {
+                write!(
+                    f,
+                    "ScrubPass blocks={blocks} corrupt={corrupt} repaired={repaired}"
+                )
             }
             TraceEvent::BlockInvalidated {
                 addr,
@@ -521,6 +574,42 @@ mod tests {
             TraceEvent::RecoveryTaken { action: "x" }.kind(),
             "RecoveryTaken"
         );
+    }
+
+    #[test]
+    fn integrity_events_render() {
+        let mut t = TraceBuffer::new(4);
+        t.record(
+            0,
+            0,
+            TraceEvent::CorruptionDetected {
+                ino: 3,
+                block: 4096,
+                reason: "address-stamp",
+            },
+        );
+        t.record(
+            0,
+            4_000_000,
+            TraceEvent::BlockRepaired {
+                ino: 3,
+                block: 4096,
+                source: "replica",
+            },
+        );
+        t.record(
+            0,
+            0,
+            TraceEvent::ScrubPass {
+                blocks: 12,
+                corrupt: 1,
+                repaired: 1,
+            },
+        );
+        let dump = t.dump();
+        assert!(dump.contains("CorruptionDetected ino=3 block=4096 reason=address-stamp"));
+        assert!(dump.contains("BlockRepaired ino=3 block=4096 source=replica"));
+        assert!(dump.contains("ScrubPass blocks=12 corrupt=1 repaired=1"));
     }
 
     #[test]

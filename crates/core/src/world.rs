@@ -260,6 +260,18 @@ pub struct World {
     blocks_discarded: u64,
     /// Simulated nanoseconds spent in crash recovery (journal replay).
     recovery_ns: u64,
+    /// Blocks verified by explicit scrub passes (DESIGN.md §14).
+    blocks_scrubbed: u64,
+    /// Corrupt blocks detected by scrub or boot-time verification.
+    corruptions_detected: u64,
+    /// Corrupt blocks healed from the replica region or the journal.
+    blocks_repaired: u64,
+    /// Processes killed by an uncorrectable-corruption `Eio` fault.
+    eio_kills: u64,
+    /// Run a scrub pass every N scheduler slices (`None` = never).
+    scrub_interval: Option<u64>,
+    /// Slices since the last interval-driven scrub pass.
+    slices_since_scrub: u64,
 }
 
 impl Default for World {
@@ -291,6 +303,16 @@ impl World {
         if let Ok(v) = std::env::var("HSFS_JOURNAL") {
             if matches!(v.as_str(), "off" | "0" | "false") {
                 kernel.vfs.shared.fs.set_durability(false);
+            }
+        }
+        // `HSFS_INTEGRITY=off|0|false` disables the end-to-end block
+        // checksums, replica region, and scrub machinery (DESIGN.md
+        // §14) — the CI identity lane re-proves that a corruption-free
+        // run is observably identical (and identically priced) either
+        // way.
+        if let Ok(v) = std::env::var("HSFS_INTEGRITY") {
+            if matches!(v.as_str(), "off" | "0" | "false") {
+                kernel.vfs.shared.fs.set_integrity(false);
             }
         }
         for dir in [
@@ -333,6 +355,12 @@ impl World {
             journal_replays: 0,
             blocks_discarded: 0,
             recovery_ns: 0,
+            blocks_scrubbed: 0,
+            corruptions_detected: 0,
+            blocks_repaired: 0,
+            eio_kills: 0,
+            scrub_interval: None,
+            slices_since_scrub: 0,
         }
     }
 
@@ -808,7 +836,17 @@ impl World {
                 }
                 RunEvent::Fatal { pid, fault } => {
                     self.log.push(format!("pid {pid}: fatal fault: {fault}"));
-                    self.kill(pid, -1);
+                    if matches!(fault, hvm::Fault::Eio { .. }) {
+                        // The SIGBUS-analog: a mapped page's backing
+                        // block is uncorrectably corrupt. Only the
+                        // touching process dies — the typed exit code
+                        // (128 + SIGBUS) is the containment contract
+                        // e14 pins.
+                        self.eio_kills += 1;
+                        self.kill(pid, 135);
+                    } else {
+                        self.kill(pid, -1);
+                    }
                 }
                 RunEvent::Service { pid, num } => self.service(pid, num),
                 RunEvent::Segv { pid, fault } => self.segv(pid, fault.addr()),
@@ -831,6 +869,7 @@ impl World {
             self.pump_smp();
             self.pump_bb();
             self.drain_sanitizer();
+            self.pump_scrub();
         }
         self.drain_injections(0);
         self.pump_pressure();
@@ -1505,6 +1544,174 @@ impl World {
         self.kernel.vfs.shared.fs.set_durability(on);
     }
 
+    // --- disk integrity (DESIGN.md §14) ---
+
+    /// Enables or disables the end-to-end integrity machinery — block
+    /// checksums, self-describing address stamps, the replica region,
+    /// and scrub — on the shared partition (see the `HSFS_INTEGRITY`
+    /// environment hook). On by default with the durability pipeline.
+    pub fn set_integrity(&mut self, on: bool) {
+        self.kernel.vfs.shared.fs.set_integrity(on);
+    }
+
+    /// Whether the integrity machinery is on.
+    pub fn integrity_enabled(&self) -> bool {
+        self.kernel.vfs.shared.fs.integrity_enabled()
+    }
+
+    /// Runs a scrub pass every `every` scheduler slices during
+    /// [`World::run`] (`None` disables the hook — the default).
+    pub fn set_scrub_interval(&mut self, every: Option<u64>) {
+        self.scrub_interval = every;
+        self.slices_since_scrub = 0;
+    }
+
+    /// `(data blocks written, integrity-region blocks written)` on the
+    /// shared partition — the write-amplification pair the e14 bench
+    /// gates.
+    pub fn write_amplification(&self) -> (u64, u64) {
+        self.kernel.vfs.shared.fs.write_amplification()
+    }
+
+    /// Pages of the shared partition currently poisoned (uncorrectable
+    /// corruption contained; 0 in every healthy run).
+    pub fn poisoned_blocks(&self) -> u64 {
+        self.kernel.vfs.shared.fs.poisoned_blocks()
+    }
+
+    /// The every-N-slices scrub hook of [`World::run`].
+    fn pump_scrub(&mut self) {
+        let Some(every) = self.scrub_interval else {
+            return;
+        };
+        self.slices_since_scrub += 1;
+        if self.slices_since_scrub >= every {
+            self.slices_since_scrub = 0;
+            self.scrub();
+        }
+    }
+
+    /// One deterministic scrub pass over the shared partition: verify
+    /// every stamped block against the checksum region, heal each
+    /// corrupt one from the replica region or the journal, poison what
+    /// cannot be healed. Priced per verified block plus per repair;
+    /// every finding is journaled and counted. `None` when the
+    /// durability pipeline or integrity is off.
+    pub fn scrub(&mut self) -> Option<hsfs::ScrubReport> {
+        let report = self.kernel.vfs.shared.fs.scrub()?;
+        self.blocks_scrubbed += report.blocks_scanned;
+        let corrupt = report.findings.len() as u64;
+        let mut repaired = 0u64;
+        for f in &report.findings {
+            self.corruptions_detected += 1;
+            self.trace.record(
+                0,
+                0,
+                TraceEvent::CorruptionDetected {
+                    ino: f.ino,
+                    block: f.offset,
+                    reason: f.reason,
+                },
+            );
+            self.log.push(format!(
+                "scrub: corruption detected ino {} block {} ({})",
+                f.ino, f.offset, f.reason
+            ));
+            match f.repaired_from {
+                Some(source) => {
+                    repaired += 1;
+                    self.blocks_repaired += 1;
+                    self.trace.record(
+                        0,
+                        self.costs.repair_ns,
+                        TraceEvent::BlockRepaired {
+                            ino: f.ino,
+                            block: f.offset,
+                            source,
+                        },
+                    );
+                    self.log.push(format!(
+                        "scrub: ino {} block {} healed from {}",
+                        f.ino, f.offset, source
+                    ));
+                }
+                None => {
+                    self.log.push(format!(
+                        "scrub: ino {} block {} uncorrectable; page poisoned",
+                        f.ino, f.offset
+                    ));
+                }
+            }
+        }
+        self.trace.record(
+            0,
+            report.blocks_scanned * self.costs.scrub_block_ns,
+            TraceEvent::ScrubPass {
+                blocks: report.blocks_scanned,
+                corrupt,
+                repaired,
+            },
+        );
+        Some(report)
+    }
+
+    /// Resolves `path` to a shared-partition inode without perturbing
+    /// any priced counter — corruption is a disk phenomenon; injecting
+    /// it must be invisible to the cost model (cf. `fsck_at_boot`).
+    fn resolve_shared_unpriced(&mut self, path: &str) -> Option<hsfs::Ino> {
+        let sfs = &mut self.kernel.vfs.shared;
+        let (lookups, probes) = (sfs.addr_lookups, sfs.addr_probe_steps);
+        let fs_stats = sfs.fs.stats;
+        let resolved = self.kernel.vfs.resolve(path);
+        let sfs = &mut self.kernel.vfs.shared;
+        sfs.addr_lookups = lookups;
+        sfs.addr_probe_steps = probes;
+        sfs.fs.stats = fs_stats;
+        match resolved {
+            Ok(Vnode {
+                mount: Mount::Shared,
+                ino,
+            }) => Some(ino),
+            _ => None,
+        }
+    }
+
+    /// Deterministically corrupts one block of a shared segment on the
+    /// simulated disk (chaos-site mirror for tests and experiments).
+    /// `block` is a block index, not a byte offset. False when the path
+    /// does not name a stamped shared file block.
+    pub fn corrupt_shared_block(
+        &mut self,
+        path: &str,
+        block: u64,
+        kind: hsfs::CorruptKind,
+    ) -> bool {
+        let Some(ino) = self.resolve_shared_unpriced(path) else {
+            return false;
+        };
+        let offset = block * u64::from(hsfs::BLOCK_SIZE);
+        self.kernel
+            .vfs
+            .shared
+            .fs
+            .corrupt_block_for_test(ino, offset, kind)
+    }
+
+    /// Corrupts the replica-region copy of one shared-segment block
+    /// (tests; with the journal checkpointed this makes the block
+    /// uncorrectable — the double-corruption case of e14).
+    pub fn corrupt_shared_replica(&mut self, path: &str, block: u64) -> bool {
+        let Some(ino) = self.resolve_shared_unpriced(path) else {
+            return false;
+        };
+        let offset = block * u64::from(hsfs::BLOCK_SIZE);
+        self.kernel
+            .vfs
+            .shared
+            .fs
+            .corrupt_replica_for_test(ino, offset)
+    }
+
     /// Order-insensitive digest of the shared partition's logical state
     /// (metadata + bytes; locks and counters excluded). Two worlds with
     /// equal digests relink identically.
@@ -1525,6 +1732,43 @@ impl World {
         let issues = hsfs::tools::fsck_boot(sfs);
         for issue in &issues {
             let verdict = hsfs::tools::fsck_repair(&mut self.kernel.vfs.shared, issue);
+            // Corrupt blocks get the full integrity bookkeeping: typed
+            // trace records and counters, with successful heals priced
+            // like a scrub repair (the scan itself rides fsck for free).
+            if let hsfs::tools::FsckIssue::CorruptBlock {
+                ino,
+                offset,
+                reason,
+            } = issue
+            {
+                self.corruptions_detected += 1;
+                self.trace.record(
+                    0,
+                    0,
+                    TraceEvent::CorruptionDetected {
+                        ino: *ino,
+                        block: *offset,
+                        reason,
+                    },
+                );
+                if let hsfs::tools::RepairVerdict::Repaired(ref d) = verdict {
+                    self.blocks_repaired += 1;
+                    let source = if d.ends_with("replica") {
+                        "replica"
+                    } else {
+                        "journal"
+                    };
+                    self.trace.record(
+                        0,
+                        self.costs.repair_ns,
+                        TraceEvent::BlockRepaired {
+                            ino: *ino,
+                            block: *offset,
+                            source,
+                        },
+                    );
+                }
+            }
             let detail = match verdict {
                 hsfs::tools::RepairVerdict::Repaired(d) => d,
                 hsfs::tools::RepairVerdict::Unrepaired(d) => format!("UNREPAIRED: {d}"),
@@ -1673,6 +1917,10 @@ impl World {
             journal_replays: self.journal_replays,
             blocks_discarded: self.blocks_discarded,
             recovery_ns: self.recovery_ns,
+            blocks_scrubbed: self.blocks_scrubbed,
+            corruptions_detected: self.corruptions_detected,
+            blocks_repaired: self.blocks_repaired,
+            eio_kills: self.eio_kills,
         }
     }
 }

@@ -70,10 +70,28 @@ pub enum FaultSite {
     /// record fails its checksum at replay (the transaction is void); a
     /// torn home block is rewritten by replay of its committed record.
     CrashTear,
+    /// Silent corruption in `hsfs::journal`: a home-location block write
+    /// lands, then the medium flips a bit under it. Invisible until a
+    /// scrub or boot-time verification checks the block's checksum
+    /// (DESIGN.md §14) — detected as a checksum mismatch, healed from
+    /// the replica region.
+    BitRot,
+    /// Silent corruption in `hsfs::journal`: a home-location block write
+    /// lands at the *wrong* address — a neighboring block of the same
+    /// file receives the data (and its self-describing address stamp),
+    /// while the intended block keeps its stale content. Detected at the
+    /// victim as an address-stamp mismatch and at the intended location
+    /// as a checksum mismatch; both heal from the replica region.
+    MisdirectedWrite,
+    /// Silent corruption in `hsfs::journal`: a home-location block write
+    /// is acknowledged but never reaches the platter (a phantom write).
+    /// The checksum region records the intended content, so the stale
+    /// block fails verification and heals from the replica region.
+    LostWrite,
 }
 
 /// All sites, in a stable order (used for per-site counters).
-pub const ALL_SITES: [FaultSite; 11] = [
+pub const ALL_SITES: [FaultSite; 14] = [
     FaultSite::FrameAlloc,
     FaultSite::InodeAlloc,
     FaultSite::TornWrite,
@@ -85,6 +103,9 @@ pub const ALL_SITES: [FaultSite; 11] = [
     FaultSite::ShootdownDrop,
     FaultSite::CrashPoint,
     FaultSite::CrashTear,
+    FaultSite::BitRot,
+    FaultSite::MisdirectedWrite,
+    FaultSite::LostWrite,
 ];
 
 impl FaultSite {
@@ -102,6 +123,9 @@ impl FaultSite {
             FaultSite::ShootdownDrop => "shootdown_drop",
             FaultSite::CrashPoint => "crash_point",
             FaultSite::CrashTear => "crash_tear",
+            FaultSite::BitRot => "bit_rot",
+            FaultSite::MisdirectedWrite => "misdirected_write",
+            FaultSite::LostWrite => "lost_write",
         }
     }
 
@@ -126,6 +150,9 @@ impl FaultSite {
             FaultSite::ShootdownDrop => 8,
             FaultSite::CrashPoint => 9,
             FaultSite::CrashTear => 10,
+            FaultSite::BitRot => 11,
+            FaultSite::MisdirectedWrite => 12,
+            FaultSite::LostWrite => 13,
         }
     }
 }
@@ -161,7 +188,7 @@ impl FaultPlan {
                 seed
             },
             rate_ppm: rate_ppm.min(1_000_000),
-            enabled: 0b111_1111_1111,
+            enabled: 0b11_1111_1111_1111,
             injected: 0,
             decisions: 0,
             by_site: [0; ALL_SITES.len()],
@@ -371,8 +398,28 @@ mod tests {
         assert!(FaultSite::TornWrite.is_transient());
         assert!(!FaultSite::SymbolResolve.is_transient());
         assert!(!FaultSite::FrameAlloc.is_transient());
+        // Silent-corruption sites are permanent: retrying the write does
+        // not un-corrupt the medium — only scrub/repair does.
+        assert!(!FaultSite::BitRot.is_transient());
+        assert!(!FaultSite::MisdirectedWrite.is_transient());
+        assert!(!FaultSite::LostWrite.is_transient());
         for s in ALL_SITES {
             assert!(!s.name().is_empty());
         }
+    }
+
+    #[test]
+    fn corruption_sites_are_enabled_by_default_and_maskable() {
+        // A full-rate plan must fire at the new sites out of the box.
+        let mut p = FaultPlan::new(3, 1_000_000);
+        assert!(p.should_inject(FaultSite::BitRot));
+        assert!(p.should_inject(FaultSite::MisdirectedWrite));
+        assert!(p.should_inject(FaultSite::LostWrite));
+        // `.only()` masks them without consuming RNG draws, so restricted
+        // plans (e.g. e13's CrashPoint-only plans) keep their streams.
+        let mut q = FaultPlan::new(3, 1_000_000).only(&[FaultSite::CrashPoint]);
+        assert!(!q.should_inject(FaultSite::BitRot));
+        assert!(q.should_inject(FaultSite::CrashPoint));
+        assert_eq!(q.injected_at(FaultSite::BitRot), 0);
     }
 }

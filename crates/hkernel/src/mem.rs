@@ -1191,6 +1191,11 @@ impl AddressSpace {
                     out.extend_from_slice(&bytes[base + off..base + off + take]);
                 }
                 PageKind::Shared { ino, page } => {
+                    // Kernel peeks honor the poison too — corrupt bytes
+                    // never cross into syscall buffers.
+                    if shared.fs.is_poisoned(*ino, *page) {
+                        return Err(MemError::BadBacking(FsError::CorruptData));
+                    }
                     let bytes = shared.fs.file_bytes(*ino).map_err(MemError::BadBacking)?;
                     let start = (*page * PAGE_SIZE) as usize + off;
                     if start + take > bytes.len() {
@@ -1260,6 +1265,11 @@ impl AddressSpace {
                         .copy_from_slice(&data[written..written + take]);
                 }
                 PageKind::Shared { ino, page } => {
+                    // Sub-page host pokes must not mix fresh bytes into
+                    // a corrupt block (see `MemBus::store`).
+                    if shared.fs.is_poisoned(*ino, *page) {
+                        return Err(MemError::BadBacking(FsError::CorruptData));
+                    }
                     // Page-precise epoch stamp: this iteration writes
                     // only within file page `page`, so blocks decoded
                     // from the file's *other* pages stay valid.
@@ -1499,6 +1509,12 @@ impl MemBus<'_> {
             }
             PageKind::Anon(frame) => &frame[off..off + len],
             PageKind::Shared { ino, page } => {
+                // Verified read: a page whose backing block is known
+                // uncorrectably corrupt must never hand bytes to a
+                // guest — SIGBUS-analog, kills only this process.
+                if self.shared.fs.is_poisoned(*ino, *page) {
+                    return Err(Fault::Eio { addr, access });
+                }
                 let start = (*page * PAGE_SIZE) as usize + off;
                 let file = self
                     .shared
@@ -1554,6 +1570,14 @@ impl MemBus<'_> {
                 Arc::make_mut(frame)[off..off + data.len()].copy_from_slice(data);
             }
             PageKind::Shared { ino, page } => {
+                // Verified access on the store side too: sub-page
+                // stores to a poisoned page would mix new bytes into
+                // corrupt ones, so they raise the same SIGBUS-analog.
+                // (File-level `write_at` covering the whole page is the
+                // sanctioned way to replace a poisoned block.)
+                if self.shared.fs.is_poisoned(*ino, *page) {
+                    return Err(Fault::Eio { addr, access });
+                }
                 // The store lands in the backing file directly (shared
                 // pages alias file bytes), but the page is now "dirty"
                 // for eviction purposes: dropping it takes a simulated
@@ -1651,6 +1675,11 @@ impl MemBus<'_> {
         let (bytes, src): (&[u8], Option<(u32, u32, u64)>) = match &entry.kind {
             PageKind::Anon(frame) => (&frame[off..], None),
             PageKind::Shared { ino, page } => {
+                // Poisoned backing block: decline to decode — the slow
+                // path surfaces the precise `Eio` fault.
+                if fs.is_poisoned(*ino, *page) {
+                    return None;
+                }
                 let file = fs.file_bytes(*ino).ok()?;
                 let start = (*page * PAGE_SIZE) as usize + off;
                 let end = ((*page + 1) * PAGE_SIZE) as usize;

@@ -41,6 +41,11 @@ pub enum FsError {
     /// file before the device errored (the chaos layer's torn-write
     /// injection surfaces as this).
     ShortWrite,
+    /// EBADMSG — the backing block is uncorrectably corrupt: checksum
+    /// verification failed and neither the replica region nor the journal
+    /// held an intact copy (DESIGN.md §14). Reads of the poisoned range
+    /// fail with this until the block is rewritten or the file removed.
+    CorruptData,
 }
 
 impl FsError {
@@ -63,6 +68,7 @@ impl FsError {
             FsError::Busy => 16,
             FsError::BadAddress => 14,
             FsError::ShortWrite => 5,
+            FsError::CorruptData => 74,
         }
     }
 }
@@ -86,6 +92,7 @@ impl fmt::Display for FsError {
             FsError::Busy => "device or resource busy",
             FsError::BadAddress => "bad address",
             FsError::ShortWrite => "short write (torn)",
+            FsError::CorruptData => "uncorrectable data corruption",
         };
         f.write_str(s)
     }
@@ -116,6 +123,7 @@ mod tests {
             FsError::Busy,
             FsError::BadAddress,
             FsError::ShortWrite,
+            FsError::CorruptData,
         ];
         let mut seen = std::collections::HashSet::new();
         for e in all {

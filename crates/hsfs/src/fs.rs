@@ -7,7 +7,9 @@
 //! can derive each file's virtual address directly from its inode number.
 
 use crate::error::FsError;
-use crate::journal::{fnv1a, Durable, Payload, RecKind, ReplayStats};
+use crate::journal::{
+    fnv1a, CorruptBlockInfo, CorruptKind, Durable, Payload, RecKind, ReplayStats,
+};
 use crate::path as fspath;
 use crate::stats::FsStats;
 use hfault::{FaultHandle, FaultSite};
@@ -142,6 +144,14 @@ pub struct FileSystem {
     /// `None` (the root file system, and the durable twin itself) means
     /// write-through: mutations are durable the instant they happen.
     durable: Option<Box<Durable>>,
+    /// Pages whose backing block is uncorrectably corrupt (DESIGN.md
+    /// §14): set by boot verification when a crash adopted a corrupt
+    /// disk image that no replica or journal copy could heal. Reads of a
+    /// poisoned page fail with [`FsError::CorruptData`] (and the memory
+    /// bus raises `Eio`) until the block is rewritten or the file
+    /// removed. Empty in every healthy run — one `is_empty` test on the
+    /// read path.
+    poisoned: BTreeSet<(Ino, u32)>,
 }
 
 /// Write-epoch state for one file. `whole` moves on any write through a
@@ -183,6 +193,7 @@ impl FileSystem {
             write_epochs: BTreeMap::new(),
             content_stamp: 0,
             durable: None,
+            poisoned: BTreeSet::new(),
         }
     }
 
@@ -243,6 +254,10 @@ impl FileSystem {
         {
             self.live -= 1;
             self.free.push(ino);
+            if !self.poisoned.is_empty() {
+                // Removing the file discards its damage with it.
+                self.poisoned.retain(|&(i, _)| i != ino);
+            }
         }
     }
 
@@ -373,6 +388,8 @@ impl FileSystem {
             Node::Dir { entries } => {
                 entries.insert(name.to_string(), ino);
             }
+            // invariant: dir_entries(dir) above proved `dir` is a Dir,
+            // and alloc() cannot change an existing slot's kind.
             _ => unreachable!("checked above"),
         }
         self.stats.creates += 1;
@@ -478,6 +495,7 @@ impl FileSystem {
             Node::Dir { entries } => {
                 entries.insert(name.clone(), target);
             }
+            // invariant: resolve_parent only returns Dir inodes.
             _ => unreachable!(),
         }
         self.inode_mut(target)?.nlink += 1;
@@ -506,6 +524,7 @@ impl FileSystem {
             Node::Dir { entries } => {
                 entries.remove(&name);
             }
+            // invariant: resolve_parent only returns Dir inodes.
             _ => unreachable!(),
         }
         let inode = self.inode_mut(ino)?;
@@ -540,6 +559,7 @@ impl FileSystem {
             Node::Dir { entries } => {
                 entries.remove(&name);
             }
+            // invariant: resolve_parent only returns Dir inodes.
             _ => unreachable!(),
         }
         self.release(ino);
@@ -575,12 +595,15 @@ impl FileSystem {
             Node::Dir { entries } => {
                 entries.remove(&oname);
             }
+            // invariant: resolve_parent only returns Dir inodes.
             _ => unreachable!(),
         }
         match &mut self.inode_mut(ndir)?.node {
             Node::Dir { entries } => {
                 entries.insert(nname.clone(), ino);
             }
+            // invariant: resolve_parent only returns Dir inodes, and the
+            // unlink() above cannot remove a directory.
             _ => unreachable!(),
         }
         let inode = self.inode_mut(ino)?;
@@ -609,8 +632,20 @@ impl FileSystem {
 
     // --- file content ---
 
-    /// Reads up to `len` bytes at `offset`; short reads at EOF.
+    /// Reads up to `len` bytes at `offset`; short reads at EOF. Fails
+    /// with [`FsError::CorruptData`] when the range touches a poisoned
+    /// page (uncorrectable corruption — DESIGN.md §14).
     pub fn read_at(&mut self, ino: Ino, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        if !self.poisoned.is_empty() && len > 0 {
+            let ps = crate::PAGE_SIZE as u64;
+            let first = offset / ps;
+            let last = (offset + len as u64 - 1) / ps;
+            for p in first..=last {
+                if self.poisoned.contains(&(ino, p as u32)) {
+                    return Err(FsError::CorruptData);
+                }
+            }
+        }
         let content = match &self.inode(ino)?.node {
             Node::File { content } => content,
             Node::Dir { .. } => return Err(FsError::IsADirectory),
@@ -651,6 +686,18 @@ impl FileSystem {
             let last = ((end - 1) / crate::PAGE_SIZE as u64) as u32;
             for page in first..=last {
                 *epochs.pages.entry(page).or_default() += 1;
+            }
+            if !self.poisoned.is_empty() && torn.is_none() {
+                // A write that fully covers a poisoned page replaces the
+                // corrupt bytes wholesale — the damage is gone. Partial
+                // overlap keeps the poison: stale corrupt bytes remain.
+                let ps = crate::PAGE_SIZE as u64;
+                for page in first..=last {
+                    let p64 = u64::from(page);
+                    if p64 * ps >= offset && (p64 + 1) * ps <= end {
+                        self.poisoned.remove(&(ino, page));
+                    }
+                }
             }
         }
         match &mut self.inode_mut(ino)?.node {
@@ -726,6 +773,12 @@ impl FileSystem {
                 content.resize(size as usize, 0);
             }
             _ => return Err(FsError::IsADirectory),
+        }
+        if !self.poisoned.is_empty() {
+            // Pages now entirely beyond EOF are gone, damage and all.
+            let ps = crate::PAGE_SIZE as u64;
+            self.poisoned
+                .retain(|&(i, p)| i != ino || u64::from(p) * ps < size);
         }
         if self.durable.is_some() {
             self.durable_tx(vec![Payload::SetSize { ino, size }]);
@@ -960,14 +1013,18 @@ impl FileSystem {
             write_epochs: BTreeMap::new(),
             content_stamp: 0,
             durable: None,
+            poisoned: BTreeSet::new(),
         }
     }
 
     /// Turns the block-write pipeline + journal on, snapshotting the
-    /// current tree as the initial disk image. Idempotent.
+    /// current tree as the initial disk image (stamping every existing
+    /// block into the checksum region). Idempotent.
     pub fn enable_durability(&mut self) {
         if self.durable.is_none() {
-            self.durable = Some(Box::new(Durable::new(self.snapshot_for_disk())));
+            let mut d = Durable::new(self.snapshot_for_disk());
+            d.stamp_all();
+            self.durable = Some(Box::new(d));
         }
     }
 
@@ -1074,18 +1131,24 @@ impl FileSystem {
     /// Returns the number of discarded block writes.
     pub fn power_cut(&mut self) -> u64 {
         self.unlock_everything();
-        let Some(d) = self.durable.take() else {
+        // Poison is re-derived by boot verification against the adopted
+        // disk image; stale entries must not outlive the old tree.
+        self.poisoned.clear();
+        let Some(mut d) = self.durable.take() else {
             return 0;
         };
         let discarded = d.discarded();
-        let twin = *d.disk;
+        let twin = std::mem::replace(&mut *d.disk, FileSystem::new(self.config));
         self.content_stamp = self.content_stamp.max(twin.content_stamp) + 1;
         self.slots = twin.slots;
         self.free = twin.free;
         self.live = twin.live;
         self.write_epochs.clear();
         let mut nd = Durable::new(self.snapshot_for_disk());
-        nd.journal = d.journal;
+        nd.journal = std::mem::take(&mut d.journal);
+        // The checksum/claim/replica regions are on-disk state and
+        // survive the cut — they still describe the adopted image.
+        nd.adopt_integrity(&mut d);
         self.durable = Some(Box::new(nd));
         discarded
     }
@@ -1123,7 +1186,10 @@ impl FileSystem {
                 stats.meta += 1;
             }
             self.apply_phys(p);
-            d.disk.apply_phys(p);
+            // The integrity-maintaining chokepoint: a replayed block is
+            // re-stamped, so recovery re-blesses exactly the newest
+            // committed data (verified-read on the replay path).
+            d.apply_home(p);
         }
         self.durable = Some(d);
         stats
@@ -1168,6 +1234,8 @@ impl FileSystem {
                     _ => false,
                 };
                 if refresh {
+                    // invariant: `refresh` is only true when the match
+                    // above saw `Some(inode)` in this very slot.
                     let inode = self.slots[idx].as_mut().expect("checked above");
                     inode.mode = *mode;
                     inode.uid = *uid;
@@ -1295,6 +1363,169 @@ impl FileSystem {
     pub fn disk_digest(&self) -> Option<u64> {
         self.durable.as_ref().map(|d| d.disk.state_digest())
     }
+
+    // --- integrity: checksum region, scrub, repair, poison (DESIGN.md §14) ---
+
+    /// Whether the end-to-end integrity machinery is on (requires the
+    /// durable pipeline; on by default with it).
+    pub fn integrity_enabled(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.integrity())
+    }
+
+    /// Turns the integrity machinery on (restamping the whole disk) or
+    /// off (dropping all regions; the `(scrub off)` bench identity).
+    pub fn set_integrity(&mut self, on: bool) {
+        if let Some(d) = self.durable.as_deref_mut() {
+            d.set_integrity(on);
+        }
+        if !on {
+            self.poisoned.clear();
+        }
+    }
+
+    /// Blocks covered by the checksum region (0 with integrity off).
+    pub fn stamped_blocks(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.stamped_blocks())
+    }
+
+    /// `(data blocks written, integrity-region blocks written)` since
+    /// the pipeline was enabled — the write-amplification pair.
+    pub fn write_amplification(&self) -> (u64, u64) {
+        self.durable
+            .as_ref()
+            .map_or((0, 0), |d| d.write_amplification())
+    }
+
+    /// Non-mutating verification scan of the disk image's stamped
+    /// blocks. Empty on a clean disk.
+    pub fn verify_blocks(&self) -> Vec<CorruptBlockInfo> {
+        self.durable.as_ref().map_or_else(Vec::new, |d| d.verify())
+    }
+
+    /// Live-tree bytes of one block (clamped; empty when missing).
+    fn live_block(&self, ino: Ino, offset: u64) -> Vec<u8> {
+        match self.file_bytes(ino) {
+            Ok(c) => {
+                let s = (offset as usize).min(c.len());
+                let e = (s + crate::BLOCK_SIZE as usize).min(c.len());
+                c[s..e].to_vec()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Repairs one corrupt disk block (replica region first, then the
+    /// newest committed journal copy) and propagates the healed bytes to
+    /// the live tree *iff* the live block still holds the corrupt image
+    /// (i.e. a crash adopted it) — newer unflushed live data is never
+    /// overwritten. Returns the repair source; on `None` the block is
+    /// uncorrectable and, when the live tree holds the corrupt bytes,
+    /// its page is poisoned (reads fail typed, maps raise `Eio`).
+    pub fn repair_block(&mut self, ino: Ino, offset: u64) -> Option<&'static str> {
+        let mut d = self.durable.take()?;
+        let pre = d.read_disk_block(ino, offset);
+        let src = d.repair_block(ino, offset);
+        let good = src.map(|_| d.read_disk_block(ino, offset));
+        self.durable = Some(d);
+        let live = self.live_block(ino, offset);
+        let page = (offset / crate::PAGE_SIZE as u64) as u32;
+        match src {
+            Some(s) => {
+                if let Some(good) = good {
+                    if live == pre && live != good {
+                        self.apply_phys(&Payload::WriteBlock {
+                            ino,
+                            offset,
+                            bytes: good,
+                        });
+                    }
+                }
+                self.poisoned.remove(&(ino, page));
+                Some(s)
+            }
+            None => {
+                if live == pre && !pre.is_empty() {
+                    self.poisoned.insert((ino, page));
+                }
+                None
+            }
+        }
+    }
+
+    /// One deterministic scrub pass: verify every stamped block, repair
+    /// each corrupt one. `None` when the pipeline or integrity is off.
+    /// The caller (the World) prices the pass and journals the findings.
+    pub fn scrub(&mut self) -> Option<ScrubReport> {
+        if !self.integrity_enabled() {
+            return None;
+        }
+        let blocks_scanned = self.stamped_blocks();
+        let corrupt = self.verify_blocks();
+        let mut findings = Vec::with_capacity(corrupt.len());
+        for c in corrupt {
+            let repaired_from = self.repair_block(c.ino, c.offset);
+            findings.push(ScrubFinding {
+                ino: c.ino,
+                offset: c.offset,
+                reason: c.reason,
+                repaired_from,
+            });
+        }
+        Some(ScrubReport {
+            blocks_scanned,
+            findings,
+        })
+    }
+
+    /// Deterministically corrupts one stamped disk block (chaos-site
+    /// mirror for tests; false when the block is not stamped).
+    pub fn corrupt_block_for_test(&mut self, ino: Ino, offset: u64, kind: CorruptKind) -> bool {
+        self.durable
+            .as_deref_mut()
+            .is_some_and(|d| d.corrupt_for_test(ino, offset, kind))
+    }
+
+    /// Corrupts one block's replica copy (tests; with the journal
+    /// checkpointed this makes the block uncorrectable).
+    pub fn corrupt_replica_for_test(&mut self, ino: Ino, offset: u64) -> bool {
+        self.durable
+            .as_deref_mut()
+            .is_some_and(|d| d.corrupt_replica_for_test(ino, offset))
+    }
+
+    /// Whether a page's backing block is known uncorrectably corrupt.
+    /// One `is_empty` test in every healthy run.
+    pub fn is_poisoned(&self, ino: Ino, page: u32) -> bool {
+        !self.poisoned.is_empty() && self.poisoned.contains(&(ino, page))
+    }
+
+    /// Number of poisoned pages (0 in every healthy run).
+    pub fn poisoned_blocks(&self) -> u64 {
+        self.poisoned.len() as u64
+    }
+}
+
+/// What one [`FileSystem::scrub`] pass saw and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Stamped blocks verified.
+    pub blocks_scanned: u64,
+    /// Corrupt blocks found (with their repair outcome).
+    pub findings: Vec<ScrubFinding>,
+}
+
+/// One corrupt block a scrub found, and how it ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScrubFinding {
+    /// File inode.
+    pub ino: Ino,
+    /// Block-aligned byte offset within the file.
+    pub offset: u64,
+    /// Detection reason (`"checksum"` or `"address-stamp"`).
+    pub reason: &'static str,
+    /// Repair source (`"replica"` or `"journal"`), `None` when the
+    /// block is uncorrectable (contained via poisoning).
+    pub repaired_from: Option<&'static str>,
 }
 
 #[cfg(test)]

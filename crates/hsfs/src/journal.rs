@@ -282,6 +282,34 @@ enum Unit {
     Checkpoint,
 }
 
+/// The silent-corruption flavor a chaos injection applied to one home
+/// block write (DESIGN.md §14). Also the shape of the deterministic
+/// test-only corruption API ([`crate::fs::FileSystem::corrupt_block_for_test`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The write landed, then the medium flipped a bit under it.
+    BitRot,
+    /// The write was acknowledged but never reached the platter; the
+    /// block keeps stale bytes while the checksum region records intent.
+    LostWrite,
+    /// The write landed at the wrong address: a neighboring block
+    /// received the data (and its self-describing address stamp).
+    MisdirectedWrite,
+}
+
+/// One corrupt block found by a verification scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptBlockInfo {
+    /// File inode.
+    pub ino: Ino,
+    /// Block-aligned byte offset within the file.
+    pub offset: u64,
+    /// What tripped: `"checksum"` (content vs. checksum region) or
+    /// `"address-stamp"` (the block's self-describing footer names a
+    /// different home address — a misdirected write's signature).
+    pub reason: &'static str,
+}
+
 /// What `replay_journal` did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReplayStats {
@@ -325,11 +353,32 @@ pub struct Durable {
     dirty_whole: BTreeSet<Ino>,
     /// One-entry memo de-duplicating the per-store page marks.
     last_mark: Option<(Ino, u32)>,
+    /// End-to-end integrity machinery on/off (DESIGN.md §14). When off,
+    /// no stamps are kept, scrub is a no-op, and the corruption sites
+    /// are never consulted — the exact pre-integrity pipeline.
+    integrity: bool,
+    /// The checksum region: trusted expected checksum per home block.
+    /// Written in the shadow of each home write (no `disk_seq` tick —
+    /// it shares fate with the data write it describes).
+    stamps: BTreeMap<(Ino, u64), u64>,
+    /// Each block's on-medium self-describing footer: the home address
+    /// the data *claims* to belong to. Travels with the data, so a
+    /// misdirected write carries its intended address onto the victim.
+    claims: BTreeMap<(Ino, u64), (Ino, u64)>,
+    /// The replica region: a second full copy of each block (bytes +
+    /// own checksum), the primary self-heal source.
+    replica: BTreeMap<(Ino, u64), (Vec<u8>, u64)>,
+    /// Home data blocks written (write-amplification accounting).
+    data_blocks_written: u64,
+    /// Integrity-region blocks written (stamp + replica updates).
+    integrity_blocks_written: u64,
 }
 
 impl Durable {
     /// A fresh durable state around `disk` (a volatile-stripped snapshot
-    /// of the live file system at enable time).
+    /// of the live file system at enable time). Starts with empty
+    /// integrity regions: [`Durable::stamp_all`] (enable path) or
+    /// [`Durable::adopt_integrity`] (power-cut re-twin) fills them.
     pub(crate) fn new(disk: FileSystem) -> Durable {
         Durable {
             disk: Box::new(disk),
@@ -343,7 +392,58 @@ impl Durable {
             dirty_pages: BTreeMap::new(),
             dirty_whole: BTreeSet::new(),
             last_mark: None,
+            integrity: true,
+            stamps: BTreeMap::new(),
+            claims: BTreeMap::new(),
+            replica: BTreeMap::new(),
+            data_blocks_written: 0,
+            integrity_blocks_written: 0,
         }
+    }
+
+    /// Carries the integrity state (checksum/claim/replica regions and
+    /// write-amp counters) from a pre-power-cut twin onto this fresh one.
+    /// The regions are on-disk state: they describe the *expected* block
+    /// contents and must survive the crash so boot verification can tell
+    /// adopted corruption from legitimate data.
+    pub(crate) fn adopt_integrity(&mut self, old: &mut Durable) {
+        self.integrity = old.integrity;
+        self.stamps = std::mem::take(&mut old.stamps);
+        self.claims = std::mem::take(&mut old.claims);
+        self.replica = std::mem::take(&mut old.replica);
+        self.data_blocks_written = old.data_blocks_written;
+        self.integrity_blocks_written = old.integrity_blocks_written;
+    }
+
+    /// Whether the integrity machinery is on.
+    pub(crate) fn integrity(&self) -> bool {
+        self.integrity
+    }
+
+    /// Turns the integrity machinery on (restamping the whole disk) or
+    /// off (dropping all regions) — the `(scrub off)` bench identity.
+    pub(crate) fn set_integrity(&mut self, on: bool) {
+        if on == self.integrity {
+            return;
+        }
+        self.integrity = on;
+        self.stamps.clear();
+        self.claims.clear();
+        self.replica.clear();
+        if on {
+            self.stamp_all();
+        }
+    }
+
+    /// Blocks currently covered by the checksum region.
+    pub(crate) fn stamped_blocks(&self) -> u64 {
+        self.stamps.len() as u64
+    }
+
+    /// `(data blocks written, integrity-region blocks written)` — the
+    /// write-amplification pair the e14 bench asserts on.
+    pub(crate) fn write_amplification(&self) -> (u64, u64) {
+        (self.data_blocks_written, self.integrity_blocks_written)
     }
 
     /// Disk writes applied so far.
@@ -432,10 +532,417 @@ impl Durable {
         }
         match u {
             Unit::Journal(rec) => self.journal.push(rec),
-            Unit::Home(p) => self.disk.apply_phys(&p),
+            Unit::Home(p) => {
+                // Silent-corruption chaos fires only on home data-block
+                // writes, and only with the integrity machinery on (the
+                // corruption model and its detector ship together, so an
+                // integrity-off run draws no extra RNG and stays
+                // stream-identical to the pre-integrity pipeline).
+                let silent = if self.integrity && matches!(p, Payload::WriteBlock { .. }) {
+                    if faults.should_inject(FaultSite::BitRot) {
+                        Some(CorruptKind::BitRot)
+                    } else if faults.should_inject(FaultSite::MisdirectedWrite) {
+                        Some(CorruptKind::MisdirectedWrite)
+                    } else if faults.should_inject(FaultSite::LostWrite) {
+                        Some(CorruptKind::LostWrite)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                match silent {
+                    None => self.apply_home(&p),
+                    Some(kind) => self.apply_corrupted(&p, kind),
+                }
+            }
             Unit::Checkpoint => self.journal.clear(),
         }
+        // Exactly one tick per accepted unit: integrity-region writes
+        // share fate with their data write and never perturb the
+        // crash-point enumeration axis (e13 depends on this).
         self.disk_seq += 1;
+    }
+
+    // --- integrity: checksum region, claims, replica, scrub/repair ---
+
+    /// The current disk-image bytes of one block (clamped at EOF; empty
+    /// when the file is missing, not a file, or ends before `offset`).
+    pub(crate) fn read_disk_block(&self, ino: Ino, offset: u64) -> Vec<u8> {
+        let bs = crate::BLOCK_SIZE;
+        match self.disk.file_bytes(ino) {
+            Ok(content) => {
+                let s = (offset as usize).min(content.len());
+                let e = (s + bs as usize).min(content.len());
+                content[s..e].to_vec()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn disk_file_len(&self, ino: Ino) -> Option<u64> {
+        self.disk.file_bytes(ino).ok().map(|b| b.len() as u64)
+    }
+
+    /// The block image the write *intends* to leave on disk: the current
+    /// block with `bytes` spliced over its front (a `WriteBlock` never
+    /// shrinks, so any stale tail beyond the write survives).
+    fn intended_block(&self, ino: Ino, offset: u64, bytes: &[u8]) -> Vec<u8> {
+        let mut cur = self.read_disk_block(ino, offset);
+        if cur.len() < bytes.len() {
+            cur.resize(bytes.len(), 0);
+        }
+        cur[..bytes.len()].copy_from_slice(bytes);
+        cur
+    }
+
+    /// Writes one block's checksum-region entry, on-medium claim, and
+    /// replica copy for `good` (the intended content).
+    fn stamp(&mut self, ino: Ino, offset: u64, good: Vec<u8>) {
+        if good.is_empty() {
+            self.drop_stamp(ino, offset);
+            return;
+        }
+        let crc = fnv1a(&good);
+        self.stamps.insert((ino, offset), crc);
+        self.claims.insert((ino, offset), (ino, offset));
+        self.replica.insert((ino, offset), (good, crc));
+        self.integrity_blocks_written += 1;
+    }
+
+    fn drop_stamp(&mut self, ino: Ino, offset: u64) {
+        self.stamps.remove(&(ino, offset));
+        self.claims.remove(&(ino, offset));
+        self.replica.remove(&(ino, offset));
+    }
+
+    fn drop_stamps(&mut self, ino: Ino) {
+        let keys: Vec<(Ino, u64)> = self
+            .stamps
+            .range((ino, 0)..=(ino, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for (i, o) in keys {
+            self.drop_stamp(i, o);
+        }
+    }
+
+    /// Re-stamps one block from the disk image (used where the operation
+    /// itself legitimately changed the bytes, e.g. a resize's straddling
+    /// block — blocks the operation did not touch keep their old stamps,
+    /// preserving detection of any corruption already under them).
+    fn restamp_from_disk(&mut self, ino: Ino, offset: u64) {
+        let bytes = self.read_disk_block(ino, offset);
+        self.stamp(ino, offset, bytes);
+    }
+
+    /// Stamps every data block of the disk image (enable / set_integrity).
+    pub(crate) fn stamp_all(&mut self) {
+        if !self.integrity {
+            return;
+        }
+        let bs = crate::BLOCK_SIZE as u64;
+        let mut work = Vec::new();
+        self.disk.for_each_inode(|ino, kind| {
+            if matches!(kind, crate::fs::NodeKind::File) {
+                work.push(ino);
+            }
+        });
+        for ino in work {
+            let len = self.disk_file_len(ino).unwrap_or(0);
+            for b in 0..len.div_ceil(bs) {
+                self.restamp_from_disk(ino, b * bs);
+            }
+        }
+    }
+
+    /// Adjusts the checksum region for a resize `old → new`: drops
+    /// stamps beyond the new EOF and re-stamps only the blocks whose
+    /// bytes the resize actually changed.
+    fn resize_stamps(&mut self, ino: Ino, old: u64, new: u64) {
+        let bs = crate::BLOCK_SIZE as u64;
+        let beyond: Vec<(Ino, u64)> = self
+            .stamps
+            .range((ino, new)..=(ino, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for (i, o) in beyond {
+            self.drop_stamp(i, o);
+        }
+        let keep = old.min(new);
+        // Blocks overlapping [keep, new): the truncated straddler or the
+        // zero-extended range.
+        let start = if keep.is_multiple_of(bs) {
+            keep
+        } else {
+            keep - keep % bs
+        };
+        let mut o = start;
+        while o < new {
+            self.restamp_from_disk(ino, o);
+            o += bs;
+        }
+    }
+
+    /// Applies one home record to the disk image *and* maintains the
+    /// integrity regions — the single chokepoint shared by the write
+    /// pipeline and journal replay (a replayed block is re-stamped, so
+    /// recovery re-blesses exactly the newest committed data).
+    pub(crate) fn apply_home(&mut self, p: &Payload) {
+        if matches!(p, Payload::WriteBlock { .. }) {
+            self.data_blocks_written += 1;
+        }
+        if !self.integrity {
+            self.disk.apply_phys(p);
+            return;
+        }
+        match p {
+            Payload::WriteBlock { ino, offset, bytes } => {
+                let intended = self.intended_block(*ino, *offset, bytes);
+                self.disk.apply_phys(p);
+                if self.disk_file_len(*ino).is_some() {
+                    self.stamp(*ino, *offset, intended);
+                }
+            }
+            Payload::SetSize { ino, size } => {
+                let old = self.disk_file_len(*ino).unwrap_or(0);
+                self.disk.apply_phys(p);
+                if self.disk_file_len(*ino).is_some() {
+                    self.resize_stamps(*ino, old, *size);
+                }
+            }
+            Payload::SetInode { ino, .. } => {
+                let before = self.disk_file_len(*ino);
+                self.disk.apply_phys(p);
+                // A fresh materialization (or kind change) starts with
+                // empty content: stamps left by a previous tenant of the
+                // slot are stale. A metadata refresh keeps content and
+                // stamps alike.
+                if before.is_none() || self.disk_file_len(*ino) != before {
+                    self.drop_stamps(*ino);
+                }
+            }
+            Payload::ClearInode { ino } => {
+                self.disk.apply_phys(p);
+                self.drop_stamps(*ino);
+            }
+            _ => self.disk.apply_phys(p),
+        }
+    }
+
+    /// Applies one home data-block write under an injected silent
+    /// corruption. In every flavor the checksum region records the
+    /// *intent* (the write was acknowledged), which is exactly what lets
+    /// scrub detect the divergence later.
+    fn apply_corrupted(&mut self, p: &Payload, kind: CorruptKind) {
+        let Payload::WriteBlock { ino, offset, bytes } = p else {
+            // invariant: push_unit only routes WriteBlock payloads here.
+            return;
+        };
+        let (ino, offset) = (*ino, *offset);
+        self.data_blocks_written += 1;
+        let intended = self.intended_block(ino, offset, bytes);
+        if intended.is_empty() {
+            self.disk.apply_phys(p);
+            return;
+        }
+        match kind {
+            CorruptKind::BitRot => {
+                self.disk.apply_phys(p);
+                if self.disk_file_len(ino).is_none() {
+                    return;
+                }
+                self.stamp(ino, offset, intended.clone());
+                // Deterministic bit flip derived from the block content.
+                let h = fnv1a(&intended);
+                let idx = (h % intended.len() as u64) as usize;
+                let rotted = intended[idx] ^ (1u8 << ((h >> 7) & 7));
+                self.disk.apply_phys(&Payload::WriteBlock {
+                    ino,
+                    offset: offset + idx as u64,
+                    bytes: vec![rotted],
+                });
+            }
+            CorruptKind::LostWrite => {
+                // Never reaches the platter: the disk keeps its stale
+                // bytes while the checksum region records the intent.
+                if self.disk_file_len(ino).is_some() {
+                    self.stamp(ino, offset, intended);
+                }
+            }
+            CorruptKind::MisdirectedWrite => {
+                if self.disk_file_len(ino).is_none() {
+                    return;
+                }
+                // The intent is recorded unconditionally — that is what
+                // lets scrub catch the stray write even when the file
+                // is still empty on disk and nothing can be spliced.
+                self.stamp(ino, offset, intended.clone());
+                let bs = crate::BLOCK_SIZE as u64;
+                let len = self.disk_file_len(ino).unwrap_or(0);
+                let victim = if offset >= bs {
+                    Some(offset - bs)
+                } else if offset + bs < len {
+                    Some(offset + bs)
+                } else {
+                    None
+                };
+                let Some(v) = victim else {
+                    // Single-block file: no neighbor to hit — the write
+                    // vanishes, degenerating to a lost write.
+                    return;
+                };
+                // The data lands on the neighbor (clamped so a stray
+                // write never extends the file), carrying its
+                // self-describing claim for the *intended* address.
+                let room = (len.saturating_sub(v)).min(bs) as usize;
+                let wlen = intended.len().min(room);
+                if wlen == 0 {
+                    return;
+                }
+                self.disk.apply_phys(&Payload::WriteBlock {
+                    ino,
+                    offset: v,
+                    bytes: intended[..wlen].to_vec(),
+                });
+                self.claims.insert((ino, v), (ino, offset));
+            }
+        }
+    }
+
+    /// Non-mutating verification scan of every stamped block: claim
+    /// check first (a wrong footer is a misdirected write's signature),
+    /// then content checksum against the checksum region.
+    pub(crate) fn verify(&self) -> Vec<CorruptBlockInfo> {
+        let mut out = Vec::new();
+        if !self.integrity {
+            return out;
+        }
+        for (&(ino, offset), &expect) in &self.stamps {
+            if let Some(&claim) = self.claims.get(&(ino, offset)) {
+                if claim != (ino, offset) {
+                    out.push(CorruptBlockInfo {
+                        ino,
+                        offset,
+                        reason: "address-stamp",
+                    });
+                    continue;
+                }
+            }
+            if fnv1a(&self.read_disk_block(ino, offset)) != expect {
+                out.push(CorruptBlockInfo {
+                    ino,
+                    offset,
+                    reason: "checksum",
+                });
+            }
+        }
+        out
+    }
+
+    /// Repairs one corrupt block on the disk image: replica region
+    /// first, then the newest committed journal copy. Returns the
+    /// repair source, or `None` when no intact copy exists.
+    pub(crate) fn repair_block(&mut self, ino: Ino, offset: u64) -> Option<&'static str> {
+        let expect = *self.stamps.get(&(ino, offset))?;
+        if let Some((bytes, crc)) = self.replica.get(&(ino, offset)) {
+            if *crc == expect && fnv1a(bytes) == expect {
+                let good = bytes.clone();
+                self.disk.apply_phys(&Payload::WriteBlock {
+                    ino,
+                    offset,
+                    bytes: good,
+                });
+                self.claims.insert((ino, offset), (ino, offset));
+                return Some("replica");
+            }
+        }
+        let committed: BTreeSet<u64> = self
+            .journal
+            .iter()
+            .filter(|r| r.valid() && matches!(r.payload(), Payload::Commit))
+            .map(Record::txid)
+            .collect();
+        for rec in self.journal.iter().rev() {
+            if !rec.valid() || !committed.contains(&rec.txid()) {
+                continue;
+            }
+            if let Payload::WriteBlock {
+                ino: ri,
+                offset: ro,
+                bytes,
+            } = rec.payload()
+            {
+                if *ri == ino && *ro == offset {
+                    if fnv1a(bytes) == expect {
+                        let good = bytes.clone();
+                        self.disk.apply_phys(&Payload::WriteBlock {
+                            ino,
+                            offset,
+                            bytes: good,
+                        });
+                        self.claims.insert((ino, offset), (ino, offset));
+                        return Some("journal");
+                    }
+                    // Newest committed copy predates the expected
+                    // content (e.g. a stale tail) — nothing older helps.
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    /// Deterministically corrupts one stamped block on the disk image
+    /// (test/diagnostic use only; mirrors the chaos sites' effects).
+    pub(crate) fn corrupt_for_test(&mut self, ino: Ino, offset: u64, kind: CorruptKind) -> bool {
+        if !self.integrity || !self.stamps.contains_key(&(ino, offset)) {
+            return false;
+        }
+        match kind {
+            CorruptKind::BitRot => {
+                let cur = self.read_disk_block(ino, offset);
+                if cur.is_empty() {
+                    return false;
+                }
+                self.disk.apply_phys(&Payload::WriteBlock {
+                    ino,
+                    offset,
+                    bytes: vec![cur[0] ^ 0x80],
+                });
+            }
+            CorruptKind::LostWrite => {
+                // Stale garbage where the write should be: invert every
+                // byte (guaranteed ≠ the stamped content).
+                let cur = self.read_disk_block(ino, offset);
+                if cur.is_empty() {
+                    return false;
+                }
+                self.disk.apply_phys(&Payload::WriteBlock {
+                    ino,
+                    offset,
+                    bytes: cur.iter().map(|b| !b).collect(),
+                });
+            }
+            CorruptKind::MisdirectedWrite => {
+                // The block's footer claims a different home address.
+                self.claims
+                    .insert((ino, offset), (ino, offset + crate::BLOCK_SIZE as u64));
+            }
+        }
+        true
+    }
+
+    /// Corrupts one block's replica-region copy (test use only; with the
+    /// journal checkpointed this makes the block uncorrectable).
+    pub(crate) fn corrupt_replica_for_test(&mut self, ino: Ino, offset: u64) -> bool {
+        match self.replica.get_mut(&(ino, offset)) {
+            Some((bytes, _)) if !bytes.is_empty() => {
+                bytes[0] ^= 0xFF;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// A torn (half-landed) write: a journal record arrives with a bad

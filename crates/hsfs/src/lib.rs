@@ -31,8 +31,8 @@ pub mod tools;
 pub mod vfs;
 
 pub use error::FsError;
-pub use fs::{FileSystem, FsConfig, Ino, LockKind, Metadata, NodeKind};
-pub use journal::ReplayStats;
+pub use fs::{FileSystem, FsConfig, Ino, LockKind, Metadata, NodeKind, ScrubFinding, ScrubReport};
+pub use journal::{CorruptBlockInfo, CorruptKind, ReplayStats};
 pub use shared::{AddrLookup, SharedFs, SHARED_BASE, SHARED_END, SHARED_INODES, SLOT_SIZE};
 pub use stats::FsStats;
 pub use vfs::Vfs;

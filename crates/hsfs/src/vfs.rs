@@ -50,6 +50,8 @@ impl Vfs {
     /// Creates a namespace with the shared partition at `/shared`.
     pub fn new() -> Vfs {
         let mut root = FileSystem::new(FsConfig::root());
+        // invariant: a freshly constructed root FS has free inodes and no
+        // existing "/shared" entry, so this mkdir cannot fail.
         root.mkdir("/shared", 0o777, 0)
             .expect("fresh root cannot fail");
         Vfs {

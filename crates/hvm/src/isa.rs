@@ -45,6 +45,12 @@ pub enum Fault {
     /// implement. Unlike a segment fault this is not repairable: the
     /// issuing process is killed, but only that process.
     BadSyscall { addr: u32, num: u32 },
+    /// The backing disk block for this mapped address is uncorrectably
+    /// corrupt (checksum verification failed and no intact replica or
+    /// journal copy exists — DESIGN.md §14). Like a real kernel's SIGBUS
+    /// on a mapped-I/O error this is not repairable by the handler: the
+    /// touching process is killed, but only that process.
+    Eio { addr: u32, access: Access },
 }
 
 impl Fault {
@@ -56,7 +62,8 @@ impl Fault {
             | Fault::Unaligned { addr, .. }
             | Fault::IllegalInstruction { addr, .. }
             | Fault::DivideByZero { addr }
-            | Fault::BadSyscall { addr, .. } => addr,
+            | Fault::BadSyscall { addr, .. }
+            | Fault::Eio { addr, .. } => addr,
         }
     }
 
@@ -84,6 +91,12 @@ impl fmt::Display for Fault {
             Fault::DivideByZero { addr } => write!(f, "divide by zero at {addr:#010x}"),
             Fault::BadSyscall { addr, num } => {
                 write!(f, "bad syscall number {num} at {addr:#010x}")
+            }
+            Fault::Eio { addr, access } => {
+                write!(
+                    f,
+                    "uncorrectable disk corruption at {addr:#010x} ({access:?})"
+                )
             }
         }
     }
@@ -285,5 +298,20 @@ mod tests {
         }
         .is_segv());
         assert!(!Fault::DivideByZero { addr: 0 }.is_segv());
+        // An EIO is *not* a segv: the handler must never try to repair a
+        // corrupt backing block by remapping — the process dies instead.
+        assert!(!Fault::Eio {
+            addr: 0x3000_0000,
+            access: Access::Read
+        }
+        .is_segv());
+        assert_eq!(
+            Fault::Eio {
+                addr: 0x42,
+                access: Access::Write
+            }
+            .addr(),
+            0x42
+        );
     }
 }

@@ -18,6 +18,9 @@ cargo test -q --release --test e9_sanitizer
 echo "==> crash-point exhaustion (e13: every disk-write index, torn and clean)"
 cargo test -q --release --test e13_crash
 
+echo "==> disk-integrity properties (e14: corruption detect/heal/contain)"
+cargo test -q --release --test e14_integrity
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -10,6 +10,7 @@
 use hemlock::{ShareClass, World};
 use hobj::binfmt;
 use hobj::hasm::assemble;
+use hsfs::CorruptKind;
 use proptest::prelude::*;
 
 /// One random instruction line from a mixed bag: arithmetic, memory,
@@ -142,16 +143,18 @@ proptest! {
 
     /// Random interleavings of the crash-lifecycle surface: guest runs
     /// (mapped stores into a public module), raw segment writes,
-    /// barriers, armed disk deaths, power cuts, and reboots, in any
+    /// barriers, armed disk deaths, power cuts, reboots — and, since
+    /// §14, silent single-block corruption and scrub passes — in any
     /// order. The host never panics, spawning while powered off is
-    /// refused (not honored late), and every reboot recovers to a
-    /// state where the live tree equals the disk image, a second
-    /// journal replay is a no-op, and fsck finds nothing it cannot
-    /// repair.
+    /// refused (not honored late), every scrub's counters reconcile
+    /// (replicas stay intact, so every detection heals and nothing
+    /// poisons), and every reboot recovers to a state where the live
+    /// tree equals the disk image, a second journal replay is a no-op,
+    /// and fsck finds nothing it cannot repair.
     #[test]
     fn crash_lifecycle_interleavings_recover(
         ops in proptest::collection::vec(
-            (0u8..7, any::<u8>(), any::<u16>(), any::<bool>()),
+            (0u8..9, any::<u8>(), any::<u16>(), any::<bool>()),
             1..24,
         )
     ) {
@@ -239,10 +242,35 @@ proptest! {
                         check_recovered(&mut world);
                     }
                 }
-                _ => {
+                6 => {
                     // Spawning into a powered-off world must be refused.
                     if !world.powered() {
                         prop_assert!(world.spawn(&exe).is_err());
+                    }
+                }
+                7 => {
+                    // Silent single-block corruption of a data segment
+                    // (the replica region is left intact, so whatever
+                    // detects this — scrub or boot fsck — must heal it).
+                    if world.powered() {
+                        let path = format!("/shared/data/f{}", a % 3);
+                        let kind = match imm % 3 {
+                            0 => CorruptKind::BitRot,
+                            1 => CorruptKind::LostWrite,
+                            _ => CorruptKind::MisdirectedWrite,
+                        };
+                        let _ = world.corrupt_shared_block(&path, u64::from(a % 4), kind);
+                    }
+                }
+                _ => {
+                    // A scrub pass at an arbitrary point: with replicas
+                    // intact every detection repairs, nothing poisons,
+                    // and the running counters reconcile.
+                    if world.powered() {
+                        let _ = world.scrub();
+                        let s = world.stats();
+                        prop_assert_eq!(s.blocks_repaired, s.corruptions_detected);
+                        prop_assert_eq!(world.poisoned_blocks(), 0);
                     }
                 }
             }
