@@ -141,6 +141,20 @@ pub struct WorldStats {
     pub blocks_repaired: u64,
     /// Processes killed by an uncorrectable-corruption `Eio` fault.
     pub eio_kills: u64,
+    /// Prelink snapshots validated and applied (DESIGN.md §15). Each
+    /// hit bills one `snapshot_validate_ns` instead of the per-symbol
+    /// resolution it skipped.
+    pub snapshot_hits: u64,
+    /// Snapshot load attempts that found no snapshot file. Free — a
+    /// cold boot with snapshots on costs exactly a snapshots-off boot.
+    pub snapshot_misses: u64,
+    /// Snapshots rejected by validation (stale content, changed scope,
+    /// reassigned address, corrupt bytes). Each bills one
+    /// `snapshot_validate_ns` on top of the full resolution that follows.
+    pub snapshot_invalidations: u64,
+    /// Snapshots (re)written after a successful resolve. Free — the
+    /// rebuild rides a link that already paid full price.
+    pub snapshot_rebuilds: u64,
 }
 
 impl WorldStats {
@@ -200,6 +214,12 @@ pub struct CostModel {
     /// Healing one corrupt block: read the replica, rewrite the home
     /// location, re-verify — a couple of block I/Os.
     pub repair_ns: u64,
+    /// Validating one prelink snapshot: read the record, check the
+    /// envelope checksum, compare the scope hash and per-module content
+    /// digests. A fraction of a cold block I/O — the point of the cache
+    /// is that this replaces per-symbol `resolve_ns` and the metadata
+    /// reads of a full link.
+    pub snapshot_validate_ns: u64,
 }
 
 impl Default for CostModel {
@@ -214,13 +234,14 @@ impl Default for CostModel {
             resolve_ns: 8_000,
             cow_ns: 30_000,
             map_ns: 25_000,
-            evict_ns: 25_000,        // page-table + TLB bookkeeping
-            swap_io_ns: 2_000_000,   // one 4 KB page to disk
-            swap_in_ns: 2_000_000,   // one 4 KB page from disk
-            ipi_ns: 5_000,           // cross-CPU interrupt + ack
-            shootdown_ns: 2_000,     // one remote TLB-entry invalidation
-            scrub_block_ns: 500_000, // sequential verify, 1/4 of a cold block
-            repair_ns: 4_000_000,    // replica read + home rewrite
+            evict_ns: 25_000,              // page-table + TLB bookkeeping
+            swap_io_ns: 2_000_000,         // one 4 KB page to disk
+            swap_in_ns: 2_000_000,         // one 4 KB page from disk
+            ipi_ns: 5_000,                 // cross-CPU interrupt + ack
+            shootdown_ns: 2_000,           // one remote TLB-entry invalidation
+            scrub_block_ns: 500_000,       // sequential verify, 1/4 of a cold block
+            repair_ns: 4_000_000,          // replica read + home rewrite
+            snapshot_validate_ns: 250_000, // one record read + digest compare
         }
     }
 }
@@ -259,6 +280,13 @@ impl CostModel {
         // the checksum machinery is free until it has work to do.
         ns += s.blocks_scrubbed * self.scrub_block_ns;
         ns += s.blocks_repaired * self.repair_ns;
+        // Prelink snapshots: every load attempt that found a snapshot
+        // (hit or rejected) pays one flat validation; misses and
+        // rebuilds are free, so a cold boot with snapshots enabled
+        // prices identically to a snapshots-off boot. The cache is
+        // consulted once per (executable, boot) — same-boot respawns
+        // ride the kernel's hot in-RAM state and bill nothing extra.
+        ns += (s.snapshot_hits + s.snapshot_invalidations) * self.snapshot_validate_ns;
         SimTime(ns)
     }
 
@@ -320,6 +348,25 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.time(&d), SimTime(0));
+    }
+
+    #[test]
+    fn snapshot_validation_is_priced_and_misses_are_free() {
+        let m = CostModel::default();
+        let s = WorldStats {
+            snapshot_hits: 3,
+            snapshot_invalidations: 1,
+            snapshot_misses: 7,
+            snapshot_rebuilds: 8,
+            ..Default::default()
+        };
+        // Hits and invalidations each bill one flat validation; misses
+        // and rebuilds bill nothing — the cold path must price exactly
+        // as a snapshots-off run.
+        assert_eq!(m.time(&s).0, 4 * m.snapshot_validate_ns);
+        // Validation must be far cheaper than the block I/O + per-symbol
+        // resolution it replaces, or the cache would not pay.
+        assert!(m.snapshot_validate_ns < m.disk_block_ns / 4);
     }
 
     #[test]

@@ -199,6 +199,40 @@ pub enum TraceEvent {
         /// poisoning — reads fail typed, maps raise `Eio`).
         repaired: u64,
     },
+    /// A prelink snapshot validated and was applied: the whole link map
+    /// was restored without export-index search or trampoline synthesis
+    /// (DESIGN.md §15). Billed at `snapshot_validate_ns`.
+    SnapshotHit {
+        /// The executable whose snapshot hit.
+        exe: String,
+        /// Modules mapped pre-resolved from the snapshot.
+        modules: u32,
+    },
+    /// No snapshot existed for the executable; full resolution ran.
+    /// Free — a cold boot with snapshots enabled costs exactly what a
+    /// snapshots-off boot costs.
+    SnapshotMiss {
+        /// The executable that missed.
+        exe: String,
+    },
+    /// A snapshot existed but failed validation — stale module content,
+    /// changed scope, a reassigned address, or corrupt bytes. Billed at
+    /// `snapshot_validate_ns`; full resolution follows.
+    SnapshotInvalidated {
+        /// The executable whose snapshot was rejected.
+        exe: String,
+        /// Why validation failed.
+        why: String,
+    },
+    /// A fresh snapshot was written (through the WAL pipeline) after a
+    /// successful resolve. Free — rebuilds ride the link that already
+    /// paid full price.
+    SnapshotRebuilt {
+        /// The executable whose snapshot was rebuilt.
+        exe: String,
+        /// Modules recorded in the new snapshot.
+        modules: u32,
+    },
     /// A TLB-parity event dropped decoded basic blocks from a process's
     /// block cache (DESIGN.md §12). Pure host-speed diagnostics: zero
     /// cost, and emitted only when blocks were actually dropped (a
@@ -240,6 +274,10 @@ impl TraceEvent {
             TraceEvent::CorruptionDetected { .. } => "CorruptionDetected",
             TraceEvent::BlockRepaired { .. } => "BlockRepaired",
             TraceEvent::ScrubPass { .. } => "ScrubPass",
+            TraceEvent::SnapshotHit { .. } => "SnapshotHit",
+            TraceEvent::SnapshotMiss { .. } => "SnapshotMiss",
+            TraceEvent::SnapshotInvalidated { .. } => "SnapshotInvalidated",
+            TraceEvent::SnapshotRebuilt { .. } => "SnapshotRebuilt",
             TraceEvent::BlockInvalidated { .. } => "BlockInvalidated",
         }
     }
@@ -342,6 +380,16 @@ impl fmt::Display for TraceEvent {
                     f,
                     "ScrubPass blocks={blocks} corrupt={corrupt} repaired={repaired}"
                 )
+            }
+            TraceEvent::SnapshotHit { exe, modules } => {
+                write!(f, "SnapshotHit exe={exe} modules={modules}")
+            }
+            TraceEvent::SnapshotMiss { exe } => write!(f, "SnapshotMiss exe={exe}"),
+            TraceEvent::SnapshotInvalidated { exe, why } => {
+                write!(f, "SnapshotInvalidated exe={exe} why={why}")
+            }
+            TraceEvent::SnapshotRebuilt { exe, modules } => {
+                write!(f, "SnapshotRebuilt exe={exe} modules={modules}")
             }
             TraceEvent::BlockInvalidated {
                 addr,

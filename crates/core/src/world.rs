@@ -296,6 +296,14 @@ impl World {
                 kernel.set_bbcache(false);
             }
         }
+        // `LDL_SNAPSHOT=off|0|false` disables persistent prelink
+        // snapshots (DESIGN.md §15) — the CI identity lanes re-prove
+        // every suite against full from-scratch resolution this way.
+        if let Ok(v) = std::env::var("LDL_SNAPSHOT") {
+            if matches!(v.as_str(), "off" | "0" | "false") {
+                kernel.set_link_snapshots(false);
+            }
+        }
         // `HSFS_JOURNAL=off|0|false` disables the shared partition's
         // block-write pipeline + journal (DESIGN.md §13) — the CI
         // identity lane re-proves that a crash-free run is observably
@@ -508,6 +516,14 @@ impl World {
     /// suite uses this to run the same workload both ways).
     pub fn set_bbcache(&mut self, enabled: bool) {
         self.kernel.set_bbcache(enabled);
+    }
+
+    /// Enables or disables persistent prelink snapshots at runtime
+    /// (overrides the `LDL_SNAPSHOT` environment hook; the identity
+    /// suite and the `(snapshot off)` bench lanes run the same workload
+    /// both ways). Affects processes spawned afterwards.
+    pub fn set_link_snapshots(&mut self, enabled: bool) {
+        self.kernel.set_link_snapshots(enabled);
     }
 
     /// Drains the frame pool's pressure journal into the trace ring,
@@ -1053,25 +1069,28 @@ impl World {
                         },
                     )
                 }
+                // Snapshot records mirror the pricing rule exactly: a
+                // hit or an invalidation bills one flat validation; a
+                // miss and a rebuild are free (DESIGN.md §15).
+                LinkEvent::SnapshotHit { exe, modules } => (
+                    self.costs.snapshot_validate_ns,
+                    TraceEvent::SnapshotHit { exe, modules },
+                ),
+                LinkEvent::SnapshotMiss { exe } => (0, TraceEvent::SnapshotMiss { exe }),
+                LinkEvent::SnapshotInvalidated { exe, why } => (
+                    self.costs.snapshot_validate_ns,
+                    TraceEvent::SnapshotInvalidated { exe, why },
+                ),
+                LinkEvent::SnapshotRebuilt { exe, modules } => {
+                    (0, TraceEvent::SnapshotRebuilt { exe, modules })
+                }
             };
             self.trace.record(pid, cost, event);
         }
     }
 
     fn merge_ldl(&mut self, s: &hlink::ldl::LdlStats) {
-        let t = &mut self.reaped_ldl;
-        t.faults_resolved += s.faults_resolved;
-        t.lazy_links += s.lazy_links;
-        t.init_links += s.init_links;
-        t.segments_mapped += s.segments_mapped;
-        t.symbols_resolved += s.symbols_resolved;
-        t.symbols_unresolved += s.symbols_unresolved;
-        t.trampolines += s.trampolines;
-        t.dir_scans += s.dir_scans;
-        t.cross_domain_resolutions += s.cross_domain_resolutions;
-        t.resolve_cache_hits += s.resolve_cache_hits;
-        t.link_retries += s.link_retries;
-        t.retry_backoff_steps += s.retry_backoff_steps;
+        self.reaped_ldl.absorb(s);
     }
 
     fn segv(&mut self, pid: Pid, addr: u32) {
@@ -1419,18 +1438,7 @@ impl World {
             self.kernel.vfs.shared.fs.barrier();
         }
         for (_, s) in self.link.drain() {
-            self.reaped_ldl.faults_resolved += s.stats.faults_resolved;
-            self.reaped_ldl.lazy_links += s.stats.lazy_links;
-            self.reaped_ldl.init_links += s.stats.init_links;
-            self.reaped_ldl.segments_mapped += s.stats.segments_mapped;
-            self.reaped_ldl.symbols_resolved += s.stats.symbols_resolved;
-            self.reaped_ldl.symbols_unresolved += s.stats.symbols_unresolved;
-            self.reaped_ldl.trampolines += s.stats.trampolines;
-            self.reaped_ldl.dir_scans += s.stats.dir_scans;
-            self.reaped_ldl.cross_domain_resolutions += s.stats.cross_domain_resolutions;
-            self.reaped_ldl.resolve_cache_hits += s.stats.resolve_cache_hits;
-            self.reaped_ldl.link_retries += s.stats.link_retries;
-            self.reaped_ldl.retry_backoff_steps += s.stats.retry_backoff_steps;
+            self.reaped_ldl.absorb(&s.stats);
         }
         let discarded = self.kernel.vfs.shared.fs.power_cut();
         self.kernel.power_cut();
@@ -1501,6 +1509,9 @@ impl World {
         }
         self.kernel.vfs.shared.boot_scan();
         self.fsck_at_boot();
+        // A new boot re-validates each executable's prelink snapshot
+        // exactly once (DESIGN.md §15).
+        self.kernel.clear_snapshot_consults();
         self.powered = true;
         self.log
             .push("system rebooted; address table rebuilt by scan".to_string());
@@ -1862,18 +1873,7 @@ impl World {
         }
         let mut ldl = self.reaped_ldl;
         for s in self.link.values() {
-            ldl.faults_resolved += s.stats.faults_resolved;
-            ldl.lazy_links += s.stats.lazy_links;
-            ldl.init_links += s.stats.init_links;
-            ldl.segments_mapped += s.stats.segments_mapped;
-            ldl.symbols_resolved += s.stats.symbols_resolved;
-            ldl.symbols_unresolved += s.stats.symbols_unresolved;
-            ldl.trampolines += s.stats.trampolines;
-            ldl.dir_scans += s.stats.dir_scans;
-            ldl.cross_domain_resolutions += s.stats.cross_domain_resolutions;
-            ldl.resolve_cache_hits += s.stats.resolve_cache_hits;
-            ldl.link_retries += s.stats.link_retries;
-            ldl.retry_backoff_steps += s.stats.retry_backoff_steps;
+            ldl.absorb(&s.stats);
         }
         let (races_detected, sync_edges, shadow_bytes) = match &self.sanitizer {
             Some(san) => {
@@ -1921,6 +1921,10 @@ impl World {
             corruptions_detected: self.corruptions_detected,
             blocks_repaired: self.blocks_repaired,
             eio_kills: self.eio_kills,
+            snapshot_hits: ldl.snapshot_hits,
+            snapshot_misses: ldl.snapshot_misses,
+            snapshot_invalidations: ldl.snapshot_invalidations,
+            snapshot_rebuilds: ldl.snapshot_rebuilds,
         }
     }
 }

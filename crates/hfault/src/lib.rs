@@ -88,10 +88,16 @@ pub enum FaultSite {
     /// The checksum region records the intended content, so the stale
     /// block fails verification and heals from the replica region.
     LostWrite,
+    /// Prelink snapshot load in `hlink::snapshot`: the snapshot bytes
+    /// read back corrupted — the envelope checksum fails. `ldl` treats
+    /// the snapshot as invalid, falls back to full resolution, and
+    /// rebuilds it; the only observable is a `SnapshotInvalidated`
+    /// record plus the cold-path link cost.
+    SnapshotCorrupt,
 }
 
 /// All sites, in a stable order (used for per-site counters).
-pub const ALL_SITES: [FaultSite; 14] = [
+pub const ALL_SITES: [FaultSite; 15] = [
     FaultSite::FrameAlloc,
     FaultSite::InodeAlloc,
     FaultSite::TornWrite,
@@ -106,6 +112,7 @@ pub const ALL_SITES: [FaultSite; 14] = [
     FaultSite::BitRot,
     FaultSite::MisdirectedWrite,
     FaultSite::LostWrite,
+    FaultSite::SnapshotCorrupt,
 ];
 
 impl FaultSite {
@@ -126,6 +133,7 @@ impl FaultSite {
             FaultSite::BitRot => "bit_rot",
             FaultSite::MisdirectedWrite => "misdirected_write",
             FaultSite::LostWrite => "lost_write",
+            FaultSite::SnapshotCorrupt => "snapshot_corrupt",
         }
     }
 
@@ -153,6 +161,7 @@ impl FaultSite {
             FaultSite::BitRot => 11,
             FaultSite::MisdirectedWrite => 12,
             FaultSite::LostWrite => 13,
+            FaultSite::SnapshotCorrupt => 14,
         }
     }
 }
@@ -188,7 +197,7 @@ impl FaultPlan {
                 seed
             },
             rate_ppm: rate_ppm.min(1_000_000),
-            enabled: 0b11_1111_1111_1111,
+            enabled: 0b111_1111_1111_1111,
             injected: 0,
             decisions: 0,
             by_site: [0; ALL_SITES.len()],
@@ -403,6 +412,9 @@ mod tests {
         assert!(!FaultSite::BitRot.is_transient());
         assert!(!FaultSite::MisdirectedWrite.is_transient());
         assert!(!FaultSite::LostWrite.is_transient());
+        // A corrupt snapshot is permanent until rebuilt: retrying the
+        // load re-reads the same bad bytes — only a rebuild heals it.
+        assert!(!FaultSite::SnapshotCorrupt.is_transient());
         for s in ALL_SITES {
             assert!(!s.name().is_empty());
         }

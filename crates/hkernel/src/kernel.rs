@@ -18,7 +18,7 @@ use hsfs::path as fspath;
 use hsfs::vfs::{Mount, Vfs, Vnode};
 use hsfs::{FsError, PAGE_SIZE};
 use hvm::{Cpu, Fault, Instr, Reg, StepOutcome};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// A minimal executable description, independent of the linker's richer
@@ -219,6 +219,15 @@ pub struct Kernel {
     /// Decoded basic-block caching (DESIGN.md §12): on by default,
     /// switched per-space at spawn/exec/fork time.
     bb_enabled: bool,
+    /// Prelink snapshot caching (DESIGN.md §15): on by default, the
+    /// linker consults it before every init-time resolve.
+    link_snapshots: bool,
+    /// Executables whose prelink snapshot was already consulted this
+    /// boot. Real prelink systems validate their cache once per boot;
+    /// after that, same-boot respawns ride the kernel's hot in-RAM
+    /// link state and never touch (or bill for) the snapshot again.
+    /// Cleared by the world on every reboot.
+    snap_consulted: BTreeSet<String>,
     /// Address-space id generator: every fresh space (spawn, exec,
     /// fork child) gets the next id, deterministically.
     next_asid: u32,
@@ -273,6 +282,8 @@ impl Kernel {
             round_active: false,
             smp_journal: Vec::new(),
             bb_enabled: true,
+            link_snapshots: true,
+            snap_consulted: BTreeSet::new(),
             next_asid: 1,
             reaped_bb: hvm::BbStats::default(),
         }
@@ -292,6 +303,53 @@ impl Kernel {
     /// True if new address spaces get an enabled block cache.
     pub fn bbcache_enabled(&self) -> bool {
         self.bb_enabled
+    }
+
+    /// Enables or disables prelink snapshot caching (DESIGN.md §15).
+    /// Off means the linker never reads nor writes snapshot files — a
+    /// cold resolve every time, byte-identical to the pre-snapshot
+    /// system.
+    pub fn set_link_snapshots(&mut self, enabled: bool) {
+        self.link_snapshots = enabled;
+    }
+
+    /// True if the linker should consult prelink snapshots.
+    pub fn link_snapshots_enabled(&self) -> bool {
+        self.link_snapshots
+    }
+
+    /// Records that `exe`'s snapshot is being consulted and reports
+    /// whether this is the first consult since boot. The linker calls
+    /// this to validate each executable's snapshot exactly once per
+    /// boot — later same-boot inits take the ordinary resolve path.
+    pub fn first_snapshot_consult(&mut self, exe: &str) -> bool {
+        self.snap_consulted.insert(exe.to_string())
+    }
+
+    /// Forgets which snapshots were consulted. The world calls this on
+    /// reboot so every executable re-validates against the (possibly
+    /// changed) on-disk state exactly once in the new boot.
+    pub fn clear_snapshot_consults(&mut self) {
+        self.snap_consulted.clear();
+    }
+
+    /// Maps a pre-resolved module segment recorded by a validated
+    /// prelink snapshot: straight to its slot address with the recorded
+    /// protection, skipping the registry and metadata reads of a full
+    /// link. The caller (the linker) has already proven the segment's
+    /// content matches the snapshot's digest.
+    pub fn map_prelinked(
+        &mut self,
+        pid: Pid,
+        base: u32,
+        len: u32,
+        prot: Prot,
+        ino: hsfs::Ino,
+    ) -> Result<(), FsError> {
+        let proc = self.procs.get_mut(&pid).ok_or(FsError::NotFound)?;
+        proc.aspace
+            .map_shared(base, len, prot, ino, 0)
+            .map_err(|_| FsError::Busy)
     }
 
     /// Tags a fresh address space with the next asid and the current

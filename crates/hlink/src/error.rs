@@ -57,6 +57,11 @@ pub enum LinkError {
     /// Access rights forbid mapping the segment ("access rights
     /// permitting, [the handler] maps the named segment").
     AccessDenied { path: String },
+    /// A prelink snapshot failed to decode or validate: truncated or
+    /// corrupt bytes, a bad envelope, or a malformed record. Never
+    /// fatal — the loader falls back to full resolution and rebuilds
+    /// the snapshot.
+    BadSnapshot { path: String, why: String },
     /// An internal invariant failed (e.g. the process vanished
     /// mid-link). Reported as a typed error so one faulting process is
     /// killed instead of panicking the whole world.
@@ -122,6 +127,9 @@ impl fmt::Display for LinkError {
                 )
             }
             LinkError::AccessDenied { path } => write!(f, "access denied: {path}"),
+            LinkError::BadSnapshot { path, why } => {
+                write!(f, "bad prelink snapshot {path}: {why}")
+            }
             LinkError::Internal { what } => write!(f, "internal linker invariant failed: {what}"),
         }
     }

@@ -114,6 +114,37 @@ pub enum LinkEvent {
         /// How many retries it took.
         attempts: u32,
     },
+    /// A prelink snapshot validated and its pre-resolved link map was
+    /// applied wholesale (DESIGN.md §15) — no export search, no
+    /// trampoline synthesis, one flat validation charge.
+    SnapshotHit {
+        /// The executable whose snapshot hit.
+        exe: String,
+        /// How many module instances the snapshot mapped.
+        modules: u32,
+    },
+    /// No prelink snapshot existed for this executable (free: a cold
+    /// boot with snapshots on costs exactly a snapshots-off boot).
+    SnapshotMiss {
+        /// The executable that missed.
+        exe: String,
+    },
+    /// A prelink snapshot existed but was stale or corrupt; full
+    /// resolution follows, plus one flat validation charge.
+    SnapshotInvalidated {
+        /// The executable whose snapshot was rejected.
+        exe: String,
+        /// The staleness or corruption reason.
+        why: String,
+    },
+    /// A fresh prelink snapshot was written after a successful resolve
+    /// (free: cache maintenance, not work the program asked for).
+    SnapshotRebuilt {
+        /// The executable whose snapshot was rebuilt.
+        exe: String,
+        /// How many module instances it records.
+        modules: u32,
+    },
 }
 
 /// What the fault handler did with a SIGSEGV.
@@ -162,6 +193,38 @@ pub struct LdlStats {
     /// units (1 << attempt per retry) — the cost model's stand-in for
     /// the waiting a real process would have done.
     pub retry_backoff_steps: u64,
+    /// Prelink snapshots validated and applied at init (DESIGN.md §15).
+    pub snapshot_hits: u64,
+    /// Snapshot load attempts that found no snapshot file.
+    pub snapshot_misses: u64,
+    /// Snapshots rejected as stale or corrupt (full resolution followed).
+    pub snapshot_invalidations: u64,
+    /// Snapshots (re)written after a successful resolve.
+    pub snapshot_rebuilds: u64,
+}
+
+impl LdlStats {
+    /// Adds `other`'s counters into `self` — the one place that knows
+    /// every field, so the embedder's reap/fold sites cannot silently
+    /// miss a counter added later.
+    pub fn absorb(&mut self, other: &LdlStats) {
+        self.faults_resolved += other.faults_resolved;
+        self.lazy_links += other.lazy_links;
+        self.init_links += other.init_links;
+        self.segments_mapped += other.segments_mapped;
+        self.symbols_resolved += other.symbols_resolved;
+        self.symbols_unresolved += other.symbols_unresolved;
+        self.trampolines += other.trampolines;
+        self.dir_scans += other.dir_scans;
+        self.cross_domain_resolutions += other.cross_domain_resolutions;
+        self.resolve_cache_hits += other.resolve_cache_hits;
+        self.link_retries += other.link_retries;
+        self.retry_backoff_steps += other.retry_backoff_steps;
+        self.snapshot_hits += other.snapshot_hits;
+        self.snapshot_misses += other.snapshot_misses;
+        self.snapshot_invalidations += other.snapshot_invalidations;
+        self.snapshot_rebuilds += other.snapshot_rebuilds;
+    }
 }
 
 /// Per-process dynamic-linking state (lives in the Hemlock runtime).
@@ -190,6 +253,22 @@ pub struct LinkState {
     pub journal: Vec<LinkEvent>,
     /// Statistics.
     pub stats: LdlStats,
+    /// Prelink-snapshot bookkeeping (DESIGN.md §15): where this image's
+    /// snapshot lives (`None` ⇒ snapshots disabled for this process).
+    snap_path: Option<String>,
+    /// The scope hash the snapshot must carry to be applicable.
+    snap_scope: u32,
+    /// The image name, for snapshot trace records.
+    snap_exe: String,
+    /// Warnings init produced, replayed verbatim on a snapshot hit.
+    snap_warnings: Vec<String>,
+    /// Image-owned patches applied so far: (site, kind, final value).
+    /// Recorded because the image is private memory — fresh every
+    /// spawn — so a snapshot hit must replay them; shared instances
+    /// keep their patched bytes on the partition instead.
+    snap_image_patches: Vec<(u32, RelocKind, u32)>,
+    /// Targets of image-owned runtime trampolines, in allocation order.
+    snap_tramp_targets: Vec<u32>,
 }
 
 impl LinkState {
@@ -283,6 +362,30 @@ impl<'a> Ldl<'a> {
                 self.state.image_exports.insert(sym.name.clone(), addr);
             }
         }
+        // Snapshot-first (DESIGN.md §15): a valid prelink snapshot maps
+        // the whole resolved link map for one flat validation charge,
+        // skipping everything below. A miss or invalidation falls
+        // through to full resolution, which rebuilds the snapshot. Each
+        // executable's snapshot is consulted once per boot — later
+        // same-boot inits ride the kernel's hot in-RAM registry through
+        // the ordinary resolve path, pricing exactly as a snapshots-off
+        // run (the bookkeeping stays set so they still refresh the
+        // snapshot; the store skips byte-identical rewrites).
+        if self.kernel.link_snapshots_enabled() {
+            self.state.snap_path = Some(crate::snapshot::path_for(&self.kernel.vfs, &image.name));
+            self.state.snap_scope = crate::snapshot::scope_hash(
+                image,
+                self.env("LD_LIBRARY_PATH").as_deref(),
+                &self.cwd(),
+            );
+            self.state.snap_exe = image.name.clone();
+            if self.kernel.first_snapshot_consult(&image.name) {
+                if let Some(restored) = self.try_snapshot_init()? {
+                    self.state.stats.init_links += 1;
+                    return Ok(restored);
+                }
+            }
+        }
         self.state.image_pending = image.pending.clone();
 
         // Map the static-public modules recorded by lds.
@@ -336,7 +439,238 @@ impl<'a> Ldl<'a> {
         }
         self.state.image_pending = still;
         self.state.stats.init_links += 1;
+        self.state.snap_warnings = warnings.clone();
+        self.rebuild_snapshot();
         Ok(warnings)
+    }
+
+    /// Attempts the snapshot fast path: load, validate, apply. Returns
+    /// `Ok(Some(warnings))` on a hit (init is done), `Ok(None)` on a
+    /// miss or invalidation (fall through to full resolution), `Err`
+    /// only for failures the cold path would also surface (e.g. a
+    /// mapping rejected mid-apply — the process dies cleanly, exactly
+    /// as it would had the same failure hit the cold path).
+    fn try_snapshot_init(&mut self) -> Result<Option<Vec<String>>, LinkError> {
+        let Some(path) = self.state.snap_path.clone() else {
+            return Ok(None);
+        };
+        let exe = self.state.snap_exe.clone();
+        let mut loaded = crate::snapshot::load(&mut self.kernel.vfs, &path);
+        // Chaos: the snapshot bytes read back corrupted — only drawn
+        // when bytes were actually read (an absent file has no medium
+        // to corrupt).
+        if !matches!(loaded, Ok(None))
+            && self
+                .kernel
+                .faults_handle()
+                .should_inject(hfault::FaultSite::SnapshotCorrupt)
+        {
+            loaded = Err(LinkError::BadSnapshot {
+                path: path.clone(),
+                why: "envelope checksum mismatch (injected corruption)".into(),
+            });
+        }
+        let snap = match loaded {
+            Ok(Some(s)) => s,
+            Ok(None) => {
+                self.state.stats.snapshot_misses += 1;
+                self.state.journal.push(LinkEvent::SnapshotMiss { exe });
+                return Ok(None);
+            }
+            Err(LinkError::BadSnapshot { why, .. }) => {
+                self.state.stats.snapshot_invalidations += 1;
+                self.state
+                    .journal
+                    .push(LinkEvent::SnapshotInvalidated { exe, why });
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
+        let scope = self.state.snap_scope;
+        if let Err(why) = self.kernel.vfs.unpriced(|v| snap.validate(v, scope)) {
+            self.state.stats.snapshot_invalidations += 1;
+            self.state
+                .journal
+                .push(LinkEvent::SnapshotInvalidated { exe, why });
+            return Ok(None);
+        }
+        self.apply_snapshot(&snap)?;
+        self.state.stats.snapshot_hits += 1;
+        self.state.journal.push(LinkEvent::SnapshotHit {
+            exe,
+            modules: snap.modules.len() as u32,
+        });
+        Ok(Some(snap.warnings))
+    }
+
+    /// Applies a validated snapshot: maps every recorded instance at
+    /// its slot address, rebuilds the in-process link bookkeeping, and
+    /// replays the image-owned trampolines and patches into the fresh
+    /// private image. No registry reads, no export searches, no symbol
+    /// resolutions — that is the point.
+    fn apply_snapshot(&mut self, snap: &crate::snapshot::PrelinkSnapshot) -> Result<(), LinkError> {
+        for m in &snap.modules {
+            let prot = if m.lazy { Prot::NONE } else { Prot::RWX };
+            self.kernel
+                .map_prelinked(self.pid, m.base, m.total_len, prot, m.ino)
+                .map_err(LinkError::Fs)?;
+        }
+        for m in &snap.modules {
+            self.state.modules.insert(
+                m.name.clone(),
+                ModuleInst {
+                    name: m.name.clone(),
+                    class: m.class,
+                    base: m.base,
+                    total_len: m.total_len,
+                    export_index: ModuleInst::index_exports(&m.exports),
+                    exports: m.exports.clone(),
+                    pending: m.pending.clone(),
+                    search: m.search.clone(),
+                    lazy: m.lazy,
+                    ino: Some(m.ino),
+                    tramp: m.tramp,
+                },
+            );
+            for parent in &m.parents {
+                self.state.dag.add_edge(&m.name, parent);
+            }
+        }
+        // The image is private memory, fresh on every spawn: replay its
+        // recorded trampolines (allocation order ⇒ addresses follow
+        // from the base) and then its patches, which may target them.
+        let (tbase, cap, used0) = self.state.image_tramp;
+        let mut used = used0;
+        for &target in &snap.tramp_targets {
+            if used + crate::tramp::TRAMP_BYTES > cap {
+                return Err(LinkError::TrampolineOverflow {
+                    module: "<image>".into(),
+                });
+            }
+            let code: Vec<u8> = trampoline_code(target)
+                .iter()
+                .flat_map(|w| w.to_le_bytes())
+                .collect();
+            let proc = self
+                .kernel
+                .procs
+                .get_mut(&self.pid)
+                .ok_or(LinkError::Internal {
+                    what: "process vanished while replaying trampolines",
+                })?;
+            proc.aspace
+                .write_bytes(&mut self.kernel.vfs.shared, tbase + used, &code)
+                .map_err(|_| LinkError::Unresolvable { addr: tbase + used })?;
+            used += crate::tramp::TRAMP_BYTES;
+        }
+        self.state.image_tramp.2 = snap.image_tramp_used.max(used);
+        for &(addr, kind, value) in &snap.image_patches {
+            self.try_patch(addr, kind, value)
+                .map_err(|err| LinkError::Reloc {
+                    module: ROOT.to_string(),
+                    err,
+                })?;
+        }
+        self.state.image_pending = snap.image_pending.clone();
+        // Future rebuilds (a lazy link after this hit) must re-record
+        // the full image-side history, not just the increment.
+        self.state.snap_image_patches = snap.image_patches.clone();
+        self.state.snap_tramp_targets = snap.tramp_targets.clone();
+        self.state.snap_warnings = snap.warnings.clone();
+        Ok(())
+    }
+
+    /// Serializes the current link map into this image's snapshot file
+    /// — called after every successful resolve (init, and each
+    /// completed lazy link). All I/O is unpriced cache maintenance and
+    /// every failure is absorbed: a skipped rebuild only costs the
+    /// *next* run its warm path, never this run its correctness.
+    pub fn rebuild_snapshot(&mut self) {
+        let Some(path) = self.state.snap_path.clone() else {
+            return;
+        };
+        // A private instance lives at a per-process address; its
+        // resolved state means nothing to another process or a later
+        // boot. Cache nothing rather than a partial link map — and drop
+        // any stored record so it cannot validate against a world it no
+        // longer describes.
+        if self.state.modules.values().any(|m| m.ino.is_none()) {
+            crate::snapshot::remove(&mut self.kernel.vfs, &path);
+            return;
+        }
+        let mut insts: Vec<(String, Ino)> = self
+            .state
+            .modules
+            .values()
+            .filter_map(|m| m.ino.map(|i| (m.name.clone(), i)))
+            .collect();
+        insts.sort();
+        let mount = self.kernel.vfs.mount_point.clone();
+        let mut modules = Vec::with_capacity(insts.len());
+        for (name, ino) in &insts {
+            let Ok(inner) = self.kernel.vfs.shared.fs.path_of(*ino) else {
+                return;
+            };
+            let Some(m) = self.state.modules.get(name) else {
+                return;
+            };
+            modules.push(crate::snapshot::SnapModule {
+                name: m.name.clone(),
+                class: m.class,
+                path: format!("{mount}{inner}"),
+                ino: *ino,
+                base: m.base,
+                total_len: m.total_len,
+                lazy: m.lazy,
+                tramp: m.tramp,
+                exports: m.exports.clone(),
+                pending: m.pending.clone(),
+                search: m.search.clone(),
+                parents: self.state.dag.parents_of(&m.name).to_vec(),
+                content_digest: 0,
+                meta_digest: 0,
+            });
+        }
+        for m in &mut modules {
+            let (mpath, ino) = (m.path.clone(), m.ino);
+            let content = self.kernel.vfs.unpriced(|v| v.read_all(&mpath).ok());
+            let Some(content) = content else {
+                return;
+            };
+            // The metadata digest comes from the *live* record, not the
+            // on-disk file: if the device died before the record's
+            // fence committed, `ModuleMeta::save` skipped the durable
+            // write, and reading the file here would make the rebuild
+            // (and hence the shared disk's write sequence) depend on
+            // when the device died. Next boot's validation compares
+            // this digest against the file that actually survived — a
+            // skipped or stale record simply fails to validate.
+            let Some(meta) = self.registry.get(&mut self.kernel.vfs, ino) else {
+                return;
+            };
+            m.content_digest = binfmt::crc32(&content);
+            m.meta_digest = binfmt::crc32(&meta.encode());
+        }
+        let count = modules.len() as u32;
+        let snap = crate::snapshot::PrelinkSnapshot {
+            scope_hash: self.state.snap_scope,
+            stamp: self.kernel.vfs.shared.fs.content_stamp(),
+            image_tramp_used: self.state.image_tramp.2,
+            tramp_targets: self.state.snap_tramp_targets.clone(),
+            image_patches: self.state.snap_image_patches.clone(),
+            image_pending: self.state.image_pending.clone(),
+            warnings: self.state.snap_warnings.clone(),
+            modules,
+        };
+        if let crate::snapshot::StoreOutcome::Written =
+            crate::snapshot::store(&mut self.kernel.vfs, &path, &snap)
+        {
+            self.state.stats.snapshot_rebuilds += 1;
+            self.state.journal.push(LinkEvent::SnapshotRebuilt {
+                exe: self.state.snap_exe.clone(),
+                modules: count,
+            });
+        }
     }
 
     /// Loads a module from a template path with the given class and
@@ -740,6 +1074,9 @@ impl<'a> Ldl<'a> {
                 self.registry.put(&mut self.kernel.vfs, ino, meta)?;
             }
         }
+        // The link map grew (or a module's pendings drained): re-record
+        // the snapshot so the next boot starts from here.
+        self.rebuild_snapshot();
         Ok(())
     }
 
@@ -927,14 +1264,27 @@ impl<'a> Ldl<'a> {
     ) -> Result<(), LinkError> {
         let value = symbol_addr.wrapping_add(p.addend as u32);
         match self.try_patch(p.addr, p.kind, value) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Image-owned patches go into private memory, which a
+                // snapshot hit must replay; record the final value.
+                if owner.is_none() {
+                    self.state.snap_image_patches.push((p.addr, p.kind, value));
+                }
+                Ok(())
+            }
             Err(RelocError::JumpOutOfRange { .. }) => {
                 let tramp_addr = self.alloc_runtime_trampoline(owner, value)?;
                 self.try_patch(p.addr, p.kind, tramp_addr)
                     .map_err(|err| LinkError::Reloc {
                         module: p.symbol.clone(),
                         err,
-                    })
+                    })?;
+                if owner.is_none() {
+                    self.state
+                        .snap_image_patches
+                        .push((p.addr, p.kind, tramp_addr));
+                }
+                Ok(())
             }
             Err(err) => Err(LinkError::Reloc {
                 module: p.symbol.clone(),
@@ -1026,7 +1376,12 @@ impl<'a> Ldl<'a> {
                     })?;
                 m.tramp.2 += crate::tramp::TRAMP_BYTES;
             }
-            None => self.state.image_tramp.2 += crate::tramp::TRAMP_BYTES,
+            None => {
+                self.state.image_tramp.2 += crate::tramp::TRAMP_BYTES;
+                // Image-area trampolines are private memory; a snapshot
+                // hit re-synthesizes them from the recorded targets.
+                self.state.snap_tramp_targets.push(target);
+            }
         }
         self.state.stats.trampolines += 1;
         Ok(addr)

@@ -24,6 +24,10 @@
 //!   escalated parent-ward up the link DAG, never downward (Figure 2).
 //! * [`tramp`] — long-branch trampolines for `j`/`jal` targets outside
 //!   the 256 MB region, and the `$gp` rejection rule.
+//! * [`snapshot`] — persistent prelink snapshots (DESIGN.md §15): the
+//!   resolved link map serialized to the shared partition after a
+//!   successful resolve, validated and applied wholesale on later
+//!   boots for one flat charge instead of per-symbol resolution.
 
 pub mod error;
 pub mod instance;
@@ -32,6 +36,7 @@ pub mod lds;
 pub mod meta;
 pub mod scope;
 pub mod search;
+pub mod snapshot;
 pub mod tramp;
 
 pub use error::LinkError;
@@ -40,6 +45,7 @@ pub use ldl::{FaultDisposition, Ldl, LinkEvent, LinkState, ModuleInst};
 pub use lds::{Lds, LdsInput, LdsOutput, ModuleSpec};
 pub use meta::ModuleMeta;
 pub use search::SearchPath;
+pub use snapshot::PrelinkSnapshot;
 
 /// Default system library directories (the tail of every search path).
 pub const DEFAULT_LIB_DIRS: &[&str] = &["/usr/hemlock/lib", "/shared/lib"];

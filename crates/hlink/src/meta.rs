@@ -160,7 +160,24 @@ impl ModuleMeta {
     }
 
     /// Persists the record for `ino`.
+    ///
+    /// Crash-ordering fence: resolution patches the instance through
+    /// mapped stores, whose dirt only reaches the journal lazily — but
+    /// this record *describes* those bytes ("these references are
+    /// resolved"). Sync the instance first, so no journal prefix can
+    /// recover the metadata without the patches it vouches for.
     pub fn save(&self, vfs: &mut Vfs, ino: Ino) -> Result<(), LinkError> {
+        vfs.sync_shared_ino(ino);
+        // The metadata record lives on the *root* file system, which is
+        // a separate device from the shared partition — if the shared
+        // device died before the fence transaction committed (fsync
+        // reporting EIO), persisting the record now would vouch for
+        // bytes the disk never saw. Keep the in-RAM state (this boot
+        // still runs on its page cache) but skip the durable record;
+        // recovery then re-derives link state instead of trusting it.
+        if vfs.shared_device_dead() {
+            return Ok(());
+        }
         vfs.mkdir_all(META_DIR, 0o777, 0)?;
         vfs.write_file(&Self::path_for(ino), &self.encode(), 0o666, 0)?;
         Ok(())

@@ -854,6 +854,16 @@ impl FileSystem {
         self.content_stamp
     }
 
+    /// Restores a previously read content stamp — used by
+    /// [`crate::Vfs::unpriced`], whose contract is that every write
+    /// inside the bracket is cache maintenance no mapped or executed
+    /// bytes can depend on, so those writes must not count as content
+    /// changes.
+    pub(crate) fn restore_content_stamp(&mut self, stamp: u64) {
+        debug_assert!(stamp <= self.content_stamp);
+        self.content_stamp = stamp;
+    }
+
     pub fn write_epoch(&self, ino: Ino, page: u32) -> u64 {
         match self.write_epochs.get(&ino) {
             Some(epochs) => epochs.whole + epochs.pages.get(&page).copied().unwrap_or(0),
@@ -1074,52 +1084,84 @@ impl FileSystem {
             return 0;
         };
         let (whole, pages) = d.take_dirt();
-        let bs = crate::BLOCK_SIZE as u64;
         let mut payloads = Vec::new();
-        let capture = |ino: Ino, only: Option<&BTreeSet<u32>>, out: &mut Vec<Payload>| {
-            let Some(Some(inode)) = self.slots.get(ino as usize) else {
-                return;
-            };
-            // Swap-file content is dead after any crash (the processes
-            // whose pages it holds died with them) — never journal it.
-            if inode.name.starts_with(&crate::SWAP_PATH_PREFIX[1..]) {
-                return;
-            }
-            let Node::File { content } = &inode.node else {
-                return;
-            };
-            if only.is_none() {
-                out.push(Payload::SetSize {
-                    ino,
-                    size: content.len() as u64,
-                });
-            }
-            let blocks = (content.len() as u64).div_ceil(bs);
-            for b in 0..blocks {
-                if only.is_some_and(|set| !set.contains(&(b as u32))) {
-                    continue;
-                }
-                let s = (b * bs) as usize;
-                let e = ((b + 1) * bs) as usize;
-                out.push(Payload::WriteBlock {
-                    ino,
-                    offset: b * bs,
-                    bytes: content[s..e.min(content.len())].to_vec(),
-                });
-            }
-        };
         for &ino in &whole {
-            capture(ino, None, &mut payloads);
+            self.capture_dirt(ino, None, &mut payloads);
         }
         for (ino, pgs) in &pages {
             if !whole.contains(ino) {
-                capture(*ino, Some(pgs), &mut payloads);
+                self.capture_dirt(*ino, Some(pgs), &mut payloads);
             }
         }
         if !payloads.is_empty() {
             d.tx(&self.faults, payloads);
         }
         d.checkpoint(&self.faults);
+        let seq = d.disk_seq();
+        self.durable = Some(d);
+        seq
+    }
+
+    /// Captures one file's current content as journal payloads (the
+    /// barrier's capture step for a single inode). `only` limits the
+    /// capture to the given dirty pages; `None` captures size + all
+    /// blocks.
+    fn capture_dirt(&self, ino: Ino, only: Option<&BTreeSet<u32>>, out: &mut Vec<Payload>) {
+        let bs = crate::BLOCK_SIZE as u64;
+        let Some(Some(inode)) = self.slots.get(ino as usize) else {
+            return;
+        };
+        // Swap-file content is dead after any crash (the processes
+        // whose pages it holds died with them) — never journal it.
+        if inode.name.starts_with(&crate::SWAP_PATH_PREFIX[1..]) {
+            return;
+        }
+        let Node::File { content } = &inode.node else {
+            return;
+        };
+        if only.is_none() {
+            out.push(Payload::SetSize {
+                ino,
+                size: content.len() as u64,
+            });
+        }
+        let blocks = (content.len() as u64).div_ceil(bs);
+        for b in 0..blocks {
+            if only.is_some_and(|set| !set.contains(&(b as u32))) {
+                continue;
+            }
+            let s = (b * bs) as usize;
+            let e = ((b + 1) * bs) as usize;
+            out.push(Payload::WriteBlock {
+                ino,
+                offset: b * bs,
+                bytes: content[s..e.min(content.len())].to_vec(),
+            });
+        }
+    }
+
+    /// Flushes *one file's* mapped-store dirt as a journaled
+    /// transaction — a targeted `fsync(fd)` to the barrier's
+    /// `sync()`. No checkpoint: the journal keeps growing, but any
+    /// record journaled *after* this call is now ordered behind the
+    /// file's current bytes in the replay stream. The lazy linker uses
+    /// this before persisting module metadata, so no journal prefix
+    /// can declare an instance resolved while its patch bytes are
+    /// still volatile. Returns the disk write index after the flush.
+    pub fn sync_ino(&mut self, ino: Ino) -> u64 {
+        let Some(mut d) = self.durable.take() else {
+            return 0;
+        };
+        let (whole, pages) = d.take_dirt_for(ino);
+        let mut payloads = Vec::new();
+        if whole {
+            self.capture_dirt(ino, None, &mut payloads);
+        } else if !pages.is_empty() {
+            self.capture_dirt(ino, Some(&pages), &mut payloads);
+        }
+        if !payloads.is_empty() {
+            d.tx(&self.faults, payloads);
+        }
         let seq = d.disk_seq();
         self.durable = Some(d);
         seq

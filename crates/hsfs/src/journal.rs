@@ -492,6 +492,18 @@ impl Durable {
         )
     }
 
+    /// Takes one file's mapped-store dirt (targeted sync capture):
+    /// whether the whole file was marked, plus any per-page marks.
+    pub(crate) fn take_dirt_for(&mut self, ino: Ino) -> (bool, BTreeSet<u32>) {
+        if self.last_mark.is_some_and(|(i, _)| i == ino) {
+            self.last_mark = None;
+        }
+        (
+            self.dirty_whole.remove(&ino),
+            self.dirty_pages.remove(&ino).unwrap_or_default(),
+        )
+    }
+
     /// Emits one transaction: journal records, commit, home writes.
     pub(crate) fn tx(&mut self, faults: &FaultHandle, payloads: Vec<Payload>) {
         let txid = self.next_txid;

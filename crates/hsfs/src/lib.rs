@@ -44,6 +44,27 @@ pub use vfs::Vfs;
 /// `fsck` reclaims any such file left by a crash.
 pub const SWAP_PATH_PREFIX: &str = "/.kswap";
 
+/// System area on the shared partition holding prelink snapshots
+/// (DESIGN.md §15) — dotted so directory listings of user segments skip
+/// it, like the swap area. Unlike swap files, snapshot content is
+/// *durable*: rebuilds go through the ordinary write path, so the WAL
+/// journals them, crash-point enumeration covers their write units, and
+/// scrub/heal verify their blocks like any other file.
+pub const PRELINK_DIR_INNER: &str = "/.prelink";
+
+/// True for the prelink snapshot area itself or anything inside it
+/// (shared-partition inner paths). Snapshot records are kernel cache
+/// metadata, never mapped by address, so they hold no slot in the
+/// shared address table: `create` skips registration, the boot-time
+/// scan skips them, and `fsck` does not expect an entry. Keeping them
+/// out of the table also keeps linear-probe costs identical whether or
+/// not a snapshot file exists.
+pub fn is_prelink_path(inner: &str) -> bool {
+    inner
+        .strip_prefix(PRELINK_DIR_INNER)
+        .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+}
+
 /// Simulated page size (bytes); shared with the kernel crate.
 pub const PAGE_SIZE: u32 = 4096;
 

@@ -120,7 +120,11 @@ impl SharedFs {
             return Err(FsError::Busy);
         }
         let ino = self.fs.create_file(path, mode, uid)?;
-        self.register(ino);
+        // Prelink snapshot records are kernel cache metadata, never
+        // mapped by address — they take no slot in the address table.
+        if !crate::is_prelink_path(path) {
+            self.register(ino);
+        }
         Ok(ino)
     }
 
@@ -214,6 +218,14 @@ impl SharedFs {
             }
         });
         for ino in files {
+            // The prelink area never holds table slots (see `create_file`).
+            if self
+                .fs
+                .path_of(ino)
+                .is_ok_and(|p| crate::is_prelink_path(&p))
+            {
+                continue;
+            }
             self.register(ino);
         }
     }

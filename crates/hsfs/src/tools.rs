@@ -44,6 +44,11 @@ pub fn list_segments(sfs: &mut SharedFs) -> Vec<SegmentInfo> {
         .filter_map(|ino| {
             let meta = sfs.fs.metadata(ino).ok()?;
             let path = sfs.fs.path_of(ino).ok()?;
+            // The prelink snapshot area is kernel cache metadata, not a
+            // user segment — it has no table-backed address to report.
+            if crate::is_prelink_path(&path) {
+                return None;
+            }
             Some(SegmentInfo {
                 ino,
                 path,
@@ -192,10 +197,15 @@ pub fn fsck_shared(sfs: &mut SharedFs) -> Vec<FsckIssue> {
         }
     });
     for &ino in &files {
-        let addr = SharedFs::addr_of_ino(ino);
-        if sfs.addr_to_ino(addr).is_err() {
-            let path = sfs.fs.path_of(ino).unwrap_or_default();
-            issues.push(FsckIssue::MissingTableEntry { ino, path });
+        let path = sfs.fs.path_of(ino).unwrap_or_default();
+        // Prelink snapshot records never hold a table slot (kernel
+        // cache metadata, not address-mapped), so a missing entry is
+        // the expected state, not an inconsistency.
+        if !crate::is_prelink_path(&path) {
+            let addr = SharedFs::addr_of_ino(ino);
+            if sfs.addr_to_ino(addr).is_err() {
+                issues.push(FsckIssue::MissingTableEntry { ino, path });
+            }
         }
         if let Ok(meta) = sfs.fs.metadata(ino) {
             if meta.size > crate::shared::SLOT_SIZE as u64 {

@@ -68,6 +68,55 @@ impl Vfs {
         self.shared.fs.arm_faults(faults);
     }
 
+    /// The prelink system area in the unified namespace (DESIGN.md §15).
+    pub fn prelink_dir(&self) -> String {
+        format!("{}{}", self.mount_point, crate::PRELINK_DIR_INNER)
+    }
+
+    /// Flushes one shared-partition file's mapped-store dirt into the
+    /// journal (see [`crate::fs::FileSystem::sync_ino`]) — write-order
+    /// fencing for metadata that describes the file's current bytes.
+    pub fn sync_shared_ino(&mut self, ino: crate::Ino) -> u64 {
+        self.shared.fs.sync_ino(ino)
+    }
+
+    /// Whether the shared partition's simulated device has already died
+    /// (a scheduled crash point has passed). A sync after death cannot
+    /// have reached the journal — callers fencing metadata behind
+    /// [`Vfs::sync_shared_ino`] must treat this like `fsync` returning
+    /// `EIO` and abort the dependent persist.
+    pub fn shared_device_dead(&self) -> bool {
+        self.shared.fs.device_dead()
+    }
+
+    /// Runs `f` with I/O *accounting* suspended: whatever `f` reads or
+    /// writes, the cost-model tallies (both mounts' [`crate::FsStats`],
+    /// the shared partition's address-table lookup/probe counters) end
+    /// where they started. The snapshot cache uses this because its
+    /// load/validate pass is priced flat (`snapshot_validate_ns`), not
+    /// per block. Only the *pricing* is suspended — the bytes really
+    /// move: the WAL still journals writes, the disk write stream still
+    /// advances (crash-point enumeration sees every unit), and scrub
+    /// coverage is unaffected.
+    pub fn unpriced<R>(&mut self, f: impl FnOnce(&mut Vfs) -> R) -> R {
+        let root = self.root.stats;
+        let shared = self.shared.fs.stats;
+        let lookups = self.shared.addr_lookups;
+        let probes = self.shared.addr_probe_steps;
+        let stamp = self.shared.fs.content_stamp();
+        let r = f(self);
+        self.root.stats = root;
+        self.shared.fs.stats = shared;
+        self.shared.addr_lookups = lookups;
+        self.shared.addr_probe_steps = probes;
+        // Cache writes are not content changes: nothing mapped or
+        // executed can depend on snapshot bytes, so change-tracking
+        // consumers (bbcache epochs, snapshot fast-path validation)
+        // must not see the stamp move.
+        self.shared.fs.restore_content_stamp(stamp);
+        r
+    }
+
     /// Splits an absolute path into its mount and the path within it.
     pub fn route_norm(&self, path: &str) -> Result<(Mount, String), FsError> {
         let norm = fspath::normalize(path)?;
@@ -422,6 +471,28 @@ mod tests {
         );
         v.unlock_all(1);
         v.try_lock(n, LockKind::Exclusive, 2).unwrap();
+    }
+
+    #[test]
+    fn unpriced_io_moves_bytes_without_moving_counters() {
+        let mut v = Vfs::new();
+        v.create_file("/shared/seg", 0o666, 0).unwrap();
+        v.write("/shared/seg", 0, b"payload").unwrap();
+        let root = v.root.stats;
+        let shared = v.shared.fs.stats;
+        let got = v.unpriced(|v| {
+            v.write_file("/shared/.cache", b"cached", 0o666, 0).unwrap();
+            v.read_all("/shared/seg").unwrap()
+        });
+        assert_eq!(got, b"payload");
+        assert_eq!(v.root.stats, root, "unpriced I/O must not bill the root fs");
+        assert_eq!(
+            v.shared.fs.stats, shared,
+            "unpriced I/O must not bill the shared fs"
+        );
+        // The bytes really landed: a priced read sees them (and bills).
+        assert_eq!(v.read_all("/shared/.cache").unwrap(), b"cached");
+        assert!(v.shared.fs.stats.blocks_read > shared.blocks_read);
     }
 
     #[test]

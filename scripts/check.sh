@@ -21,6 +21,9 @@ cargo test -q --release --test e13_crash
 echo "==> disk-integrity properties (e14: corruption detect/heal/contain)"
 cargo test -q --release --test e14_integrity
 
+echo "==> prelink snapshots (e15: identity, staleness, crash sweep)"
+cargo test -q --release --test e15_snapshot
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
